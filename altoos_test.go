@@ -1,0 +1,194 @@
+package altoos_test
+
+// Black-box tests of the public facade: what a downstream user of the
+// library sees, with no access to internal packages.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"altoos"
+)
+
+func newSys(t *testing.T) (*altoos.System, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	sys, err := altoos.New(altoos.Config{Display: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, &out
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	sys, _ := newSys(t)
+	w, err := sys.CreateStream("hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := altoos.PutString(w, "through the facade"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.OpenStream("hello.txt", altoos.ReadMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := altoos.ReadAllStream(r)
+	r.Close()
+	if err != nil || string(got) != "through the facade" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestPublicScavengeAndCompact(t *testing.T) {
+	sys, _ := newSys(t)
+	w, _ := sys.CreateStream("s.txt")
+	altoos.PutString(w, strings.Repeat("z", 2000))
+	w.Close()
+
+	rep, err := sys.Scavenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesFound < 3 {
+		t.Errorf("scavenge found %d files", rep.FilesFound)
+	}
+	crep, err := sys.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = crep
+	r, err := sys.OpenStream("s.txt", altoos.ReadMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := altoos.ReadAllStream(r)
+	r.Close()
+	if len(got) != 2000 {
+		t.Errorf("file damaged: %d bytes", len(got))
+	}
+}
+
+func TestPublicDirectoryAPI(t *testing.T) {
+	sys, _ := newSys(t)
+	f, err := sys.CreateFile("named.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := altoos.ResolveName(sys.FS, "named.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.FV != f.FN().FV {
+		t.Error("ResolveName disagreement")
+	}
+	root, err := altoos.OpenRoot(sys.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := root.List()
+	if err != nil || len(entries) < 3 {
+		t.Fatalf("List: %d entries, %v", len(entries), err)
+	}
+}
+
+func TestPublicWorldSwap(t *testing.T) {
+	sys, _ := newSys(t)
+	sys.Mem.Store(0x5555, 0xAAAA)
+	sys.CPU.PC = 0x5555
+	if _, err := sys.SaveWorld(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Mem.Store(0x5555, 0)
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Mem.Load(0x5555) != 0xAAAA {
+		t.Fatal("boot did not restore")
+	}
+}
+
+func TestPublicJuntaLevels(t *testing.T) {
+	sys, _ := newSys(t)
+	freed, words, err := sys.Levels.Do(altoos.LevelDiskStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words <= 0 || freed.Size() != words {
+		t.Fatalf("junta freed %d words, region %v", words, freed)
+	}
+	if err := sys.Levels.CounterJunta(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCustomDeviceAndZone(t *testing.T) {
+	// The openness contract: a user builds their own drive and zone and
+	// uses the standard packages over them.
+	drive, err := altoos.NewDrive(altoos.Trident(), 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := altoos.Format(drive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m altoos.Memory
+	z, err := altoos.NewZone(&m, 0x2000, 0x3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("custom.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := altoos.NewDiskStream(f, z, &m, altoos.UpdateMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := altoos.PutString(s, "custom substrate"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := altoos.Mount(drive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicNetwork(t *testing.T) {
+	net := altoos.NewNetwork(nil)
+	a, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(altoos.Packet{Dst: 2, Type: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := b.Recv(); !ok || p.Type != 9 {
+		t.Fatal("packet lost")
+	}
+}
+
+func TestPublicExecutiveSession(t *testing.T) {
+	sys, out := newSys(t)
+	w, _ := sys.CreateStream("note.txt")
+	altoos.PutString(w, "facade note")
+	w.Close()
+	sys.TypeAhead("ls\ntype note.txt\nquit\n")
+	if err := sys.RunExecutive(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "facade note") {
+		t.Fatalf("executive output: %q", out.String())
+	}
+}

@@ -1,0 +1,85 @@
+package altoos
+
+// One benchmark per experiment (E1..E9) — the paper's quantitative claims.
+// Each benchmark runs the corresponding workload generator from
+// internal/experiments and reports the *simulated* quantities the paper
+// talks about via b.ReportMetric; the wall-clock ns/op that testing.B
+// prints measures only the host's simulation speed and is not a
+// reproduction target. cmd/altobench prints the same results as tables,
+// and EXPERIMENTS.md records the paper-vs-measured comparison.
+
+import (
+	"testing"
+
+	"altoos/internal/experiments"
+)
+
+// report runs one experiment per iteration and republishes its metrics.
+func report(b *testing.B, f func() (*experiments.Result, error), keys ...string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, k := range keys {
+		v, ok := last.Metrics[k]
+		if !ok {
+			b.Fatalf("experiment %s did not produce metric %q", last.ID, k)
+		}
+		b.ReportMetric(v, k)
+	}
+}
+
+// BenchmarkE1RawTransfer — §2: "can transfer 64k words in about one second".
+func BenchmarkE1RawTransfer(b *testing.B) {
+	report(b, experiments.E1RawTransfer, "sim_seconds_64kwords", "words_per_sec")
+}
+
+// BenchmarkE2AllocFreeCost — §3.3: alloc/free cost one revolution; ordinary
+// writes check labels for free.
+func BenchmarkE2AllocFreeCost(b *testing.B) {
+	report(b, experiments.E2AllocFreeCost, "alloc_overhead_revs", "free_overhead_revs")
+}
+
+// BenchmarkE3Scavenge — §3.5: "about a minute for a 2.5 megabyte disk".
+func BenchmarkE3Scavenge(b *testing.B) {
+	report(b, experiments.E3Scavenge, "scavenge_seconds_Diablo31", "scavenge_seconds_Trident")
+}
+
+// BenchmarkE4CompactionSpeedup — §3.5: order-of-magnitude sequential-read
+// speedup after the compacting scavenger.
+func BenchmarkE4CompactionSpeedup(b *testing.B) {
+	report(b, experiments.E4Compaction, "speedup", "aged_speedup")
+}
+
+// BenchmarkE5HintLadder — §3.6: the cost of each recovery level.
+func BenchmarkE5HintLadder(b *testing.B) {
+	report(b, experiments.E5HintLadder,
+		"ms_direct_hint", "ms_link_chase", "ms_kth_page", "ms_fv_lookup", "ms_string_lookup", "ms_scavenge")
+}
+
+// BenchmarkE6WorldSwap — §4.1: OutLoad/InLoad take about a second each.
+func BenchmarkE6WorldSwap(b *testing.B) {
+	report(b, experiments.E6WorldSwap, "outload_seconds", "inload_seconds")
+}
+
+// BenchmarkE7Junta — §5.2: storage freed per retained level.
+func BenchmarkE7Junta(b *testing.B) {
+	report(b, experiments.E7Junta, "max_words_freed", "full_resident_words")
+}
+
+// BenchmarkE8FaultInjection — §3.3/§6: label checks reject every wild
+// write; the Scavenger recovers everything damage didn't directly destroy.
+func BenchmarkE8FaultInjection(b *testing.B) {
+	report(b, experiments.E8Robustness,
+		"wild_writes_rejected_pct", "map_lie_retries", "undamaged_recovery_pct")
+}
+
+// BenchmarkE9InstalledHints — §3.6: warm starts at maximum disk speed.
+func BenchmarkE9InstalledHints(b *testing.B) {
+	report(b, experiments.E9InstalledHints, "warm_ms", "cold_ms", "warm_advantage")
+}

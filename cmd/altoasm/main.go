@@ -1,0 +1,107 @@
+// altoasm assembles a source file for the simulated machine and installs
+// the resulting code file on a pack image, ready for the Executive's
+// "run <name>" (or prints a listing).
+//
+// Usage:
+//
+//	altoasm -l <src.asm>                      assemble and list only
+//	altoasm <src.asm> <img> <name>            assemble into the image
+//
+// Fixup binding: a line of the form
+//
+//	PUTC: .word 0 ; =SYS 1
+//
+// is just data to the assembler; to bind pointer words to system vector
+// stubs use the library API (exec.FixupsFor). altoasm installs programs
+// that use direct SYS traps, which need no fixups.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"altoos"
+	"altoos/internal/asm"
+	"altoos/internal/cpu"
+	"altoos/internal/disk"
+	"altoos/internal/exec"
+	"altoos/internal/mem"
+	"altoos/internal/stream"
+	"altoos/internal/zone"
+)
+
+func main() {
+	log.SetFlags(0)
+	args := os.Args[1:]
+	listing := false
+	if len(args) > 0 && args[0] == "-l" {
+		listing = true
+		args = args[1:]
+	}
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: altoasm [-l] <src.asm> [<img> <name>]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %s: origin %#04x, entry %#04x, %d words, %d symbols\n",
+		args[0], p.Origin, p.Entry, len(p.Words), len(p.Symbols))
+	if listing {
+		for i, w := range p.Words {
+			fmt.Printf("%04x: %04x\n", int(p.Origin)+i, w)
+		}
+	}
+	if len(args) < 3 {
+		return
+	}
+	img, name := args[1], args[2]
+
+	f, err := os.Open(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	drv, err := disk.LoadImage(f, nil)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := altoos.Mount(drv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := mem.New()
+	z, err := zone.New(m, 0x4000, 0x4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := exec.NewOS(fs, m, z, stream.NewKeyboard(), stream.NewDisplay(os.Stdout))
+	_ = cpu.New(m, drv.Clock(), o) // the OS needs no CPU to write code files
+	if err := exec.WriteCodeFile(o, name, p, nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	tmp := img + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := drv.SaveImage(out); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Rename(tmp, img); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed %s on %s; run it with: altoexec %s, then 'run %s'\n", name, img, img, name)
+}

@@ -1,0 +1,55 @@
+// altobench regenerates every quantitative claim in the paper — the
+// reproduction's tables. Each experiment builds its own workload on a fresh
+// simulated machine and prints the paper's sentence next to the measured
+// shape. See EXPERIMENTS.md for the claim-by-claim comparison.
+//
+// Usage:
+//
+//	altobench           run all experiments
+//	altobench E3 E6     run a subset by id
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"altoos/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	funcs := map[string]func() (*experiments.Result, error){
+		"E1": experiments.E1RawTransfer,
+		"E2": experiments.E2AllocFreeCost,
+		"E3": experiments.E3Scavenge,
+		"E4": experiments.E4Compaction,
+		"E5": experiments.E5HintLadder,
+		"E6": experiments.E6WorldSwap,
+		"E7": experiments.E7Junta,
+		"E8": experiments.E8Robustness,
+		"E9": experiments.E9InstalledHints,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+
+	want := os.Args[1:]
+	if len(want) == 0 {
+		want = order
+	}
+	fmt.Println("Reproducing the quantitative claims of Lampson & Sproull,")
+	fmt.Println("\"An Open Operating System for a Single-User Machine\" (SOSP 1979).")
+	fmt.Println("All times are simulated (virtual disk/CPU clock).")
+	fmt.Println()
+	for _, id := range want {
+		f, ok := funcs[strings.ToUpper(id)]
+		if !ok {
+			log.Fatalf("unknown experiment %q (have %s)", id, strings.Join(order, " "))
+		}
+		res, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Println(res.Table())
+	}
+}

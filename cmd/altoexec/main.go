@@ -1,0 +1,108 @@
+// altoexec boots a simulated Alto from a pack image and runs the Executive
+// interactively: stdin is the keyboard, stdout the display.
+//
+// Usage:
+//
+//	altoexec <img>            attach the pack and start the Executive
+//	altoexec -new <img>       format a fresh pack first
+//
+// Try: ls, free, type <file>, delete <file>, scavenge, compact, stats,
+// run <program>, help, quit. Changes are written back to the image on exit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+
+	"altoos"
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+)
+
+func main() {
+	log.SetFlags(0)
+	args := os.Args[1:]
+	fresh := false
+	if len(args) > 0 && args[0] == "-new" {
+		fresh = true
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: altoexec [-new] <img>")
+		os.Exit(2)
+	}
+	img := args[0]
+
+	var drv *disk.Drive
+	var err error
+	if fresh {
+		drv, err = disk.NewDrive(disk.Diablo31(), 1, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs, err := file.Format(drv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dir.InitRoot(fs); err != nil {
+			log.Fatal(err)
+		}
+		if err := fs.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		f, err := os.Open(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		drv, err = disk.LoadImage(f, nil)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sys, err := altoos.New(altoos.Config{Drive: drv, Display: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("altoexec: %v, pack %d; 'help' lists commands, 'quit' exits\n",
+		drv.Geometry(), drv.Pack())
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print(">")
+		if !sc.Scan() {
+			break
+		}
+		quit, err := sys.Exec.Execute(sc.Text())
+		if err != nil {
+			fmt.Printf("?%v\n", err)
+		}
+		if quit {
+			break
+		}
+	}
+
+	if err := sys.FS.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	tmp := img + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Drive.SaveImage(out); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.Rename(tmp, img); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npack written back to %s (simulated time %v)\n", img, sys.Clock.Now().Round(1000))
+}

@@ -1,0 +1,316 @@
+// altofs manipulates simulated Alto disk packs stored as host image files —
+// the moral equivalent of carrying a removable pack between machines.
+//
+// Usage:
+//
+//	altofs create <img> [diablo31|trident] [pack#]   format a fresh pack
+//	altofs info <img>                                descriptor and usage
+//	altofs ls <img>                                  list the root directory
+//	altofs put <img> <hostfile> <name>               copy a host file in
+//	altofs get <img> <name> [hostfile]               copy a file out (default: stdout)
+//	altofs rm <img> <name>                           delete file and name
+//	altofs scavenge <img>                            run the Scavenger
+//	altofs scavenge-lowmem <img>                     same, with the disk-spill table
+//	altofs compact <img>                             run the compacting scavenger
+//	altofs damage <img> <n>                          corrupt n random labels (for demos)
+//	altofs transfer <img> <img2> <name> [newname]    copy a file between packs
+//	                                                 (the machine's second drive)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"altoos"
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/scavenge"
+	"altoos/internal/sim"
+	"altoos/internal/stream"
+	"altoos/internal/zone"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, img := os.Args[1], os.Args[2]
+	args := os.Args[3:]
+
+	if cmd == "create" {
+		create(img, args)
+		return
+	}
+
+	drv := loadImage(img)
+	switch cmd {
+	case "info":
+		info(drv)
+	case "ls":
+		ls(drv)
+	case "put":
+		need(args, 2, "put <img> <hostfile> <name>")
+		put(drv, args[0], args[1])
+		saveImage(drv, img)
+	case "get":
+		need(args, 1, "get <img> <name> [hostfile]")
+		out := ""
+		if len(args) > 1 {
+			out = args[1]
+		}
+		get(drv, args[0], out)
+	case "rm":
+		need(args, 1, "rm <img> <name>")
+		rm(drv, args[0])
+		saveImage(drv, img)
+	case "scavenge":
+		_, rep, err := altoos.Scavenge(drv)
+		check(err)
+		fmt.Println(rep)
+		saveImage(drv, img)
+	case "scavenge-lowmem":
+		_, rep, err := scavenge.RunLowMemory(drv, 512)
+		check(err)
+		fmt.Printf("%s (spilled %d entries to %d borrowed sectors)\n",
+			rep, rep.SpilledEntries, rep.SpillSectors)
+		saveImage(drv, img)
+	case "transfer":
+		need(args, 2, "transfer <img> <img2> <name> [newname]")
+		newName := args[1]
+		if len(args) > 2 {
+			newName = args[2]
+		}
+		// The second drive shares the machine's clock, as a real second
+		// spindle would.
+		f2, err := os.Open(args[0])
+		check(err)
+		drv2, err := disk.LoadImage(f2, drv.Clock())
+		f2.Close()
+		check(err)
+		transfer(drv, drv2, args[1], newName)
+		saveImage(drv2, args[0])
+	case "compact":
+		_, rep, err := altoos.Compact(drv)
+		check(err)
+		fmt.Println(rep)
+		saveImage(drv, img)
+	case "damage":
+		need(args, 1, "damage <img> <n>")
+		n, err := strconv.Atoi(args[0])
+		check(err)
+		r := sim.NewRand(uint64(os.Getpid()))
+		for i := 0; i < n; i++ {
+			drv.CorruptLabel(disk.VDA(r.Intn(drv.Geometry().NSectors())), r)
+		}
+		fmt.Printf("corrupted %d random labels; run 'altofs scavenge %s'\n", n, img)
+		saveImage(drv, img)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: altofs <create|info|ls|put|get|rm|scavenge|compact|damage> <img> ...")
+	os.Exit(2)
+}
+
+func need(args []string, n int, form string) {
+	if len(args) < n {
+		log.Fatalf("usage: altofs %s", form)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func create(img string, args []string) {
+	g := disk.Diablo31()
+	if len(args) > 0 && args[0] == "trident" {
+		g = disk.Trident()
+	}
+	pack := disk.Word(1)
+	if len(args) > 1 {
+		n, err := strconv.Atoi(args[1])
+		check(err)
+		pack = disk.Word(n)
+	}
+	drv, err := disk.NewDrive(g, pack, nil)
+	check(err)
+	fs, err := file.Format(drv)
+	check(err)
+	_, err = dir.InitRoot(fs)
+	check(err)
+	check(fs.Flush())
+	saveImage(drv, img)
+	fmt.Printf("created %s: %v, pack %d\n", img, g, pack)
+}
+
+func loadImage(path string) *disk.Drive {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	drv, err := disk.LoadImage(f, nil)
+	check(err)
+	return drv
+}
+
+func saveImage(drv *disk.Drive, path string) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	check(err)
+	if err := drv.SaveImage(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	check(f.Close())
+	check(os.Rename(tmp, path))
+}
+
+// mount attaches a file system, scavenging when the descriptor is damaged.
+func mount(drv *disk.Drive) *file.FS {
+	fs, err := file.Mount(drv)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "altofs: mount failed (%v); scavenging\n", err)
+		fs, _, err = altoos.Scavenge(drv)
+		check(err)
+	}
+	return fs
+}
+
+// rig builds the stream substrates for copying data.
+func rig() (*mem.Memory, *zone.MemZone) {
+	m := mem.New()
+	z, err := zone.New(m, 0x4000, 0x4000)
+	check(err)
+	return m, z
+}
+
+func info(drv *disk.Drive) {
+	fs := mount(drv)
+	g := drv.Geometry()
+	free := fs.FreeCount()
+	fmt.Printf("geometry:   %v\n", g)
+	fmt.Printf("pack:       %d\n", drv.Pack())
+	fmt.Printf("root dir:   %v\n", fs.RootDir())
+	fmt.Printf("descriptor: %v\n", fs.DescriptorFN())
+	fmt.Printf("usage:      %d/%d pages busy (%d free)\n", g.NSectors()-free, g.NSectors(), free)
+	fmt.Printf("next serial: %d\n", fs.Descriptor().NextSerial)
+}
+
+func ls(drv *disk.Drive) {
+	fs := mount(drv)
+	root, err := dir.OpenRoot(fs)
+	check(err)
+	entries, err := root.List()
+	check(err)
+	for _, e := range entries {
+		size := -1
+		if f, err := fs.Open(e.FN); err == nil {
+			size = f.Size()
+		}
+		fmt.Printf("%-28s %8d  %v\n", e.Name, size, e.FN.FV)
+	}
+}
+
+func put(drv *disk.Drive, hostfile, name string) {
+	data, err := os.ReadFile(hostfile)
+	check(err)
+	fs := mount(drv)
+	root, err := dir.OpenRoot(fs)
+	check(err)
+	var f *file.File
+	if fn, err := root.Lookup(name); err == nil {
+		f, err = fs.Open(fn)
+		check(err)
+	} else {
+		f, err = fs.Create(name)
+		check(err)
+		check(root.Insert(name, f.FN()))
+	}
+	m, z := rig()
+	s, err := stream.NewDisk(f, z, m, stream.WriteMode)
+	check(err)
+	for _, b := range data {
+		check(s.Put(b))
+	}
+	check(s.Close())
+	check(fs.Flush())
+	fmt.Printf("put %s -> %s (%d bytes)\n", hostfile, name, len(data))
+}
+
+func get(drv *disk.Drive, name, hostfile string) {
+	fs := mount(drv)
+	fn, err := dir.ResolveName(fs, name)
+	check(err)
+	f, err := fs.Open(fn)
+	check(err)
+	m, z := rig()
+	s, err := stream.NewDisk(f, z, m, stream.ReadMode)
+	check(err)
+	data, err := stream.ReadAll(s)
+	check(err)
+	check(s.Close())
+	if hostfile == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	check(os.WriteFile(hostfile, data, 0o644))
+	fmt.Printf("get %s -> %s (%d bytes)\n", name, hostfile, len(data))
+}
+
+// transfer streams a file from one pack to another — the two-drive machine
+// of §2. Both file systems run over the same stream and zone packages; only
+// the disk objects differ, which is the openness point.
+func transfer(src, dst *disk.Drive, name, newName string) {
+	sfs := mount(src)
+	dfs := mount(dst)
+	fn, err := dir.ResolveName(sfs, name)
+	check(err)
+	sf, err := sfs.Open(fn)
+	check(err)
+	m, z := rig()
+	in, err := stream.NewDisk(sf, z, m, stream.ReadMode)
+	check(err)
+	defer in.Close()
+
+	droot, err := dir.OpenRoot(dfs)
+	check(err)
+	var df *file.File
+	if dfn, err := droot.Lookup(newName); err == nil {
+		df, err = dfs.Open(dfn)
+		check(err)
+	} else {
+		df, err = dfs.Create(newName)
+		check(err)
+		check(droot.Insert(newName, df.FN()))
+	}
+	out, err := stream.NewDisk(df, z, m, stream.WriteMode)
+	check(err)
+	n, err := stream.Pump(out, in)
+	check(err)
+	check(out.Close())
+	check(dfs.Flush())
+	fmt.Printf("transferred %s -> %s (%d bytes)\n", name, newName, n)
+}
+
+func rm(drv *disk.Drive, name string) {
+	fs := mount(drv)
+	root, err := dir.OpenRoot(fs)
+	check(err)
+	fn, err := root.Lookup(name)
+	check(err)
+	f, err := fs.Open(fn)
+	check(err)
+	check(f.Delete())
+	check(root.Remove(name))
+	check(fs.Flush())
+	fmt.Printf("rm %s\n", name)
+}

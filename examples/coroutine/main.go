@@ -1,0 +1,102 @@
+// Coroutine: two machine-code programs alternate control of the whole
+// machine through OutLoad/InLoad, the paper's §4.1 mechanism — "a program
+// first records its state on one disk file, and then restores the machine
+// state from a second file. The original program resumes execution when the
+// machine state is restored from the first file."
+//
+// Each program prints its tag, saves itself, and restores its partner; a
+// counter in its own memory image (which travels with the state file)
+// bounds the rounds. The output interleaves the two programs' tags even
+// though the machine runs exactly one program at a time — exactly how the
+// Alto's debugger and print server switched activities.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"altoos"
+	"altoos/internal/asm"
+	"altoos/internal/exec"
+)
+
+// program builds the ping-pong source for one side.
+func program(tag byte, rounds int) string {
+	return fmt.Sprintf(`
+START:	LDA 0, TAG
+	SYS 1           ; print my tag
+LOOP:	LDA 0, MYFN
+	SYS 8           ; OutLoad(my state) -> AC0: 1 = written, 0 = resumed
+	MOV# 0, 0, SNR  ; skip when AC0 != 0 (the written path)
+	JMP RESUMED
+	LDA 0, PARTFN   ; written: transfer control to the partner
+	LDA 1, MSGB
+	SYS 9           ; InLoad(partner state) — never returns
+	HALT
+RESUMED: LDA 0, TAG
+	SYS 1           ; print my tag again: the partner swapped us back in
+	DSZ COUNT       ; one round done; skip when the count hits zero
+	JMP LOOP
+	HALT
+COUNT:	.word %d
+TAG:	.word '%c'
+MSGB:	.blk 20
+MYFN:	.word MYNAME
+PARTFN:	.word PARTNAME
+MYNAME:	.blk 8
+PARTNAME: .blk 8
+`, rounds, tag)
+}
+
+func main() {
+	sys, err := altoos.New(altoos.Config{Display: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	setup := func(name string, tag byte) *asm.Program {
+		p, err := asm.Assemble(program(tag, 3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := exec.WriteCodeFile(sys.OS, name, p, nil); err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	progA := setup("ping.run", 'A')
+	progB := setup("pong.run", 'B')
+
+	// Bootstrap: run A once. It prints "A", OutLoads A.state, then its
+	// InLoad of the (not yet existing) B.state fails — expected: the
+	// partner isn't installed yet.
+	entry, err := sys.Loader.Load("ping.run")
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec.WriteString(sys.Mem, progA.Symbols["MYNAME"], "A.state")
+	exec.WriteString(sys.Mem, progA.Symbols["PARTNAME"], "B.state")
+	sys.CPU.Reset(entry)
+	if _, err := sys.CPU.Run(1_000_000); err == nil {
+		log.Fatal("expected the bootstrap InLoad to fail")
+	}
+	fmt.Println(" <- A installed itself and paused")
+
+	// Now run B. From here the two programs swap the machine back and
+	// forth entirely on their own: B's InLoad resumes A inside its OutLoad,
+	// A's next InLoad resumes B, and so on until the counters run out.
+	entry, err = sys.Loader.Load("pong.run")
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec.WriteString(sys.Mem, progB.Symbols["MYNAME"], "B.state")
+	exec.WriteString(sys.Mem, progB.Symbols["PARTNAME"], "A.state")
+	sys.CPU.Reset(entry)
+	if _, err := sys.CPU.Run(10_000_000); err != nil {
+		log.Fatalf("ping-pong failed: %v", err)
+	}
+	fmt.Println(" <- one side ran out of rounds and halted")
+	fmt.Printf("simulated time: %v (each swap writes and reads a full 64K machine state)\n",
+		sys.Clock.Now().Round(1000))
+}

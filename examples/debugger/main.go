@@ -1,0 +1,76 @@
+// Debugger: the §4 debugging scenario end to end. A buggy program hits a
+// breakpoint; the whole machine is written to the Swatee file; the debugger
+// examines and repairs the *file* (never the live machine); resuming
+// restores the repaired state and the program finishes correctly. "The
+// original program and the debugger thus operate as coroutines."
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"altoos"
+	"altoos/internal/asm"
+	"altoos/internal/exec"
+)
+
+// The bug: TAX should be rate*amount but the programmer loaded the wrong
+// cell, so the program prints '?' instead of '!'.
+const buggySource = `
+START:	LDA 0, GREET
+	SYS 1           ; print 'p' (for "pay")
+CALC:	LDA 0, WRONG    ; BUG: should be LDA 0, RIGHT
+	SYS 1
+	HALT
+GREET:	.word 'p'
+WRONG:	.word '?'
+RIGHT:	.word '!'
+`
+
+func main() {
+	sys, err := altoos.New(altoos.Config{Display: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(buggySource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := exec.WriteCodeFile(sys.OS, "payroll.run", prog, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run once to see the bug.
+	fmt.Print("first run (buggy): ")
+	if _, err := sys.Loader.RunProgram(sys.CPU, "payroll.run", 10000); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Set a breakpoint at CALC and run again: the machine stops, pickled.
+	entry, err := sys.Loader.Load("payroll.run")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Debugger.SetBreak(prog.Symbols["CALC"])
+	sys.CPU.Reset(entry)
+	if _, err := sys.CPU.Run(10000); err != nil {
+		log.Fatal(err)
+	}
+	if !sys.OS.TookBreakpoint() {
+		log.Fatal("breakpoint did not fire")
+	}
+	fmt.Println("\n-- breakpoint hit; machine written to Swatee. --")
+
+	// A debugger session over type-ahead: inspect, patch the instruction in
+	// the state file (LDA 0, RIGHT instead of LDA 0, WRONG), resume.
+	calc := prog.Symbols["CALC"]
+	fixed := asm.MustAssemble(fmt.Sprintf(".org %#x\nLDA 0, %#x\n", calc, prog.Symbols["RIGHT"]))
+	sys.TypeAhead(fmt.Sprintf("r\ne %#x 3\nd %#x %#x\ng\nq\n", calc, calc, fixed.Words[0]))
+	if err := sys.Debugger.REPL(sys.Keyboard, sys.OS.Display); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated time: %v (each breakpoint writes a full machine state)\n",
+		sys.Clock.Now().Round(1000))
+}

@@ -1,0 +1,193 @@
+// Editor installation: the §3.6 hint workflow. "Many programs use a
+// collection of auxiliary files to which they need rapid access. The
+// editor, for example, uses two scratch files, a journal file, a file of
+// messages etc. When these programs are installed, they create the
+// necessary files and store hints for them in a data structure that is then
+// written onto a state file. Subsequently the program can start up, read
+// the state file, and access all its auxiliary files at maximum disk speed.
+// If a hint fails, e.g. because a scratch file got deleted or moved, the
+// program must repeat the installation phase."
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"altoos"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/stream"
+)
+
+// auxFiles is the editor's working set.
+var auxFiles = []string{"editor.scratch1", "editor.scratch2", "editor.journal", "editor.messages"}
+
+// hintRecord is what the editor saves per auxiliary file: the full name and
+// the address of every page it cares about (here, page 1).
+type hintRecord struct {
+	name  string
+	fn    file.FN
+	page1 disk.VDA
+}
+
+func main() {
+	sys, err := altoos.New(altoos.Config{Display: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== install phase ==")
+	records := install(sys)
+	saveState(sys, records)
+	fmt.Printf("installed %d auxiliary files; hints written to editor.state\n", len(records))
+
+	fmt.Println("== warm start: every access is one direct disk hit ==")
+	warm := loadState(sys)
+	sys.FS.ResetStats()
+	for _, rec := range warm {
+		f, err := sys.FS.Open(rec.fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f.ForgetHints() // only the installed hint matters
+		f.SetHint(1, rec.page1)
+		var buf [disk.PageWords]disk.Word
+		if _, err := f.ReadPage(1, &buf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := sys.FS.Stats()
+	fmt.Printf("reads: %d hint hits, %d link chases, %d directory lookups\n",
+		st.HintHits, st.LinkChases, st.FVResolves)
+
+	fmt.Println("== a scratch file is deleted behind the editor's back ==")
+	victim, err := sys.OpenByName("editor.scratch2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, _ := sys.Root()
+	if err := victim.Delete(); err != nil {
+		log.Fatal(err)
+	}
+	if err := root.Remove("editor.scratch2"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The stale hint fails loudly — "no damage is done, and the program
+	// using the hint is informed so that it can take corrective action."
+	stale := loadState(sys)
+	for _, rec := range stale {
+		f, err := sys.FS.Open(rec.fn)
+		if err != nil {
+			fmt.Printf("%-18s hint failed (open): reinstall needed\n", rec.name)
+			continue
+		}
+		f.ForgetHints()
+		f.SetHint(1, rec.page1)
+		var buf [disk.PageWords]disk.Word
+		if _, err := f.ReadPage(1, &buf); err != nil {
+			fmt.Printf("%-18s hint failed (read): reinstall needed\n", rec.name)
+			continue
+		}
+		fmt.Printf("%-18s hint still valid\n", rec.name)
+	}
+
+	fmt.Println("== reinstall ==")
+	records = install(sys)
+	saveState(sys, records)
+	fmt.Printf("reinstalled; %d auxiliary files healthy again\n", len(records))
+	fmt.Printf("simulated time: %v\n", sys.Clock.Now().Round(1000))
+}
+
+// install creates (or reuses) the auxiliary files and collects fresh hints.
+func install(sys *altoos.System) []hintRecord {
+	var out []hintRecord
+	for _, name := range auxFiles {
+		f, err := sys.OpenByName(name)
+		if err != nil {
+			f, err = sys.CreateFile(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var page [disk.PageWords]disk.Word
+			copy(page[:], []disk.Word{0xED, 0x17})
+			if err := f.WritePage(1, &page, 4); err != nil {
+				log.Fatal(err)
+			}
+			f.Sync()
+		}
+		a, err := f.PageAddr(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, hintRecord{name: name, fn: f.FN(), page1: a})
+	}
+	return out
+}
+
+// saveState writes the hint records onto the editor's state file. The
+// system "makes no effort to keep them up to date" — that is the point.
+func saveState(sys *altoos.System, records []hintRecord) {
+	w, err := openState(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+	put := func(v uint16) {
+		if err := stream.PutWord(w, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	put(uint16(len(records)))
+	for _, r := range records {
+		put(uint16(len(r.name)))
+		for i := 0; i < len(r.name); i++ {
+			put(uint16(r.name[i]))
+		}
+		put(uint16(r.fn.FV.FID >> 16))
+		put(uint16(r.fn.FV.FID))
+		put(r.fn.FV.Version)
+		put(uint16(r.fn.Leader))
+		put(uint16(r.page1))
+	}
+}
+
+func openState(sys *altoos.System) (*stream.DiskStream, error) {
+	if s, err := sys.OpenStream("editor.state", altoos.UpdateMode); err == nil {
+		return s, nil
+	}
+	return sys.CreateStream("editor.state")
+}
+
+// loadState reads the records back.
+func loadState(sys *altoos.System) []hintRecord {
+	r, err := sys.OpenStream("editor.state", altoos.ReadMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	get := func() uint16 {
+		v, err := stream.GetWord(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return v
+	}
+	n := int(get())
+	out := make([]hintRecord, 0, n)
+	for i := 0; i < n; i++ {
+		nameLen := int(get())
+		name := make([]byte, nameLen)
+		for j := range name {
+			name[j] = byte(get())
+		}
+		rec := hintRecord{name: string(name)}
+		rec.fn.FV.FID = disk.FID(get())<<16 | disk.FID(get())
+		rec.fn.FV.Version = get()
+		rec.fn.Leader = disk.VDA(get())
+		rec.page1 = disk.VDA(get())
+		out = append(out, rec)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Junta: a program takes over the machine (§5.2). It asks the system to
+// remove every service level above the disk streams, uses the freed memory
+// for its own allocator, runs with its own facilities — and then
+// CounterJunta restores the standard system, good as new.
+//
+// "A programmer desiring even more flexibility is encouraged to remove most
+// of the system with Junta and to incorporate copies of the standard
+// packages in his own program, placed wherever he wants."
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"altoos"
+	"altoos/internal/junta"
+	"altoos/internal/stream"
+)
+
+func main() {
+	sys, err := altoos.New(altoos.Config{Display: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("the thirteen levels (§5.2), top of memory first:")
+	for _, e := range sys.Levels.Table() {
+		fmt.Printf("  %2d  %-32s %-18s %5d words\n", int(e.Level), e.Name, e.Region, e.Words)
+	}
+
+	// Seed a file with the standard system, to prove it survives the coup.
+	w, err := sys.CreateStream("constitution.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	altoos.PutString(w, "the labels are the law\n")
+	w.Close()
+
+	// The coup: keep levels 1..8 (through disk streams), remove
+	// directories, keyboard/display streams, the loader and the system free
+	// storage. Their memory belongs to the program now.
+	freed, words, err := sys.Levels.Do(junta.LevelDiskStream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njunta kept levels 1..%d and freed %d words at %v\n",
+		int(sys.Levels.Retained()), words, freed)
+
+	// The program brings its own allocator, built over the liberated
+	// region — the same zone package, different storage, which is the
+	// openness point: the system's own packages work standalone.
+	size := freed.Size()
+	if size > 0x7FFF {
+		size = 0x7FFF
+	}
+	myZone, err := altoos.NewZone(sys.Mem, freed.Start, size)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Disk streams still work (level 8 was retained) — but with the
+	// program's zone supplying the working storage, since the system zone
+	// is gone.
+	f, err := sys.OpenByName("constitution.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := stream.NewDisk(f, myZone, sys.Mem, stream.ReadMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := stream.ReadAll(r)
+	r.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read through the program's own zone: %q\n", string(body))
+	fmt.Printf("program zone stats: %+v\n", myZone.Stats())
+
+	// The counter-revolution: restore every level. The system free storage
+	// is rebuilt, and the standard facilities work again.
+	if err := sys.Levels.CounterJunta(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncounter-junta: levels restored through %d\n", int(sys.Levels.Retained()))
+	w2, err := sys.CreateStream("restored.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	altoos.PutString(w2, "the standard system is back")
+	if err := w2.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("standard streams working again; simulated time", sys.Clock.Now().Round(1000))
+}

@@ -1,0 +1,119 @@
+// Netcopy: two complete Altos on one ether exchange files through the
+// standardized packet protocol (§1: "it is the representation of files on
+// the disk and of packets on the network that are standardized", which is
+// what lets machines in different programming environments interoperate).
+// One machine serves its file system; the other fetches a file, edits it,
+// and stores the result back — all poll-driven, single-user style.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"altoos"
+	"altoos/internal/netfile"
+)
+
+func main() {
+	wire := altoos.NewNetwork(nil)
+
+	// The server machine, with a document on its pack.
+	srvDrive, err := altoos.NewDrive(altoos.Diablo31(), 1, wire.Clock())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := altoos.Format(srvDrive); err != nil {
+		log.Fatal(err)
+	}
+	server, err := altoos.New(altoos.Config{Drive: srvDrive, Display: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := server.CreateStream("paper.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	altoos.PutString(w, "files are built out of disk pages\n")
+	w.Close()
+
+	sst, err := wire.Attach(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := netfile.NewServer(server.FS, sst, server.Zone, server.Mem)
+
+	// The client machine, with its own pack and its own station.
+	cliDrive, err := altoos.NewDrive(altoos.Diablo31(), 2, wire.Clock())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := altoos.Format(cliDrive); err != nil {
+		log.Fatal(err)
+	}
+	client, err := altoos.New(altoos.Config{Drive: cliDrive, Display: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cst, err := wire.Attach(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cli := netfile.NewClient(cst)
+
+	// Fetch: request, then alternate polls — the machine is single-user and
+	// poll-driven, so the "concurrency" is explicit activity switching.
+	if err := cli.Request(1, "paper.txt"); err != nil {
+		log.Fatal(err)
+	}
+	for !cli.Done() {
+		if _, err := srv.Poll(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cli.Poll(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	body, err := cli.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetched %d bytes: %q\n", len(body), strings.TrimSpace(string(body)))
+
+	// Keep a local copy on the client's own pack.
+	local, err := client.CreateStream("paper-copy.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	altoos.PutString(local, string(body))
+	local.Close()
+
+	// Edit and store back under a new name.
+	edited := string(body) + "every access checks the page label\n"
+	if err := cli.Store(1, "paper-v2.txt", []byte(edited)); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		worked, err := srv.Poll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !worked {
+			break
+		}
+	}
+
+	// Prove it landed: read it on the server side.
+	r, err := server.OpenStream("paper-v2.txt", altoos.ReadMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, _ := altoos.ReadAllStream(r)
+	r.Close()
+	fmt.Printf("server now holds paper-v2.txt (%d bytes):\n%s", len(back), back)
+
+	pkts, words := wire.Stats()
+	fmt.Printf("wire: %d packets, %d words; simulated time %v\n",
+		pkts, words, wire.Clock().Now().Round(1000))
+}

@@ -1,0 +1,254 @@
+// Print server: the §4 activity-switching scenario. "A printing server, a
+// program that accepts files from a local communications network and prints
+// them. The program is divided into two tasks: a spooler that reads files
+// from the network and queues them in a disk file, and a printer that
+// removes entries from the queue and controls the hardware that prints
+// them."
+//
+// Two simulated Altos share the 3 Mb/s ether. The client machine reads
+// documents off its own disk and ships them as packets. The server machine
+// alternates between its two activities exactly as the paper describes:
+// whenever the printer detects incoming traffic it stops and yields to the
+// spooler; whenever the spooler is idle but the queue is not empty it
+// yields to the printer. The queue is a disk file, so a crash between
+// activities loses nothing the Scavenger can't account for.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"altoos"
+)
+
+const (
+	clientAddr = 1
+	serverAddr = 2
+	typeDoc    = 0x44 // 'D': one document per packet for simplicity
+)
+
+func main() {
+	// The client machine with a few documents on its disk.
+	client, err := altoos.New(altoos.Config{Display: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs := []string{
+		"Memo: label checks make wild writes fail.",
+		"Draft: hints may be wrong; absolutes never.",
+		"Note: the Scavenger adopts orphans by leader name.",
+	}
+	for i, text := range docs {
+		w, err := client.CreateStream(fmt.Sprintf("doc%d.txt", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := altoos.PutString(w, text); err != nil {
+			log.Fatal(err)
+		}
+		w.Close()
+	}
+
+	// Both machines share the network and the virtual clock, so wire time,
+	// disk time and print time interleave consistently.
+	net := altoos.NewNetwork(client.Clock)
+	cst, err := net.Attach(clientAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sst, err := net.Attach(serverAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srvDrive, err := altoos.NewDrive(altoos.Diablo31(), 2, client.Clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := altoos.Format(srvDrive); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := altoos.New(altoos.Config{Display: os.Stdout, Drive: srvDrive})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Client: read each document from disk and transmit it.
+	for i := range docs {
+		r, err := client.OpenStream(fmt.Sprintf("doc%d.txt", i), altoos.ReadMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := altoos.ReadAllStream(r)
+		r.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cst.Send(altoos.Packet{Dst: serverAddr, Type: typeDoc,
+			Payload: packString(string(body))}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("client: sent doc%d (%d bytes)\n", i, len(body))
+	}
+
+	// Server: the two activities share the machine, switching §4-style.
+	ps := &printServer{sys: srv, station: sst}
+	if err := ps.run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network carried %s; simulated time %v\n",
+		netStats(net), srv.Clock.Now().Round(1000))
+}
+
+// printServer holds the two activities and the disk queue between them.
+type printServer struct {
+	sys     *altoos.System
+	station *altoos.Station
+	queued  int
+	printed int
+}
+
+// run alternates the activities until the network is quiet and the queue is
+// empty. The control transfers mirror the paper's save/restore structure:
+// each activity runs to a natural stopping point and hands over the machine.
+func (p *printServer) run() error {
+	idle := 0
+	for idle < 2 {
+		// Spooler activity: drain the network into the disk queue.
+		moved, err := p.spool()
+		if err != nil {
+			return err
+		}
+		if moved == 0 {
+			idle++
+		} else {
+			idle = 0
+			fmt.Printf("server: spooler queued %d document(s), yielding to printer\n", moved)
+		}
+		// Printer activity: print from the queue, but stop the moment new
+		// traffic arrives, "to respond quickly to incoming files".
+		n, err := p.print()
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			idle = 0
+		}
+	}
+	fmt.Printf("server: done — %d queued, %d printed\n", p.queued, p.printed)
+	return nil
+}
+
+// spool reads packets into numbered queue files on the server's disk.
+func (p *printServer) spool() (int, error) {
+	moved := 0
+	for {
+		pkt, ok := p.station.Recv()
+		if !ok {
+			return moved, nil
+		}
+		if pkt.Type != typeDoc {
+			continue
+		}
+		text, err := unpackString(pkt.Payload)
+		if err != nil {
+			return moved, err
+		}
+		name := fmt.Sprintf("spool%03d.q", p.queued)
+		w, err := p.sys.CreateStream(name)
+		if err != nil {
+			return moved, err
+		}
+		if err := altoos.PutString(w, text); err != nil {
+			return moved, err
+		}
+		if err := w.Close(); err != nil {
+			return moved, err
+		}
+		p.queued++
+		moved++
+	}
+}
+
+// print takes the next queue file, "prints" it (to the display stream), and
+// deletes it — unless network traffic is pending, in which case it yields
+// immediately.
+func (p *printServer) print() (int, error) {
+	printed := 0
+	for p.printed < p.queued {
+		if p.station.Pending() > 0 {
+			fmt.Println("server: printer yields to incoming traffic")
+			return printed, nil
+		}
+		name := fmt.Sprintf("spool%03d.q", p.printed)
+		r, err := p.sys.OpenStream(name, altoos.ReadMode)
+		if err != nil {
+			return printed, err
+		}
+		body, err := altoos.ReadAllStream(r)
+		r.Close()
+		if err != nil {
+			return printed, err
+		}
+		fmt.Printf("PRINT | %s\n", body)
+		// Dequeue: remove the name and the file.
+		root, err := p.sys.Root()
+		if err != nil {
+			return printed, err
+		}
+		f, err := p.sys.OpenByName(name)
+		if err != nil {
+			return printed, err
+		}
+		if err := f.Delete(); err != nil {
+			return printed, err
+		}
+		if err := root.Remove(name); err != nil {
+			return printed, err
+		}
+		p.printed++
+		printed++
+	}
+	return printed, nil
+}
+
+// packString/unpackString are the standardized wire string representation.
+func packString(s string) []uint16 {
+	out := make([]uint16, 1+(len(s)+1)/2)
+	out[0] = uint16(len(s))
+	for i := 0; i < len(s); i++ {
+		if i%2 == 0 {
+			out[1+i/2] |= uint16(s[i]) << 8
+		} else {
+			out[1+i/2] |= uint16(s[i])
+		}
+	}
+	return out
+}
+
+func unpackString(w []uint16) (string, error) {
+	if len(w) == 0 {
+		return "", errors.New("empty payload")
+	}
+	n := int(w[0])
+	if 1+(n+1)/2 > len(w) {
+		return "", errors.New("truncated")
+	}
+	b := make([]byte, n)
+	for i := range b {
+		word := w[1+i/2]
+		if i%2 == 0 {
+			b[i] = byte(word >> 8)
+		} else {
+			b[i] = byte(word)
+		}
+	}
+	return string(b), nil
+}
+
+func netStats(n *altoos.Network) string {
+	pkts, words := n.Stats()
+	return fmt.Sprintf("%d packets (%d words)", pkts, words)
+}

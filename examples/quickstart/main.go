@@ -1,0 +1,83 @@
+// Quickstart: build a machine, write and read files through streams, list
+// the directory, and run a command through the Executive — the basic life
+// of a single-user Alto.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"altoos"
+)
+
+func main() {
+	// A standard Alto: Diablo 31 drive, freshly formatted pack.
+	sys, err := altoos.New(altoos.Config{Display: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formatted %v\n", sys.Drive.Geometry())
+
+	// Write a file through a disk stream. The stream takes its page buffer
+	// from the system free-storage zone — the substrates are explicit and
+	// replaceable, which is the "open" in open operating system.
+	w, err := sys.CreateStream("greeting.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := altoos.PutString(w, "Files are built out of disk pages;\n"); err != nil {
+		log.Fatal(err)
+	}
+	if err := altoos.PutString(w, "every access checks the page label.\n"); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Read it back.
+	r, err := sys.OpenStream("greeting.txt", altoos.ReadMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := altoos.ReadAllStream(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.Close()
+	fmt.Printf("greeting.txt (%d bytes):\n%s", len(body), body)
+
+	// Every file has a full name: the absolute (FID, version) plus a hint
+	// address. The hint may go stale; the absolutes never lie.
+	f, err := sys.OpenByName("greeting.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full name: %v\n", f.FN())
+
+	// The root directory is an ordinary file of (name, full name) pairs.
+	root, err := sys.Root()
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, err := root.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("root directory:")
+	for _, e := range entries {
+		fmt.Printf("  %-20s %v\n", e.Name, e.FN.FV)
+	}
+
+	// Drive the Executive with type-ahead, §5.1 style.
+	fmt.Println("--- executive session ---")
+	sys.TypeAhead("free\ntype greeting.txt\nquit\n")
+	if err := sys.RunExecutive(); err != nil {
+		log.Fatal(err)
+	}
+
+	// All timing in this system is simulated: the clock advanced only for
+	// the disk and CPU work above.
+	fmt.Printf("simulated time elapsed: %v\n", sys.Clock.Now().Round(1000))
+}

@@ -1,0 +1,3 @@
+module altoos
+
+go 1.22

@@ -1,0 +1,135 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDirectives(t *testing.T) {
+	p, err := Assemble(`
+.org 0x500
+A:	.word 1, 2, A, .+1
+B:	.blk 3
+C:	.txt "hi!"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Origin != 0x500 {
+		t.Fatalf("origin %#x", p.Origin)
+	}
+	want := []Word{1, 2, 0x500, 0x504, 0, 0, 0, 'h'<<8 | 'i', '!' << 8}
+	for i, w := range want {
+		if p.Words[i] != w {
+			t.Errorf("word %d = %#x, want %#x", i, p.Words[i], w)
+		}
+	}
+	if p.Symbols["B"] != 0x504 || p.Symbols["C"] != 0x507 {
+		t.Errorf("symbols: %v", p.Symbols)
+	}
+}
+
+func TestNumberFormats(t *testing.T) {
+	p, err := Assemble(`.word 10, 0x10, 0o10, 'A', -1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Word{10, 16, 8, 65, 0xFFFF}
+	for i, w := range want {
+		if p.Words[i] != w {
+			t.Errorf("word %d = %d, want %d", i, p.Words[i], w)
+		}
+	}
+}
+
+func TestEntryDefaultsAndStart(t *testing.T) {
+	p := MustAssemble(".org 0x600\n.word 0")
+	if p.Entry != 0x600 {
+		t.Errorf("entry %#x, want origin", p.Entry)
+	}
+	p = MustAssemble(".org 0x600\nX: .word 0\nSTART: HALT")
+	if p.Entry != 0x601 {
+		t.Errorf("entry %#x, want START", p.Entry)
+	}
+}
+
+func TestMemRefEncodings(t *testing.T) {
+	p := MustAssemble(`
+.org 0x400
+	LDA 0, 0x20     ; page zero
+	LDA 1, TARGET   ; PC-relative
+	LDA 2, @0x20    ; indirect page zero
+	LDA 3, 5(2)     ; AC2 indexed
+	STA 0, -3(3)    ; AC3 indexed, negative disp
+TARGET:	.word 0
+`)
+	want := []Word{
+		1<<13 | 0<<11 | 0x20,
+		1<<13 | 1<<11 | 1<<8 | 4, // target is 4 ahead of instruction 1
+		1<<13 | 2<<11 | 1<<10 | 0x20,
+		1<<13 | 3<<11 | 2<<8 | 5,
+		2<<13 | 0<<11 | 3<<8 | 0xFD,
+	}
+	for i, w := range want {
+		if p.Words[i] != w {
+			t.Errorf("instr %d = %#04x, want %#04x", i, p.Words[i], w)
+		}
+	}
+}
+
+func TestALUEncodings(t *testing.T) {
+	p := MustAssemble(`
+	ADD 1, 2
+	SUBZL# 0, 0, SZR
+	MOVS 3, 1
+`)
+	want := []Word{
+		0x8000 | 1<<13 | 2<<11 | 6<<8,
+		0x8000 | 0<<13 | 0<<11 | 5<<8 | 1<<6 | 1<<4 | 1<<3 | 4,
+		0x8000 | 3<<13 | 1<<11 | 2<<8 | 3<<6,
+	}
+	for i, w := range want {
+		if p.Words[i] != w {
+			t.Errorf("instr %d = %#04x, want %#04x", i, p.Words[i], w)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"far reference":    ".org 0x400\nLDA 0, FAR\n.org 0x4000\nFAR: .word 0",
+		"duplicate label":  "A: .word 1\nA: .word 2",
+		"unknown mnemonic": "FROB 1, 2",
+		"bad accumulator":  "LDA 9, 0x10",
+		"bad skip":         "ADD 0, 1, WAT",
+		"undefined symbol": "JMP NOWHERE",
+		"sys out of range": "SYS 0x4000",
+		"empty":            "; nothing here",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); !errors.Is(err, ErrAsm) {
+			t.Errorf("%s: got %v, want ErrAsm", name, err)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("\n\nFROB 1")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %v should name line 3", err)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := MustAssemble(`
+; leading comment
+   ; indented comment
+
+LABEL:          ; label-only line
+	.word 7 ; trailing comment
+`)
+	if p.Words[0] != 7 || p.Symbols["LABEL"] != 0x400 {
+		t.Fatalf("comments mishandled: %+v", p)
+	}
+}

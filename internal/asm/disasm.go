@@ -1,0 +1,78 @@
+package asm
+
+import "fmt"
+
+// Disasm decodes one instruction word at address addr back into assembler
+// syntax. The debugger's examine command uses it; round-tripping through
+// Assemble is checked by tests. Addresses in memory-reference instructions
+// are resolved to absolute form where possible (page zero and PC-relative).
+func Disasm(addr Word, instr Word) string {
+	switch {
+	case instr&0x8000 != 0:
+		return disasmALU(instr)
+	case instr>>13 == 0:
+		fn := [4]string{"JMP", "JSR", "ISZ", "DSZ"}[(instr>>11)&3]
+		return fmt.Sprintf("%s %s", fn, disasmEA(addr, instr))
+	case instr>>13 == 1:
+		return fmt.Sprintf("LDA %d, %s", (instr>>11)&3, disasmEA(addr, instr))
+	case instr>>13 == 2:
+		return fmt.Sprintf("STA %d, %s", (instr>>11)&3, disasmEA(addr, instr))
+	default: // trap format
+		code := instr & 0x1FFF
+		if code == 0 {
+			return "HALT"
+		}
+		return fmt.Sprintf("SYS %d", code)
+	}
+}
+
+func disasmEA(addr, instr Word) string {
+	ind := ""
+	if instr&0x0400 != 0 {
+		ind = "@"
+	}
+	disp := instr & 0xFF
+	switch (instr >> 8) & 3 {
+	case 0:
+		return fmt.Sprintf("%s0x%02X", ind, disp)
+	case 1:
+		target := addr + signExtendDisasm(disp)
+		return fmt.Sprintf("%s0x%04X", ind, target)
+	case 2:
+		return fmt.Sprintf("%s%d(2)", ind, int16(signExtendDisasm(disp)))
+	default:
+		return fmt.Sprintf("%s%d(3)", ind, int16(signExtendDisasm(disp)))
+	}
+}
+
+func signExtendDisasm(b Word) Word {
+	if b&0x80 != 0 {
+		return b | 0xFF00
+	}
+	return b
+}
+
+var aluNames = [8]string{"COM", "NEG", "MOV", "INC", "ADC", "SUB", "ADD", "AND"}
+var skipNames = [8]string{"", "SKP", "SZC", "SNC", "SZR", "SNR", "SEZ", "SBN"}
+
+func disasmALU(instr Word) string {
+	src := (instr >> 13) & 3
+	dst := (instr >> 11) & 3
+	fn := (instr >> 8) & 7
+	sh := (instr >> 6) & 3
+	cy := (instr >> 4) & 3
+	noload := instr&0x8 != 0
+	skip := instr & 7
+
+	m := aluNames[fn]
+	m += [4]string{"", "Z", "O", "C"}[cy]
+	m += [4]string{"", "L", "R", "S"}[sh]
+	if noload {
+		m += "#"
+	}
+	out := fmt.Sprintf("%s %d, %d", m, src, dst)
+	if skip != 0 {
+		out += ", " + skipNames[skip]
+	}
+	return out
+}

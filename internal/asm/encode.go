@@ -1,0 +1,190 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction encoding tables.
+var (
+	aluFns = map[string]Word{
+		"COM": 0, "NEG": 1, "MOV": 2, "INC": 3,
+		"ADC": 4, "SUB": 5, "ADD": 6, "AND": 7,
+	}
+	skips = map[string]Word{
+		"SKP": 1, "SZC": 2, "SNC": 3, "SZR": 4, "SNR": 5, "SEZ": 6, "SBN": 7,
+	}
+)
+
+// encode assembles one statement into words.
+func encode(st *statement, syms map[string]Word) ([]Word, error) {
+	switch st.mnem {
+	case "", ".org":
+		return nil, nil
+	case ".word":
+		out := make([]Word, len(st.args))
+		for i, a := range st.args {
+			v, err := evalExpr(a, syms, st.loc+Word(i))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case ".blk":
+		return make([]Word, st.nwords), nil
+	case ".txt":
+		s, err := unquote(st.args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Word, (len(s)+1)/2)
+		for i := 0; i < len(s); i++ {
+			if i%2 == 0 {
+				out[i/2] |= Word(s[i]) << 8
+			} else {
+				out[i/2] |= Word(s[i])
+			}
+		}
+		return out, nil
+	case "HALT":
+		return []Word{3 << 13}, nil
+	case "SYS":
+		if len(st.args) != 1 {
+			return nil, fmt.Errorf("SYS needs one operand")
+		}
+		v, err := evalExpr(st.args[0], syms, st.loc)
+		if err != nil {
+			return nil, err
+		}
+		if v > 0x1FFF {
+			return nil, fmt.Errorf("SYS code %d out of range", v)
+		}
+		return []Word{3<<13 | v}, nil
+	case "JMP", "JSR", "ISZ", "DSZ":
+		if len(st.args) != 1 {
+			return nil, fmt.Errorf("%s needs one operand", st.mnem)
+		}
+		fn := map[string]Word{"JMP": 0, "JSR": 1, "ISZ": 2, "DSZ": 3}[st.mnem]
+		mode, err := address(st.args[0], syms, st.loc)
+		if err != nil {
+			return nil, err
+		}
+		return []Word{fn<<11 | mode}, nil
+	case "LDA", "STA":
+		if len(st.args) != 2 {
+			return nil, fmt.Errorf("%s needs accumulator, address", st.mnem)
+		}
+		ac, err := evalNum(st.args[0])
+		if err != nil || ac > 3 {
+			return nil, fmt.Errorf("bad accumulator %q", st.args[0])
+		}
+		op := Word(1)
+		if st.mnem == "STA" {
+			op = 2
+		}
+		mode, err := address(st.args[1], syms, st.loc)
+		if err != nil {
+			return nil, err
+		}
+		return []Word{op<<13 | ac<<11 | mode}, nil
+	}
+
+	// ALU mnemonics: FN [Z|O|C] [L|R|S] [#], operands src, dst [, skip].
+	if w, err := encodeALU(st, syms); err == nil || !strings.Contains(err.Error(), "not an instruction") {
+		return w, err
+	}
+	return nil, fmt.Errorf("not an instruction: %q", st.mnem)
+}
+
+// encodeALU handles the two-accumulator format.
+func encodeALU(st *statement, syms map[string]Word) ([]Word, error) {
+	m := st.mnem
+	if len(m) < 3 {
+		return nil, fmt.Errorf("not an instruction: %q", m)
+	}
+	fn, ok := aluFns[m[:3]]
+	if !ok {
+		return nil, fmt.Errorf("not an instruction: %q", m)
+	}
+	rest := m[3:]
+	var cy, sh, noload Word
+	for len(rest) > 0 {
+		switch rest[0] {
+		case 'Z':
+			cy = 1
+		case 'O':
+			cy = 2
+		case 'C':
+			cy = 3
+		case 'L':
+			sh = 1
+		case 'R':
+			sh = 2
+		case 'S':
+			sh = 3
+		case '#':
+			noload = 1
+		default:
+			return nil, fmt.Errorf("not an instruction: %q", m)
+		}
+		rest = rest[1:]
+	}
+	if len(st.args) < 2 || len(st.args) > 3 {
+		return nil, fmt.Errorf("%s needs src, dst[, skip]", m)
+	}
+	src, err := evalNum(st.args[0])
+	if err != nil || src > 3 {
+		return nil, fmt.Errorf("bad source accumulator %q", st.args[0])
+	}
+	dst, err := evalNum(st.args[1])
+	if err != nil || dst > 3 {
+		return nil, fmt.Errorf("bad destination accumulator %q", st.args[1])
+	}
+	var skip Word
+	if len(st.args) == 3 {
+		skip, ok = skips[strings.ToUpper(st.args[2])]
+		if !ok {
+			return nil, fmt.Errorf("bad skip %q", st.args[2])
+		}
+	}
+	return []Word{0x8000 | src<<13 | dst<<11 | fn<<8 | sh<<6 | cy<<4 | noload<<3 | skip}, nil
+}
+
+// address encodes the addressing-mode bits for a memory-reference operand:
+// [@]expr, or [@]disp(2|3) for index-register addressing.
+func address(arg string, syms map[string]Word, instrLoc Word) (Word, error) {
+	var mode Word
+	if strings.HasPrefix(arg, "@") {
+		mode |= 1 << 10
+		arg = strings.TrimSpace(arg[1:])
+	}
+	// Index-register form: disp(2) or disp(3).
+	if strings.HasSuffix(arg, "(2)") || strings.HasSuffix(arg, "(3)") {
+		idx := Word(2)
+		if strings.HasSuffix(arg, "(3)") {
+			idx = 3
+		}
+		dispStr := strings.TrimSpace(arg[:len(arg)-3])
+		disp, err := evalExpr(dispStr, syms, instrLoc)
+		if err != nil {
+			return 0, err
+		}
+		if int16(disp) < -128 || int16(disp) > 127 {
+			return 0, fmt.Errorf("index displacement %d out of range", int16(disp))
+		}
+		return mode | idx<<8 | disp&0xFF, nil
+	}
+	target, err := evalExpr(arg, syms, instrLoc)
+	if err != nil {
+		return 0, err
+	}
+	if target < 0x100 {
+		return mode | target, nil // page zero
+	}
+	rel := int32(target) - int32(instrLoc)
+	if rel >= -128 && rel <= 127 {
+		return mode | 1<<8 | Word(rel)&0xFF, nil // PC-relative
+	}
+	return 0, fmt.Errorf("address %#x unreachable from %#x (use an indirect pointer)", target, instrLoc)
+}

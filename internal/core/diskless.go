@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"altoos/internal/cpu"
+	"altoos/internal/ether"
+	"altoos/internal/exec"
+	"altoos/internal/junta"
+	"altoos/internal/mem"
+	"altoos/internal/sim"
+	"altoos/internal/stream"
+	"altoos/internal/zone"
+)
+
+// Diskless is the §5.2 configuration: "The display, keyboard, and
+// storage-allocation packages have been assembled to form an operating
+// system for use without a disk, used to support diagnostics or other
+// programs that depend on network communications rather than on local disk
+// storage."
+//
+// It is the same packages — memory, zones, streams, CPU, levels — minus
+// everything disk-shaped, plus a network station. That the system decomposes
+// this way without special cases is the openness claim made executable.
+type Diskless struct {
+	Clock    *sim.Clock
+	Mem      *mem.Memory
+	CPU      *cpu.CPU
+	Zone     *zone.MemZone
+	Levels   *junta.Junta
+	Keyboard *stream.Keyboard
+	Display  stream.Stream
+	Station  *ether.Station
+}
+
+// DisklessConfig selects the machine.
+type DisklessConfig struct {
+	// Display receives output; os.Stdout if nil.
+	Display io.Writer
+	// Network and Addr attach a station; both optional.
+	Network *ether.Network
+	Addr    ether.Addr
+}
+
+// NewDiskless builds a machine with no disk. Programs run from memory
+// (deposited by the caller or received over the network); the SYS surface
+// provides keyboard and display but returns failure for file operations,
+// exactly as the diskless Alto's did.
+func NewDiskless(cfg DisklessConfig) (*Diskless, error) {
+	display := cfg.Display
+	if display == nil {
+		display = os.Stdout
+	}
+	d := &Diskless{
+		Clock:    sim.NewClock(),
+		Mem:      mem.New(),
+		Keyboard: stream.NewKeyboard(),
+		Display:  stream.NewDisplay(display),
+	}
+	d.Levels = junta.New(d.Mem)
+	r, err := d.Levels.Region(junta.LevelFreeStore)
+	if err != nil {
+		return nil, err
+	}
+	size := r.Size()
+	if size > 0x7FFF {
+		size = 0x7FFF
+	}
+	d.Zone, err = zone.New(d.Mem, r.Start, size)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Network != nil {
+		d.Clock = cfg.Network.Clock()
+		st, err := cfg.Network.Attach(cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+		d.Station = st
+	}
+	d.CPU = cpu.New(d.Mem, d.Clock, cpu.SysFunc(d.sys))
+	return d, nil
+}
+
+// sys is the diskless syscall surface: keyboard, display, halt; everything
+// disk-shaped reports failure the way the full system reports a missing
+// file, so the same binaries run in both worlds.
+func (d *Diskless) sys(c *cpu.CPU, code uint16) error {
+	switch code {
+	case exec.SysHalt:
+		return cpu.ErrHalted
+	case exec.SysPutc:
+		return d.Display.Put(byte(c.AC[0]))
+	case exec.SysGetc:
+		b, err := d.Keyboard.Get()
+		if err != nil {
+			c.AC[0] = 0xFFFF
+			c.Carry = true
+			return nil
+		}
+		c.AC[0] = uint16(b)
+		c.Carry = false
+		return nil
+	case exec.SysOpenR, exec.SysOpenW:
+		c.AC[0] = 0 // no disk: opens fail, programs take corrective action
+		return nil
+	case exec.SysGetb, exec.SysPutb, exec.SysClose,
+		exec.SysOutLd, exec.SysInLd, exec.SysChain, exec.SysMsg:
+		return fmt.Errorf("core: diskless machine: syscall %d needs a disk", code)
+	}
+	return fmt.Errorf("core: undefined syscall %d", code)
+}
+
+// LoadProgram deposits an assembled image into memory (the job the network
+// boot loader did on real diskless Altos) and points the CPU at its entry.
+func (d *Diskless) LoadProgram(origin uint16, words []uint16, entry uint16) {
+	d.Mem.StoreBlock(origin, words)
+	exec.InstallSysVec(d.Mem)
+	d.CPU.Reset(entry)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"altoos/internal/asm"
+	"altoos/internal/ether"
+)
+
+func TestDisklessRunsPrograms(t *testing.T) {
+	var out bytes.Buffer
+	d, err := NewDiskless(DisklessConfig{Display: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := asm.MustAssemble(`
+START:	LDA 0, C1
+	SYS 1
+	SYS 2          ; Getc from type-ahead
+	SYS 1          ; echo it
+	HALT
+C1:	.word 'D'
+`)
+	d.Keyboard.TypeAhead("!")
+	d.LoadProgram(p.Origin, p.Words, p.Entry)
+	if _, err := d.CPU.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "D!" {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+func TestDisklessFileOpsFailGracefully(t *testing.T) {
+	var out bytes.Buffer
+	d, err := NewDiskless(DisklessConfig{Display: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OpenR returns a zero handle, the "no such file" convention; the
+	// program notices and prints a diagnostic instead of crashing.
+	p := asm.MustAssemble(`
+START:	LDA 0, NAMEP
+	SYS 3           ; OpenR -> AC0 == 0 on a diskless machine
+	MOV# 0, 0, SZR  ; skip when AC0 == 0
+	JMP BAD
+	LDA 0, OKC
+	SYS 1
+	HALT
+BAD:	LDA 0, BADC
+	SYS 1
+	HALT
+NAMEP:	.word NAME
+OKC:	.word 'N'     ; "no disk", the expected path
+BADC:	.word '?'
+NAME:	.blk 4
+`)
+	d.LoadProgram(p.Origin, p.Words, p.Entry)
+	if _, err := d.CPU.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "N" {
+		t.Fatalf("output %q, want N", out.String())
+	}
+}
+
+func TestDisklessDiskSyscallsError(t *testing.T) {
+	d, err := NewDiskless(DisklessConfig{Display: &bytes.Buffer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := asm.MustAssemble("START: SYS 5") // Getb without a disk
+	d.LoadProgram(p.Origin, p.Words, p.Entry)
+	if _, err := d.CPU.Run(10); err == nil {
+		t.Fatal("disk syscall on diskless machine should fail")
+	}
+}
+
+func TestDisklessOnNetwork(t *testing.T) {
+	// Two diskless machines exchange a packet — the diagnostics scenario.
+	net := ether.New(nil)
+	var outA, outB bytes.Buffer
+	a, err := NewDiskless(DisklessConfig{Display: &outA, Network: net, Addr: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDiskless(DisklessConfig{Display: &outB, Network: net, Addr: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Station.Send(ether.Packet{Dst: 2, Type: 1, Payload: []uint16{42}}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := b.Station.Recv()
+	if !ok || pkt.Payload[0] != 42 {
+		t.Fatalf("packet lost: %v %v", pkt, ok)
+	}
+	// They share the network clock.
+	if a.Clock != b.Clock {
+		t.Error("machines on one network must share its clock")
+	}
+	if a.Clock.Now() == 0 {
+		t.Error("wire time not charged")
+	}
+}
+
+func TestDisklessZoneWorks(t *testing.T) {
+	d, err := NewDiskless(DisklessConfig{Display: &bytes.Buffer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Zone.Alloc(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Zone.Free(addr); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,293 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"altoos/internal/asm"
+	"altoos/internal/mem"
+)
+
+// load assembles src into a fresh machine and returns the CPU, halting SYS 0.
+func load(t *testing.T, src string, sys SysHandler) *CPU {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	m.StoreBlock(p.Origin, p.Words)
+	if sys == nil {
+		sys = SysFunc(func(c *CPU, code Word) error {
+			if code == 0 {
+				return ErrHalted
+			}
+			return errors.New("unexpected trap")
+		})
+	}
+	c := New(m, nil, sys)
+	c.Reset(p.Entry)
+	return c
+}
+
+// run executes to halt with a step bound.
+func run(t *testing.T, c *CPU) {
+	t.Helper()
+	if _, err := c.Run(100000); err != nil {
+		t.Fatalf("run: %v (%v)", err, c)
+	}
+	if !c.Halted {
+		t.Fatalf("did not halt: %v", c)
+	}
+}
+
+func TestAddProgram(t *testing.T) {
+	c := load(t, `
+START:	LDA 0, A
+	LDA 1, B
+	ADD 0, 1
+	STA 1, SUM
+	HALT
+A:	.word 7
+B:	.word 35
+SUM:	.word 0
+`, nil)
+	run(t, c)
+	// SUM is at entry+7.
+	if got := c.Mem.Load(0x400 + 7); got != 42 {
+		t.Fatalf("SUM = %d, want 42", got)
+	}
+}
+
+func TestLoopWithDSZ(t *testing.T) {
+	// Sum 1..10 by looping: uses ISZ/DSZ, memory-indexed access.
+	c := load(t, `
+START:	LDA 0, N
+	SUB 1, 1        ; AC1 = 0 (accumulator)
+LOOP:	ADD 0, 1        ; AC1 += AC0
+	LDA 2, ONE
+	SUB 2, 0        ; AC0 -= 1
+	MOV# 0, 0, SZR  ; test AC0 == 0
+	JMP LOOP
+	STA 1, OUT
+	HALT
+N:	.word 10
+ONE:	.word 1
+OUT:	.word 0
+`, nil)
+	run(t, c)
+	out := c.Mem.Load(0x400 + 11)
+	if out != 55 {
+		t.Fatalf("sum = %d, want 55", out)
+	}
+}
+
+func TestJSRSetsAC3(t *testing.T) {
+	c := load(t, `
+START:	JSR SUBR
+	HALT            ; return lands here via JMP 0(3)
+	HALT
+SUBR:	LDA 0, K
+	JMP 0(3)
+K:	.word 99
+`, nil)
+	run(t, c)
+	if c.AC[0] != 99 {
+		t.Fatalf("AC0 = %d, want 99", c.AC[0])
+	}
+}
+
+func TestIndirectAddressing(t *testing.T) {
+	c := load(t, `
+START:	LDA 0, @PTR
+	STA 0, @PTR2
+	HALT
+PTR:	.word X
+PTR2:	.word Y
+X:	.word 123
+Y:	.word 0
+`, nil)
+	run(t, c)
+	if got := c.Mem.Load(0x400 + 6); got != 123 {
+		t.Fatalf("Y = %d, want 123", got)
+	}
+}
+
+func TestISZSkips(t *testing.T) {
+	c := load(t, `
+START:	ISZ CTR        ; 0xFFFF + 1 = 0: skip
+	JMP FAIL
+	LDA 0, OK
+	STA 0, OUT
+	HALT
+FAIL:	SUB 0, 0
+	STA 0, OUT
+	HALT
+CTR:	.word 0xFFFF
+OK:	.word 1
+OUT:	.word 0xDEAD
+`, nil)
+	run(t, c)
+	if got := c.Mem.Load(0x400 + 9); got != 1 {
+		t.Fatalf("OUT = %#x, want 1", got)
+	}
+}
+
+func TestCarrySemantics(t *testing.T) {
+	// ADDZ: clear carry, add; carry-out complements → carry set on overflow.
+	c := load(t, `
+START:	LDA 0, BIG
+	LDA 1, BIG
+	ADDZ 0, 1, SZC  ; overflow → carry set → no skip
+	JMP CARRYSET
+	SUB 0, 0
+	STA 0, OUT
+	HALT
+CARRYSET: LDA 0, ONE
+	STA 0, OUT
+	HALT
+BIG:	.word 0x8000
+ONE:	.word 1
+OUT:	.word 0xDEAD
+`, nil)
+	run(t, c)
+	if got := c.Mem.Load(0x400 + 11); got != 1 {
+		t.Fatalf("OUT = %#x, want 1 (carry set path)", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	// MOVS swaps bytes.
+	c := load(t, `
+START:	LDA 0, V
+	MOVS 0, 0
+	STA 0, OUT
+	HALT
+V:	.word 0x1234
+OUT:	.word 0
+`, nil)
+	run(t, c)
+	if got := c.Mem.Load(0x400 + 5); got != 0x3412 {
+		t.Fatalf("MOVS = %#x, want 0x3412", got)
+	}
+}
+
+func TestSysTrap(t *testing.T) {
+	var gotCode Word
+	sys := SysFunc(func(c *CPU, code Word) error {
+		if code == 0 {
+			return ErrHalted
+		}
+		gotCode = code
+		c.AC[0] = 0x55
+		return nil
+	})
+	c := load(t, `
+START:	SYS 42
+	STA 0, OUT
+	HALT
+OUT:	.word 0
+`, sys)
+	run(t, c)
+	if gotCode != 42 {
+		t.Fatalf("trap code = %d", gotCode)
+	}
+	if got := c.Mem.Load(0x400 + 3); got != 0x55 {
+		t.Fatalf("OUT = %#x, want 0x55 (trap result)", got)
+	}
+}
+
+func TestSysWithNoHandlerHalts(t *testing.T) {
+	p := asm.MustAssemble("START: SYS 1")
+	m := mem.New()
+	m.StoreBlock(p.Origin, p.Words)
+	c := New(m, nil, nil)
+	c.Reset(p.Entry)
+	err := c.Step()
+	if !errors.Is(err, ErrHalted) || !c.Halted {
+		t.Fatalf("got %v, halted=%v", err, c.Halted)
+	}
+}
+
+func TestStepOnHaltedCPU(t *testing.T) {
+	c := load(t, "START: HALT", nil)
+	run(t, c)
+	if err := c.Step(); !errors.Is(err, ErrHalted) {
+		t.Fatalf("got %v, want ErrHalted", err)
+	}
+}
+
+func TestClockAdvancesPerInstruction(t *testing.T) {
+	c := load(t, `
+START:	SUB 0, 0
+	SUB 1, 1
+	HALT
+`, nil)
+	run(t, c)
+	want := InstrTime * 3
+	if got := c.Clock.Now(); got != want {
+		t.Fatalf("clock = %v, want %v", got, want)
+	}
+}
+
+func TestRunRespectsStepBound(t *testing.T) {
+	c := load(t, "START: JMP START", nil)
+	n, err := c.Run(50)
+	if err != nil || n != 50 || c.Halted {
+		t.Fatalf("n=%d err=%v halted=%v", n, err, c.Halted)
+	}
+}
+
+// Property: ADD/SUB agree with native uint16 arithmetic for all inputs.
+func TestALUArithmeticProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		m := mem.New()
+		// ADD 0,1 then HALT at 0x400.
+		m.StoreBlock(0x400, []Word{0x8000 | 0<<13 | 1<<11 | 6<<8, 3 << 13})
+		c := New(m, nil, SysFunc(func(*CPU, Word) error { return ErrHalted }))
+		c.Reset(0x400)
+		c.AC[0], c.AC[1] = a, b
+		if _, err := c.Run(10); err != nil {
+			return false
+		}
+		if c.AC[1] != a+b {
+			return false
+		}
+		// SUB 0,1.
+		m.StoreBlock(0x400, []Word{0x8000 | 0<<13 | 1<<11 | 5<<8, 3 << 13})
+		c2 := New(m, nil, SysFunc(func(*CPU, Word) error { return ErrHalted }))
+		c2.Reset(0x400)
+		c2.AC[0], c2.AC[1] = a, b
+		if _, err := c2.Run(10); err != nil {
+			return false
+		}
+		return c2.AC[1] == b-a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NEG then ADD returns to zero (two's complement inverse).
+func TestNegIsAdditiveInverseProperty(t *testing.T) {
+	f := func(a uint16) bool {
+		m := mem.New()
+		// NEG 0,1 ; ADD 0,1 ; HALT — AC1 = -a + a = 0.
+		m.StoreBlock(0x400, []Word{
+			0x8000 | 0<<13 | 1<<11 | 1<<8,
+			0x8000 | 0<<13 | 1<<11 | 6<<8,
+			3 << 13,
+		})
+		c := New(m, nil, SysFunc(func(*CPU, Word) error { return ErrHalted }))
+		c.Reset(0x400)
+		c.AC[0] = a
+		if _, err := c.Run(10); err != nil {
+			return false
+		}
+		return c.AC[1] == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

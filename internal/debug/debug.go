@@ -1,0 +1,372 @@
+// Package debug implements the §4 debugging scenario: "When a breakpoint is
+// encountered ... the state of the machine is written on a disk file, and
+// the machine state is restored from a file that contains the debugger. The
+// debugging program may examine or alter the state of the faulty program by
+// reading or writing portions of the file that was written as a result of
+// the breakpoint. The debugger can later resume execution of the original
+// program by restoring the machine state from the file. The original
+// program and the debugger thus operate as coroutines."
+//
+// The Alto's debugger was Swat, its pickled victim the Swatee. Ours follows
+// the same architecture: breakpoints are SYS-trap instructions patched over
+// code; a hit writes the whole machine to the Swatee file; the debugger
+// never touches the live machine — every examine and deposit is a read or
+// write of the state *file* — and Resume restores the repaired machine and
+// lets it run.
+package debug
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"altoos/internal/asm"
+	"altoos/internal/cpu"
+	"altoos/internal/dir"
+	"altoos/internal/exec"
+	"altoos/internal/file"
+	"altoos/internal/stream"
+	"altoos/internal/swap"
+)
+
+// breakInstr is the trap patched over a broken-into instruction.
+const breakInstr = 3<<13 | exec.SysDebug
+
+// ErrNoSwatee reports that no breakpoint has fired yet.
+var ErrNoSwatee = errors.New("debug: no Swatee on the disk")
+
+// Debugger operates on a machine's Swatee file.
+type Debugger struct {
+	OS  *exec.OS
+	CPU *cpu.CPU
+
+	// breakpoints maps address -> displaced original instruction.
+	breakpoints map[uint16]uint16
+}
+
+// New attaches a debugger to the resident system.
+func New(o *exec.OS, c *cpu.CPU) *Debugger {
+	return &Debugger{OS: o, CPU: c, breakpoints: map[uint16]uint16{}}
+}
+
+// SetBreak plants a breakpoint in live memory, remembering the displaced
+// instruction.
+func (d *Debugger) SetBreak(addr uint16) {
+	if _, dup := d.breakpoints[addr]; dup {
+		return
+	}
+	d.breakpoints[addr] = d.OS.Mem.Load(addr)
+	d.OS.Mem.Store(addr, breakInstr)
+}
+
+// ClearBreak removes a live breakpoint.
+func (d *Debugger) ClearBreak(addr uint16) {
+	if orig, ok := d.breakpoints[addr]; ok {
+		d.OS.Mem.Store(addr, orig)
+		delete(d.breakpoints, addr)
+	}
+}
+
+// Breakpoints lists planted breakpoint addresses.
+func (d *Debugger) Breakpoints() []uint16 {
+	out := make([]uint16, 0, len(d.breakpoints))
+	for a := range d.breakpoints {
+		out = append(out, a)
+	}
+	return out
+}
+
+// swateeFN finds the Swatee file.
+func (d *Debugger) swateeFN() (file.FN, error) {
+	root, err := dir.OpenRoot(d.OS.FS)
+	if err != nil {
+		return file.FN{}, err
+	}
+	fn, err := root.Lookup(exec.SwateeName)
+	if err != nil {
+		return file.FN{}, ErrNoSwatee
+	}
+	return fn, nil
+}
+
+// Regs reads the Swatee's registers from the state file.
+func (d *Debugger) Regs() (swap.Regs, error) {
+	fn, err := d.swateeFN()
+	if err != nil {
+		return swap.Regs{}, err
+	}
+	return swap.ReadStateRegs(d.OS.FS, fn)
+}
+
+// SetRegs alters the Swatee's registers in the state file.
+func (d *Debugger) SetRegs(r swap.Regs) error {
+	fn, err := d.swateeFN()
+	if err != nil {
+		return err
+	}
+	return swap.WriteStateRegs(d.OS.FS, fn, r)
+}
+
+// Examine reads n words of the Swatee's memory from the state file.
+func (d *Debugger) Examine(addr uint16, n int) ([]uint16, error) {
+	fn, err := d.swateeFN()
+	if err != nil {
+		return nil, err
+	}
+	return swap.ReadStateBlock(d.OS.FS, fn, addr, n)
+}
+
+// Deposit alters one word of the Swatee's memory in the state file. A
+// deposit at a breakpoint address replaces the *displaced* instruction, so
+// the repair survives Resume's un-patching.
+func (d *Debugger) Deposit(addr, value uint16) error {
+	if _, ok := d.breakpoints[addr]; ok {
+		d.breakpoints[addr] = value
+		return nil
+	}
+	fn, err := d.swateeFN()
+	if err != nil {
+		return err
+	}
+	return swap.WriteStateWord(d.OS.FS, fn, addr, value)
+}
+
+// Resume restores the displaced instructions inside the state file, reloads
+// the machine from it, and runs — the coroutine return to the Swatee.
+// LoadState, not InLoad: a resumed Swatee gets no message, and depositing
+// one would scribble on its page-zero data.
+func (d *Debugger) Resume(maxSteps int64) (int64, error) {
+	fn, err := d.swateeFN()
+	if err != nil {
+		return 0, err
+	}
+	for addr, orig := range d.breakpoints {
+		if err := swap.WriteStateWord(d.OS.FS, fn, addr, orig); err != nil {
+			return 0, err
+		}
+		delete(d.breakpoints, addr)
+	}
+	if err := swap.LoadState(d.OS.FS, d.CPU, fn); err != nil {
+		return 0, err
+	}
+	return d.CPU.Run(maxSteps)
+}
+
+// Step executes exactly one instruction of the Swatee: load the state,
+// step, save it back. The displaced instruction at the current PC (if the
+// PC sits on a breakpoint) is restored in the live memory for the step, so
+// single-stepping off a fresh break executes the real instruction.
+func (d *Debugger) Step() (swap.Regs, error) {
+	fn, err := d.swateeFN()
+	if err != nil {
+		return swap.Regs{}, err
+	}
+	if err := swap.LoadState(d.OS.FS, d.CPU, fn); err != nil {
+		return swap.Regs{}, err
+	}
+	if orig, ok := d.breakpoints[d.CPU.PC]; ok {
+		d.OS.Mem.Store(d.CPU.PC, orig)
+	}
+	if err := d.CPU.Step(); err != nil && !errors.Is(err, cpu.ErrHalted) {
+		return swap.Regs{}, err
+	}
+	halted := d.CPU.Halted
+	if err := swap.SaveState(d.OS.FS, d.CPU, fn); err != nil {
+		return swap.Regs{}, err
+	}
+	r := swap.Regs{AC: d.CPU.AC, PC: d.CPU.PC, Carry: d.CPU.Carry}
+	if halted {
+		return r, cpu.ErrHalted
+	}
+	return r, nil
+}
+
+// REPL reads debugger commands from in and answers on out until "q" or
+// end of input. Commands:
+//
+//	r                     registers
+//	e <addr> [n]          examine (with disassembly)
+//	d <addr> <val>        deposit
+//	pc <addr>             set the saved program counter
+//	ac <i> <val>          set a saved accumulator
+//	b <addr>              plant a breakpoint in the Swatee
+//	s                     single-step one instruction
+//	g                     resume the Swatee
+//	q                     quit, leaving the Swatee on the disk
+func (d *Debugger) REPL(in stream.Stream, out stream.Stream) error {
+	printf := func(format string, args ...any) {
+		_ = stream.PutString(out, fmt.Sprintf(format, args...))
+	}
+	readLine := func() (string, bool) {
+		var b strings.Builder
+		for {
+			ch, err := in.Get()
+			if err != nil {
+				if b.Len() > 0 {
+					return b.String(), true
+				}
+				return "", false
+			}
+			if ch == '\n' {
+				return b.String(), true
+			}
+			b.WriteByte(ch)
+		}
+	}
+	num := func(s string) (uint16, error) {
+		v, err := strconv.ParseUint(s, 0, 16)
+		return uint16(v), err
+	}
+
+	for {
+		printf("swat>")
+		line, ok := readLine()
+		if !ok {
+			return nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "q":
+			return nil
+		case "r":
+			r, err := d.Regs()
+			if err != nil {
+				printf("?%v\n", err)
+				continue
+			}
+			printf("PC=%#04x AC=[%#04x %#04x %#04x %#04x] C=%v\n",
+				r.PC, r.AC[0], r.AC[1], r.AC[2], r.AC[3], r.Carry)
+		case "e":
+			if len(fields) < 2 {
+				printf("?usage: e <addr> [n]\n")
+				continue
+			}
+			addr, err := num(fields[1])
+			if err != nil {
+				printf("?%v\n", err)
+				continue
+			}
+			n := 1
+			if len(fields) > 2 {
+				if v, err := strconv.Atoi(fields[2]); err == nil {
+					n = v
+				}
+			}
+			words, err := d.Examine(addr, n)
+			if err != nil {
+				printf("?%v\n", err)
+				continue
+			}
+			for i, w := range words {
+				a := addr + uint16(i)
+				printf("%04x: %04x  %s\n", a, w, asm.Disasm(a, w))
+			}
+		case "d":
+			if len(fields) != 3 {
+				printf("?usage: d <addr> <val>\n")
+				continue
+			}
+			addr, err1 := num(fields[1])
+			val, err2 := num(fields[2])
+			if err1 != nil || err2 != nil {
+				printf("?bad number\n")
+				continue
+			}
+			if err := d.Deposit(addr, val); err != nil {
+				printf("?%v\n", err)
+			}
+		case "pc":
+			if len(fields) != 2 {
+				printf("?usage: pc <addr>\n")
+				continue
+			}
+			v, err := num(fields[1])
+			if err != nil {
+				printf("?%v\n", err)
+				continue
+			}
+			r, err := d.Regs()
+			if err != nil {
+				printf("?%v\n", err)
+				continue
+			}
+			r.PC = v
+			if err := d.SetRegs(r); err != nil {
+				printf("?%v\n", err)
+			}
+		case "ac":
+			if len(fields) != 3 {
+				printf("?usage: ac <i> <val>\n")
+				continue
+			}
+			i, err1 := strconv.Atoi(fields[1])
+			v, err2 := num(fields[2])
+			if err1 != nil || err2 != nil || i < 0 || i > 3 {
+				printf("?bad accumulator\n")
+				continue
+			}
+			r, err := d.Regs()
+			if err != nil {
+				printf("?%v\n", err)
+				continue
+			}
+			r.AC[i] = v
+			if err := d.SetRegs(r); err != nil {
+				printf("?%v\n", err)
+			}
+		case "b":
+			if len(fields) != 2 {
+				printf("?usage: b <addr>\n")
+				continue
+			}
+			addr, err := num(fields[1])
+			if err != nil {
+				printf("?%v\n", err)
+				continue
+			}
+			// A breakpoint set from inside the debugger patches the Swatee
+			// file, remembering the displaced instruction for Resume.
+			words, err := d.Examine(addr, 1)
+			if err != nil {
+				printf("?%v\n", err)
+				continue
+			}
+			d.breakpoints[addr] = words[0]
+			if err := d.Deposit(addr, breakInstr); err != nil {
+				printf("?%v\n", err)
+			}
+		case "s":
+			r, err := d.Step()
+			if err != nil && !errors.Is(err, cpu.ErrHalted) {
+				printf("?step: %v\n", err)
+				continue
+			}
+			words, werr := d.Examine(r.PC, 1)
+			next := "?"
+			if werr == nil {
+				next = asm.Disasm(r.PC, words[0])
+			}
+			printf("PC=%#04x AC=[%#04x %#04x %#04x %#04x] C=%v  next: %s\n",
+				r.PC, r.AC[0], r.AC[1], r.AC[2], r.AC[3], r.Carry, next)
+			if errors.Is(err, cpu.ErrHalted) {
+				printf("[swatee halted]\n")
+			}
+		case "g":
+			n, err := d.Resume(10_000_000)
+			if err != nil {
+				printf("?resume: %v\n", err)
+				continue
+			}
+			printf("[swatee ran %d instructions]\n", n)
+			if d.OS.TookBreakpoint() {
+				printf("[breakpoint]\n")
+			}
+		default:
+			printf("?commands: r, e <a> [n], d <a> <v>, pc <a>, ac <i> <v>, b <a>, s, g, q\n")
+		}
+	}
+}

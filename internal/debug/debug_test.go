@@ -1,0 +1,263 @@
+package debug
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"altoos/internal/asm"
+	"altoos/internal/cpu"
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/exec"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/stream"
+	"altoos/internal/zone"
+)
+
+type world struct {
+	os  *exec.OS
+	cpu *cpu.CPU
+	dbg *Debugger
+	out *bytes.Buffer
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	d, err := disk.NewDrive(disk.Diablo31(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.InitRoot(fs); err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	z, err := zone.New(m, 0x7000, 0x7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	o := exec.NewOS(fs, m, z, stream.NewKeyboard(), stream.NewDisplay(&out))
+	c := cpu.New(m, d.Clock(), o)
+	return &world{os: o, cpu: c, dbg: New(o, c), out: &out}
+}
+
+// buggy is a program that prints 'a', then the (wrong) contents of VAL, and
+// halts. The test breaks before the second print and repairs VAL.
+const buggy = `
+START:	LDA 0, CA
+	SYS 1
+PRINT2:	LDA 0, VAL
+	SYS 1
+	HALT
+CA:	.word 'a'
+VAL:	.word 'X'     ; the bug: should print 'b'
+`
+
+func loadBuggy(t *testing.T, w *world) *asm.Program {
+	t.Helper()
+	p := asm.MustAssemble(buggy)
+	w.os.Mem.StoreBlock(p.Origin, p.Words)
+	w.cpu.Reset(p.Entry)
+	return p
+}
+
+func TestBreakpointWritesSwatee(t *testing.T) {
+	w := newWorld(t)
+	p := loadBuggy(t, w)
+	w.dbg.SetBreak(p.Symbols["PRINT2"])
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !w.os.TookBreakpoint() {
+		t.Fatal("breakpoint did not fire")
+	}
+	if w.out.String() != "a" {
+		t.Fatalf("pre-break output %q", w.out.String())
+	}
+	// The Swatee's saved PC points back at the breakpoint address.
+	r, err := w.dbg.Regs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PC != p.Symbols["PRINT2"] {
+		t.Fatalf("saved PC %#04x, want %#04x", r.PC, p.Symbols["PRINT2"])
+	}
+}
+
+func TestExamineDepositResume(t *testing.T) {
+	w := newWorld(t)
+	p := loadBuggy(t, w)
+	w.dbg.SetBreak(p.Symbols["PRINT2"])
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !w.os.TookBreakpoint() {
+		t.Fatal("no breakpoint")
+	}
+
+	// Examine the Swatee: VAL holds the bug.
+	val := p.Symbols["VAL"]
+	words, err := w.dbg.Examine(val, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != 'X' {
+		t.Fatalf("VAL = %#x in the Swatee", words[0])
+	}
+	// Repair it in the state file, never touching the live machine.
+	if err := w.dbg.Deposit(val, 'b'); err != nil {
+		t.Fatal(err)
+	}
+	// Resume: displaced instruction restored, machine reloaded, program
+	// finishes with the fix.
+	if _, err := w.dbg.Resume(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.out.String(); got != "ab" {
+		t.Fatalf("output %q, want \"ab\"", got)
+	}
+}
+
+func TestRegisterEditing(t *testing.T) {
+	w := newWorld(t)
+	p := loadBuggy(t, w)
+	w.dbg.SetBreak(p.Symbols["PRINT2"])
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.dbg.Regs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the second print entirely by pointing PC at the HALT.
+	r.PC = p.Symbols["PRINT2"] + 2
+	if err := w.dbg.SetRegs(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.dbg.Resume(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.out.String(); got != "a" {
+		t.Fatalf("output %q, want just \"a\"", got)
+	}
+}
+
+func TestDebuggerWithoutSwatee(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.dbg.Regs(); !errors.Is(err, ErrNoSwatee) {
+		t.Fatalf("got %v, want ErrNoSwatee", err)
+	}
+	if _, err := w.dbg.Examine(0, 1); !errors.Is(err, ErrNoSwatee) {
+		t.Fatalf("got %v, want ErrNoSwatee", err)
+	}
+}
+
+func TestREPLSession(t *testing.T) {
+	w := newWorld(t)
+	p := loadBuggy(t, w)
+	w.dbg.SetBreak(p.Symbols["PRINT2"])
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !w.os.TookBreakpoint() {
+		t.Fatal("no breakpoint")
+	}
+
+	// Drive the REPL: inspect registers, examine code, fix VAL, resume.
+	script := strings.Join([]string{
+		"r",
+		"e 0x400 2",
+		"d " + hex(p.Symbols["VAL"]) + " 0x62", // 'b'
+		"g",
+		"q",
+	}, "\n") + "\n"
+	var replOut bytes.Buffer
+	in := stream.NewMem([]byte(script))
+	if err := w.dbg.REPL(in, stream.NewDisplay(&replOut)); err != nil {
+		t.Fatal(err)
+	}
+	text := replOut.String()
+	if !strings.Contains(text, "PC=") {
+		t.Errorf("no register dump:\n%s", text)
+	}
+	if !strings.Contains(text, "LDA 0,") {
+		t.Errorf("no disassembly:\n%s", text)
+	}
+	if got := w.out.String(); got != "ab" {
+		t.Fatalf("program output %q, want \"ab\"", got)
+	}
+}
+
+func TestREPLBreakpointInSwatee(t *testing.T) {
+	// Set a second breakpoint from inside the debugger: the resumed program
+	// must trap again at it.
+	w := newWorld(t)
+	p := loadBuggy(t, w)
+	w.dbg.SetBreak(p.Symbols["PRINT2"])
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	halt := p.Symbols["PRINT2"] + 2
+	script := "b " + hex(halt) + "\ng\nr\nq\n"
+	var replOut bytes.Buffer
+	if err := w.dbg.REPL(stream.NewMem([]byte(script)), stream.NewDisplay(&replOut)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(replOut.String(), "[breakpoint]") {
+		t.Fatalf("second breakpoint did not fire:\n%s", replOut.String())
+	}
+}
+
+func hex(v uint16) string {
+	const digits = "0123456789abcdef"
+	return "0x" + string([]byte{
+		digits[v>>12&0xF], digits[v>>8&0xF], digits[v>>4&0xF], digits[v&0xF],
+	})
+}
+
+func TestDepositAtBreakpointSurvivesResume(t *testing.T) {
+	// Repairing the very instruction the breakpoint displaced must not be
+	// undone by Resume's un-patching.
+	w := newWorld(t)
+	p := loadBuggy(t, w)
+	calc := p.Symbols["PRINT2"]
+	w.dbg.SetBreak(calc)
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// Replace "LDA 0, VAL" with "LDA 0, CA": it will print 'a' again.
+	patched := asm.MustAssemble(
+		".org " + hex(calc) + "\nLDA 0, " + hex(p.Symbols["CA"]) + "\n")
+	if err := w.dbg.Deposit(calc, patched.Words[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.dbg.Resume(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.out.String(); got != "aa" {
+		t.Fatalf("output %q, want \"aa\" (patch lost to un-patching?)", got)
+	}
+}
+
+func TestSetClearBreakRestoresInstruction(t *testing.T) {
+	w := newWorld(t)
+	p := loadBuggy(t, w)
+	addr := p.Symbols["PRINT2"]
+	orig := w.os.Mem.Load(addr)
+	w.dbg.SetBreak(addr)
+	if w.os.Mem.Load(addr) == orig {
+		t.Fatal("breakpoint not planted")
+	}
+	w.dbg.SetBreak(addr) // idempotent: must not forget the original
+	w.dbg.ClearBreak(addr)
+	if w.os.Mem.Load(addr) != orig {
+		t.Fatal("original instruction lost")
+	}
+}

@@ -1,0 +1,138 @@
+package debug
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"altoos/internal/stream"
+)
+
+// replSession drives the REPL with scripted input and returns its output.
+func replSession(t *testing.T, w *world, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := w.dbg.REPL(stream.NewMem([]byte(script)), stream.NewDisplay(&out)); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func breakIntoBuggy(t *testing.T, w *world) {
+	t.Helper()
+	p := loadBuggy(t, w)
+	w.dbg.SetBreak(p.Symbols["PRINT2"])
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !w.os.TookBreakpoint() {
+		t.Fatal("no breakpoint")
+	}
+}
+
+func TestREPLEditsRegisters(t *testing.T) {
+	w := newWorld(t)
+	breakIntoBuggy(t, w)
+	out := replSession(t, w, "ac 1 0x1234\npc 0x500\nr\nq\n")
+	if !strings.Contains(out, "PC=0x0500") || !strings.Contains(out, "0x1234") {
+		t.Fatalf("register edits not visible:\n%s", out)
+	}
+}
+
+func TestREPLErrorPaths(t *testing.T) {
+	w := newWorld(t)
+	breakIntoBuggy(t, w)
+	out := replSession(t, w, strings.Join([]string{
+		"e",          // missing operand
+		"e zzz",      // bad number
+		"d 1",        // missing operand
+		"d zz zz",    // bad numbers
+		"pc",         // missing operand
+		"ac 9 0",     // bad accumulator
+		"b",          // missing operand
+		"frobnicate", // unknown command
+		"",           // blank line
+		"q",
+	}, "\n")+"\n")
+	if n := strings.Count(out, "?"); n < 8 {
+		t.Fatalf("expected diagnostics for each bad command, saw %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "commands:") {
+		t.Fatalf("no help on unknown command:\n%s", out)
+	}
+}
+
+func TestREPLWithoutSwatee(t *testing.T) {
+	w := newWorld(t)
+	out := replSession(t, w, "r\ne 0x400\ng\nq\n")
+	if n := strings.Count(out, "no Swatee"); n < 3 {
+		t.Fatalf("missing-Swatee diagnostics:\n%s", out)
+	}
+}
+
+func TestSingleStepping(t *testing.T) {
+	w := newWorld(t)
+	breakIntoBuggy(t, w)
+	// Step off the breakpoint: the displaced instruction (LDA 0, VAL)
+	// executes, so AC0 becomes 'X'; a second step executes the SYS 1.
+	r, err := w.dbg.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AC[0] != 'X' {
+		t.Fatalf("after one step AC0 = %#x, want 'X'", r.AC[0])
+	}
+	if _, err := w.dbg.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.out.String(); got != "aX" {
+		t.Fatalf("stepping produced %q", got)
+	}
+	// The page-zero message buffer must be untouched by all this loading
+	// and saving (the InLoad-vs-LoadState distinction).
+	for a := uint16(0x20); a < 0x34; a++ {
+		if w.os.Mem.Load(a) != 0 {
+			t.Fatalf("debugger scribbled on %#x", a)
+		}
+	}
+}
+
+func TestREPLStepCommand(t *testing.T) {
+	w := newWorld(t)
+	breakIntoBuggy(t, w)
+	out := replSession(t, w, "s\ns\nq\n")
+	if !strings.Contains(out, "next:") {
+		t.Fatalf("step output missing disassembly:\n%s", out)
+	}
+}
+
+func TestResumeDoesNotScribbleMessageBuffer(t *testing.T) {
+	w := newWorld(t)
+	p := loadBuggy(t, w)
+	// The program owns 0x20..0x33; pretend it stored data there.
+	w.os.Mem.Store(0x25, 0x1979)
+	w.dbg.SetBreak(p.Symbols["PRINT2"])
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.dbg.Resume(1000); err != nil {
+		t.Fatal(err)
+	}
+	if w.os.Mem.Load(0x25) != 0x1979 {
+		t.Fatal("Resume corrupted the Swatee's page-zero data")
+	}
+}
+
+func TestBreakpointsListing(t *testing.T) {
+	w := newWorld(t)
+	p := loadBuggy(t, w)
+	w.dbg.SetBreak(p.Symbols["PRINT2"])
+	w.dbg.SetBreak(p.Symbols["START"])
+	if got := len(w.dbg.Breakpoints()); got != 2 {
+		t.Fatalf("Breakpoints() = %d entries", got)
+	}
+	w.dbg.ClearBreak(p.Symbols["START"])
+	if got := len(w.dbg.Breakpoints()); got != 1 {
+		t.Fatalf("after clear: %d entries", got)
+	}
+}

@@ -1,0 +1,104 @@
+package dir
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/sim"
+)
+
+// Model-based property test: a random interleaving of Insert/Update/Remove
+// against an in-memory map, verified by Load after every batch.
+func TestDirectoryMatchesModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		d, err := disk.NewDrive(disk.Diablo31(), 1, nil)
+		if err != nil {
+			return false
+		}
+		fs, err := file.Format(d)
+		if err != nil {
+			return false
+		}
+		root, err := InitRoot(fs)
+		if err != nil {
+			return false
+		}
+		model := map[string]file.FN{}
+		// Seed the model with the standard entries.
+		start, err := root.Load()
+		if err != nil {
+			return false
+		}
+		for _, e := range start {
+			model[e.Name] = e.FN
+		}
+
+		mkFN := func() file.FN {
+			return file.FN{
+				FV:     disk.FV{FID: disk.FID(0x100 + r.Intn(1000)), Version: 1},
+				Leader: disk.VDA(r.Intn(4000)),
+			}
+		}
+		names := make([]string, 12)
+		for i := range names {
+			names[i] = fmt.Sprintf("n%02d.%s", i, string(rune('a'+r.Intn(26))))
+		}
+
+		for step := 0; step < 60; step++ {
+			name := names[r.Intn(len(names))]
+			switch r.Intn(3) {
+			case 0: // insert
+				fn := mkFN()
+				err := root.Insert(name, fn)
+				if _, exists := model[name]; exists {
+					if err == nil {
+						return false // duplicate insert must fail
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model[name] = fn
+				}
+			case 1: // update (upsert)
+				fn := mkFN()
+				if err := root.Update(name, fn); err != nil {
+					return false
+				}
+				model[name] = fn
+			case 2: // remove
+				err := root.Remove(name)
+				if _, exists := model[name]; exists {
+					if err != nil {
+						return false
+					}
+					delete(model, name)
+				} else if err == nil {
+					return false // removing a missing name must fail
+				}
+			}
+		}
+
+		entries, err := root.Load()
+		if err != nil {
+			return false
+		}
+		if len(entries) != len(model) {
+			return false
+		}
+		for _, e := range entries {
+			want, ok := model[e.Name]
+			if !ok || want != e.FN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

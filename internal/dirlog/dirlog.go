@@ -1,0 +1,354 @@
+// Package dirlog is the directory-integrity extension the paper describes
+// but deliberately leaves to the user (§3.5): "[full reconstruction of lost
+// directories] could be accomplished by writing a journal of all changes to
+// directories and taking an occasional snapshot of all the directories. By
+// applying the changes in the journal to the snapshot we would get back the
+// current state. ... If the user disagrees [with the system's choice not to
+// do this], he is free to modify the system-provided procedures for managing
+// directories, or to write his own."
+//
+// This package is that user: a drop-in directory discipline built entirely
+// from the exported file and stream interfaces. A Logged directory forwards
+// every operation to the standard implementation and appends a journal
+// record first (write-ahead); Snapshot checkpoints the full binding set and
+// truncates the journal; Recover replays snapshot + journal to rebuild the
+// name bindings even when the directory files themselves were destroyed —
+// recovering the one thing the Scavenger cannot: *which names* pointed at
+// which files.
+package dirlog
+
+import (
+	"errors"
+	"fmt"
+
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/stream"
+	"altoos/internal/zone"
+)
+
+// Journal and snapshot live under well-known names in the root directory.
+const (
+	JournalName  = "DirJournal."
+	SnapshotName = "DirSnapshot."
+)
+
+// record opcodes.
+const (
+	opInsert = 1
+	opRemove = 2
+	opUpdate = 3
+)
+
+// ErrJournal reports a malformed journal or snapshot.
+var ErrJournal = errors.New("dirlog: malformed journal")
+
+// Logged wraps a directory with write-ahead journaling. It deliberately has
+// the same operation set as dir.Directory — the open system lets the user
+// swap disciplines without the file system noticing.
+type Logged struct {
+	fs  *file.FS
+	d   *dir.Directory
+	log *Log
+}
+
+// Log owns the journal and snapshot files.
+type Log struct {
+	fs *file.FS
+	z  zone.Zone
+	m  *mem.Memory
+}
+
+// Open attaches a log to a file system, creating the journal and snapshot
+// files on first use. The zone and memory supply stream working storage, in
+// the usual open style.
+func Open(fs *file.FS, z zone.Zone, m *mem.Memory) (*Log, error) {
+	l := &Log{fs: fs, z: z, m: m}
+	for _, name := range []string{JournalName, SnapshotName} {
+		if _, err := l.lookup(name); err != nil {
+			f, err := fs.Create(name)
+			if err != nil {
+				return nil, err
+			}
+			root, err := dir.OpenRoot(fs)
+			if err != nil {
+				return nil, err
+			}
+			if err := root.Insert(name, f.FN()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func (l *Log) lookup(name string) (file.FN, error) {
+	root, err := dir.OpenRoot(l.fs)
+	if err != nil {
+		return file.FN{}, err
+	}
+	return root.Lookup(name)
+}
+
+// Wrap returns a journaled view of a directory.
+func (l *Log) Wrap(d *dir.Directory) *Logged {
+	return &Logged{fs: l.fs, d: d, log: l}
+}
+
+// WrapRoot wraps the root directory.
+func (l *Log) WrapRoot() (*Logged, error) {
+	root, err := dir.OpenRoot(l.fs)
+	if err != nil {
+		return nil, err
+	}
+	return l.Wrap(root), nil
+}
+
+// append writes one record to the journal: op, directory FV, name, FN.
+func (l *Log) append(op byte, dirFV disk.FV, name string, fn file.FN) error {
+	jfn, err := l.lookup(JournalName)
+	if err != nil {
+		return err
+	}
+	f, err := l.fs.Open(jfn)
+	if err != nil {
+		return err
+	}
+	s, err := stream.NewDisk(f, l.z, l.m, stream.UpdateMode)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if err := s.Seek(s.Len()); err != nil {
+		return err
+	}
+	return writeRecord(s, op, dirFV, name, fn)
+}
+
+func writeRecord(s stream.Stream, op byte, dirFV disk.FV, name string, fn file.FN) error {
+	if err := s.Put(op); err != nil {
+		return err
+	}
+	for _, w := range []uint16{
+		uint16(dirFV.FID >> 16), uint16(dirFV.FID), dirFV.Version,
+		uint16(fn.FV.FID >> 16), uint16(fn.FV.FID), fn.FV.Version, uint16(fn.Leader),
+		uint16(len(name)),
+	} {
+		if err := stream.PutWord(s, w); err != nil {
+			return err
+		}
+	}
+	return stream.PutString(s, name)
+}
+
+// Record is one journal entry.
+type Record struct {
+	Op    byte
+	DirFV disk.FV
+	Name  string
+	FN    file.FN
+}
+
+func readRecord(s stream.Stream) (Record, error) {
+	op, err := s.Get()
+	if err != nil {
+		return Record{}, err // io.EOF ends the journal
+	}
+	var w [8]uint16
+	for i := range w {
+		if w[i], err = stream.GetWord(s); err != nil {
+			return Record{}, fmt.Errorf("%w: truncated record", ErrJournal)
+		}
+	}
+	nameLen := int(w[7])
+	name := make([]byte, nameLen)
+	for i := range name {
+		if name[i], err = s.Get(); err != nil {
+			return Record{}, fmt.Errorf("%w: truncated name", ErrJournal)
+		}
+	}
+	if op != opInsert && op != opRemove && op != opUpdate {
+		return Record{}, fmt.Errorf("%w: opcode %d", ErrJournal, op)
+	}
+	return Record{
+		Op:    op,
+		DirFV: disk.FV{FID: disk.FID(w[0])<<16 | disk.FID(w[1]), Version: w[2]},
+		Name:  string(name),
+		FN: file.FN{
+			FV:     disk.FV{FID: disk.FID(w[3])<<16 | disk.FID(w[4]), Version: w[5]},
+			Leader: disk.VDA(w[6]),
+		},
+	}, nil
+}
+
+// Insert journals, then forwards.
+func (ld *Logged) Insert(name string, fn file.FN) error {
+	if err := ld.log.append(opInsert, ld.d.FN().FV, name, fn); err != nil {
+		return err
+	}
+	return ld.d.Insert(name, fn)
+}
+
+// Update journals, then forwards.
+func (ld *Logged) Update(name string, fn file.FN) error {
+	if err := ld.log.append(opUpdate, ld.d.FN().FV, name, fn); err != nil {
+		return err
+	}
+	return ld.d.Update(name, fn)
+}
+
+// Remove journals, then forwards.
+func (ld *Logged) Remove(name string) error {
+	if err := ld.log.append(opRemove, ld.d.FN().FV, name, file.FN{}); err != nil {
+		return err
+	}
+	return ld.d.Remove(name)
+}
+
+// Lookup and List forward unmodified: reads need no journal.
+func (ld *Logged) Lookup(name string) (file.FN, error) { return ld.d.Lookup(name) }
+
+// List forwards.
+func (ld *Logged) List() ([]dir.Entry, error) { return ld.d.List() }
+
+// Directory exposes the wrapped directory.
+func (ld *Logged) Directory() *dir.Directory { return ld.d }
+
+// Snapshot checkpoints every reachable directory's bindings into the
+// snapshot file and truncates the journal — the paper's "occasional
+// snapshot of all the directories".
+func (l *Log) Snapshot() error {
+	sfn, err := l.lookup(SnapshotName)
+	if err != nil {
+		return err
+	}
+	f, err := l.fs.Open(sfn)
+	if err != nil {
+		return err
+	}
+	s, err := stream.NewDisk(f, l.z, l.m, stream.WriteMode)
+	if err != nil {
+		return err
+	}
+	count := 0
+	err = dir.Walk(l.fs, l.fs.RootDir(), func(d *dir.Directory) error {
+		entries, err := d.Load()
+		if err != nil {
+			return nil // damaged directory: snapshot what can be read
+		}
+		for _, e := range entries {
+			if e.Name == JournalName || e.Name == SnapshotName {
+				continue // the log does not log itself
+			}
+			if err := writeRecord(s, opInsert, d.FN().FV, e.Name, e.FN); err != nil {
+				return err
+			}
+			count++
+		}
+		return nil
+	})
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	// Truncate the journal: everything before the snapshot is superseded.
+	jfn, err := l.lookup(JournalName)
+	if err != nil {
+		return err
+	}
+	jf, err := l.fs.Open(jfn)
+	if err != nil {
+		return err
+	}
+	js, err := stream.NewDisk(jf, l.z, l.m, stream.WriteMode)
+	if err != nil {
+		return err
+	}
+	return js.Close()
+}
+
+// Bindings computes the current (directory, name) -> FN map from snapshot
+// plus journal, without reading any directory file.
+func (l *Log) Bindings() (map[disk.FV]map[string]file.FN, error) {
+	out := map[disk.FV]map[string]file.FN{}
+	apply := func(r Record) {
+		m := out[r.DirFV]
+		if m == nil {
+			m = map[string]file.FN{}
+			out[r.DirFV] = m
+		}
+		switch r.Op {
+		case opInsert, opUpdate:
+			m[r.Name] = r.FN
+		case opRemove:
+			delete(m, r.Name)
+		}
+	}
+	for _, name := range []string{SnapshotName, JournalName} {
+		fn, err := l.lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := l.fs.Open(fn)
+		if err != nil {
+			return nil, err
+		}
+		s, err := stream.NewDisk(f, l.z, l.m, stream.ReadMode)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			r, err := readRecord(s)
+			if err != nil {
+				break // EOF or damage: stop replaying this stream
+			}
+			apply(r)
+		}
+		s.Close()
+	}
+	return out, nil
+}
+
+// Recover rebuilds directory bindings from snapshot + journal, fixing any
+// stale leader addresses against the live file system, and returns how many
+// bindings were restored. Run it after the Scavenger: the Scavenger brings
+// back the files, Recover brings back their names.
+func (l *Log) Recover() (int, error) {
+	bindings, err := l.Bindings()
+	if err != nil {
+		return 0, err
+	}
+	restored := 0
+	for dirFV, names := range bindings {
+		var d *dir.Directory
+		if dirFV == l.fs.RootDir().FV {
+			d, err = dir.OpenRoot(l.fs)
+		} else {
+			d, err = dir.Open(l.fs, file.FN{FV: dirFV, Leader: disk.NilVDA})
+			if err != nil {
+				// The directory file itself is gone; its bindings go to the
+				// root so nothing is silently lost.
+				d, err = dir.OpenRoot(l.fs)
+			}
+		}
+		if err != nil {
+			return restored, err
+		}
+		for name, fn := range names {
+			// Verify the target still exists; correct the address hint.
+			f, err := l.fs.Open(fn)
+			if err != nil {
+				continue // the file is gone; nothing to bind
+			}
+			if err := d.Update(name, f.FN()); err != nil {
+				return restored, err
+			}
+			restored++
+		}
+	}
+	return restored, nil
+}

@@ -1,0 +1,283 @@
+package dirlog
+
+import (
+	"fmt"
+	"testing"
+
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/scavenge"
+	"altoos/internal/stream"
+	"altoos/internal/zone"
+)
+
+type world struct {
+	drive *disk.Drive
+	fs    *file.FS
+	root  *dir.Directory
+	m     *mem.Memory
+	z     *zone.MemZone
+	log   *Log
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	d, err := disk.NewDrive(disk.Diablo31(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := dir.InitRoot(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	z, err := zone.New(m, 0x4000, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := Open(fs, z, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{drive: d, fs: fs, root: root, m: m, z: z, log: log}
+}
+
+func (w *world) addFile(t *testing.T, ld *Logged, name string) *file.File {
+	t.Helper()
+	f, err := w.fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p [disk.PageWords]disk.Word
+	p[0] = 0xD1
+	if err := f.WritePage(1, &p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Insert(name, f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestLoggedOperationsForward(t *testing.T) {
+	w := newWorld(t)
+	ld, err := w.log.WrapRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := w.addFile(t, ld, "j1.dat")
+	fn, err := ld.Lookup("j1.dat")
+	if err != nil || fn != f.FN() {
+		t.Fatalf("lookup through logged dir: %v %v", fn, err)
+	}
+	if err := ld.Remove("j1.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Lookup("j1.dat"); err == nil {
+		t.Fatal("remove did not forward")
+	}
+}
+
+func TestBindingsReplay(t *testing.T) {
+	w := newWorld(t)
+	ld, _ := w.log.WrapRoot()
+	fa := w.addFile(t, ld, "a.dat")
+	w.addFile(t, ld, "b.dat")
+	if err := ld.Remove("b.dat"); err != nil {
+		t.Fatal(err)
+	}
+	moved := fa.FN()
+	moved.Leader = 999
+	if err := ld.Update("a.dat", moved); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := w.log.Bindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootFV := w.fs.RootDir().FV
+	names := b[rootFV]
+	if names == nil {
+		t.Fatal("no bindings for root")
+	}
+	if _, ok := names["b.dat"]; ok {
+		t.Error("removed binding survived replay")
+	}
+	if got := names["a.dat"]; got.Leader != 999 {
+		t.Errorf("update not replayed: %v", got)
+	}
+}
+
+func TestSnapshotTruncatesJournal(t *testing.T) {
+	w := newWorld(t)
+	ld, _ := w.log.WrapRoot()
+	for i := 0; i < 5; i++ {
+		w.addFile(t, ld, fmt.Sprintf("s%d.dat", i))
+	}
+	if err := w.log.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	jfn, err := w.log.lookup(JournalName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := w.fs.Open(jfn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf.Size() != 0 {
+		t.Errorf("journal not truncated: %d bytes", jf.Size())
+	}
+	// Bindings still complete from the snapshot alone.
+	b, err := w.log.Bindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b[w.fs.RootDir().FV]) < 5 {
+		t.Errorf("snapshot lost bindings: %v", b)
+	}
+}
+
+func TestRecoverAfterDirectoryDestruction(t *testing.T) {
+	// The full §3.5 scenario: names journaled, directory destroyed, files
+	// survive via the Scavenger (which can only adopt them under leader
+	// names), then Recover restores the *bindings* — including a rename the
+	// leader name knows nothing about.
+	w := newWorld(t)
+	ld, _ := w.log.WrapRoot()
+	f := w.addFile(t, ld, "original.dat")
+	// Rename: the leader still says "original.dat", the directory (and
+	// journal) say "renamed.dat".
+	if err := ld.Remove("original.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Insert("renamed.dat", f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Destroy the root directory's data pages.
+	lastPN, _ := w.root.File().LastPage()
+	for pn := disk.Word(1); pn <= lastPN; pn++ {
+		a, err := w.root.File().PageAddr(pn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.drive.ZapLabel(a, disk.FreeLabelWords())
+	}
+
+	// Scavenge: files come back, but under leader names only.
+	fs2, _, err := scavenge.Run(w.drive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, err := dir.OpenRoot(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root2.Lookup("renamed.dat"); err == nil {
+		t.Fatal("scavenger cannot know the rename; test is broken")
+	}
+
+	// Recover from the journal: the rename returns.
+	log2, err := Open(fs2, w.z, w.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := log2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing recovered")
+	}
+	fn, err := root2.Lookup("renamed.dat")
+	if err != nil {
+		t.Fatalf("rename lost: %v", err)
+	}
+	g, err := fs2.Open(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [disk.PageWords]disk.Word
+	if _, err := g.ReadPage(1, &buf); err != nil || buf[0] != 0xD1 {
+		t.Fatalf("recovered binding points at wrong data: %v", err)
+	}
+}
+
+func TestRecoverSkipsDeadFiles(t *testing.T) {
+	w := newWorld(t)
+	ld, _ := w.log.WrapRoot()
+	f := w.addFile(t, ld, "doomed.dat")
+	// The file dies and its entry vanishes *without* a journaled Remove
+	// (say, the directory was rebuilt by the Scavenger). The journal still
+	// holds the Insert; Recover must not resurrect a binding to a dead file.
+	if err := f.Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.root.Remove("doomed.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.log.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.root.Lookup("doomed.dat"); err == nil {
+		t.Error("recover bound a name to a dead file")
+	}
+}
+
+func TestJournalDoesNotLogItself(t *testing.T) {
+	w := newWorld(t)
+	if err := w.log.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.log.Bindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, names := range b {
+		for name := range names {
+			if name == JournalName || name == SnapshotName {
+				t.Errorf("log snapshot contains %q", name)
+			}
+		}
+	}
+}
+
+func TestDamagedJournalStopsCleanly(t *testing.T) {
+	w := newWorld(t)
+	ld, _ := w.log.WrapRoot()
+	w.addFile(t, ld, "ok.dat")
+	// Append garbage to the journal.
+	jfn, _ := w.log.lookup(JournalName)
+	jf, _ := w.fs.Open(jfn)
+	s, err := stream.NewDisk(jf, w.z, w.m, stream.UpdateMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Seek(s.Len())
+	for i := 0; i < 7; i++ {
+		s.Put(0xFF)
+	}
+	s.Close()
+
+	b, err := w.log.Bindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b[w.fs.RootDir().FV]["ok.dat"]; !ok {
+		t.Error("valid prefix lost to trailing damage")
+	}
+}

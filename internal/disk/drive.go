@@ -1,0 +1,408 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"altoos/internal/sim"
+)
+
+// Action selects what a disk operation does to one part of a sector.
+type Action uint8
+
+const (
+	// None skips the part.
+	None Action = iota
+	// Read copies the part from disk into the caller's buffer.
+	Read
+	// Check compares the caller's buffer with the disk word by word and
+	// aborts the entire operation on mismatch. A zero buffer word is a
+	// wildcard: it is replaced by the disk word, so a check is "a simple
+	// kind of pattern match" (§3.3) that doubles as a guarded read.
+	Check
+	// Write copies the caller's buffer onto the disk. Once a write is begun
+	// it must continue through the rest of the sector (§3.3): a Write on an
+	// earlier part requires Write on every later part.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Read:
+		return "read"
+	case Check:
+		return "check"
+	case Write:
+		return "write"
+	}
+	return fmt.Sprintf("Action(%d)", uint8(a))
+}
+
+// Part names one of the three regions of a sector, in rotational order.
+type Part uint8
+
+const (
+	PartHeader Part = iota
+	PartLabel
+	PartValue
+)
+
+// String implements fmt.Stringer.
+func (p Part) String() string {
+	switch p {
+	case PartHeader:
+		return "header"
+	case PartLabel:
+		return "label"
+	case PartValue:
+		return "value"
+	}
+	return fmt.Sprintf("Part(%d)", uint8(p))
+}
+
+// Op describes a single disk operation on the sector at Addr. Each part has
+// an action and, for Read/Check/Write, a caller-owned buffer. Nil buffers are
+// only legal with action None.
+type Op struct {
+	Addr VDA
+
+	Header Action
+	Label  Action
+	Value  Action
+
+	HeaderData *[HeaderWords]Word
+	LabelData  *[LabelWords]Word
+	ValueData  *[PageWords]Word
+}
+
+// CheckError reports a failed check action: the operation was aborted at the
+// given part and word, before any later action ran.
+type CheckError struct {
+	Addr     VDA
+	Part     Part
+	WordIdx  int
+	Expected Word
+	OnDisk   Word
+}
+
+// Error implements error.
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("disk: check failed at %d %s word %d: expected %#04x, disk has %#04x",
+		e.Addr, e.Part, e.WordIdx, e.Expected, e.OnDisk)
+}
+
+// Errors returned by Drive.Do.
+var (
+	// ErrBadSector reports a permanently unreadable sector (fault injection
+	// or a scavenger-retired page).
+	ErrBadSector = errors.New("disk: unrecoverable sector error")
+	// ErrCrashed reports that the simulated machine lost power mid-write;
+	// every subsequent write is suppressed until ClearCrash.
+	ErrCrashed = errors.New("disk: simulated crash: write suppressed")
+	// ErrAddress reports an out-of-range virtual disk address.
+	ErrAddress = errors.New("disk: address out of range")
+	// ErrBadOp reports a malformed operation (missing buffer, or a write
+	// that does not continue through the rest of the sector).
+	ErrBadOp = errors.New("disk: malformed operation")
+)
+
+// IsCheck reports whether err is a check failure, the expected outcome when
+// a hint proves stale.
+func IsCheck(err error) bool {
+	var ce *CheckError
+	return errors.As(err, &ce)
+}
+
+// Stats counts drive activity. Revolutions is the total simulated time spent
+// divided by the revolution time, the unit the paper uses for the cost of
+// allocation and freeing.
+type Stats struct {
+	Ops       int64
+	Seeks     int64
+	Reads     int64
+	Writes    int64
+	Checks    int64
+	CheckFail int64
+	Busy      time.Duration
+}
+
+// Revolutions reports total busy time in units of disk revolutions.
+func (s Stats) Revolutions(g Geometry) float64 {
+	return float64(s.Busy) / float64(g.RevTime)
+}
+
+// sector is the in-memory image of one disk sector.
+type sector struct {
+	header [HeaderWords]Word
+	label  [LabelWords]Word
+	value  [PageWords]Word
+	bad    bool // fault injection: unrecoverable
+}
+
+// Drive is the standard disk object: a simulated moving-head drive holding
+// one removable pack. It implements Device. A Drive is safe for concurrent
+// use, although the modelled machine is single-user.
+type Drive struct {
+	mu      sync.Mutex
+	geom    Geometry
+	clock   *sim.Clock
+	pack    Word
+	sectors []sector
+	curCyl  int
+	stats   Stats
+
+	// crashAfterWrites, when >= 0, counts down on each write action; when it
+	// reaches zero the drive behaves as if power failed: the write and all
+	// later ones are lost and ErrCrashed is returned.
+	crashAfterWrites int64
+	crashed          bool
+}
+
+// Device is the abstract disk object of §2: anything that can perform
+// sector operations. The operating system's own file and stream packages are
+// written against Device so that "a program using a large non-standard disk"
+// can supply its own implementation and still use the standard packages
+// (§5.2).
+type Device interface {
+	// Do performs one sector operation, advancing simulated time.
+	Do(op *Op) error
+	// Geometry describes the device's shape and timing.
+	Geometry() Geometry
+	// Pack returns the mounted pack's number, recorded in sector headers.
+	Pack() Word
+	// Clock returns the virtual clock the device advances.
+	Clock() *sim.Clock
+}
+
+var _ Device = (*Drive)(nil)
+
+// NewDrive creates a drive with the given geometry holding a freshly
+// low-level-formatted pack: every sector carries a correct header and the
+// free-page label/value pattern. The clock may be shared with other devices;
+// if nil, a new clock is created.
+func NewDrive(g Geometry, pack Word, clock *sim.Clock) (*Drive, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		clock = sim.NewClock()
+	}
+	d := &Drive{
+		geom:             g,
+		clock:            clock,
+		pack:             pack,
+		sectors:          make([]sector, g.NSectors()),
+		crashAfterWrites: -1,
+	}
+	for i := range d.sectors {
+		d.sectors[i].header = Header{Pack: pack, Addr: VDA(i)}.Words()
+		d.sectors[i].label = freeLabelWords
+		for j := range d.sectors[i].value {
+			d.sectors[i].value[j] = 0xFFFF
+		}
+	}
+	return d, nil
+}
+
+// Geometry implements Device.
+func (d *Drive) Geometry() Geometry { return d.geom }
+
+// Pack implements Device.
+func (d *Drive) Pack() Word { return d.pack }
+
+// Clock implements Device.
+func (d *Drive) Clock() *sim.Clock { return d.clock }
+
+// Stats returns a snapshot of accumulated drive statistics.
+func (d *Drive) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (d *Drive) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// validate checks the static shape of an operation.
+func validate(op *Op) error {
+	type part struct {
+		a   Action
+		buf bool
+	}
+	parts := [3]part{
+		{op.Header, op.HeaderData != nil},
+		{op.Label, op.LabelData != nil},
+		{op.Value, op.ValueData != nil},
+	}
+	writing := false
+	for i, p := range parts {
+		if p.a != None && !p.buf {
+			return fmt.Errorf("%w: %s action %v without buffer", ErrBadOp, Part(i), p.a)
+		}
+		if p.a > Write {
+			return fmt.Errorf("%w: unknown action %d", ErrBadOp, p.a)
+		}
+		if writing && p.a != Write {
+			return fmt.Errorf("%w: write must continue through the rest of the sector (%s is %v)",
+				ErrBadOp, Part(i), p.a)
+		}
+		if p.a == Write {
+			writing = true
+		}
+	}
+	return nil
+}
+
+// Do implements Device. It advances the clock by the seek, rotational-latency
+// and transfer time the operation costs, then performs the actions in
+// rotational order (header, label, value). A failed check aborts the
+// remaining actions.
+func (d *Drive) Do(op *Op) error {
+	if err := validate(op); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	d.stats.Ops++
+	if int(op.Addr) >= len(d.sectors) {
+		return fmt.Errorf("%w: %d (disk has %d sectors)", ErrAddress, op.Addr, len(d.sectors))
+	}
+
+	d.advanceTo(op.Addr)
+
+	s := &d.sectors[op.Addr]
+	if s.bad {
+		return fmt.Errorf("%w: sector %d", ErrBadSector, op.Addr)
+	}
+
+	if err := d.doPart(op.Addr, PartHeader, op.Header, s.header[:], slice2(op.HeaderData)); err != nil {
+		return err
+	}
+	if err := d.doPart(op.Addr, PartLabel, op.Label, s.label[:], slice7(op.LabelData)); err != nil {
+		return err
+	}
+	return d.doPart(op.Addr, PartValue, op.Value, s.value[:], slice256(op.ValueData))
+}
+
+func slice2(p *[HeaderWords]Word) []Word {
+	if p == nil {
+		return nil
+	}
+	return p[:]
+}
+
+func slice7(p *[LabelWords]Word) []Word {
+	if p == nil {
+		return nil
+	}
+	return p[:]
+}
+
+func slice256(p *[PageWords]Word) []Word {
+	if p == nil {
+		return nil
+	}
+	return p[:]
+}
+
+// doPart applies one action to one sector part. d.mu is held.
+func (d *Drive) doPart(addr VDA, part Part, a Action, dst, mem []Word) error {
+	switch a {
+	case None:
+		return nil
+	case Read:
+		d.stats.Reads++
+		copy(mem, dst)
+		return nil
+	case Check:
+		d.stats.Checks++
+		for i := range mem {
+			if mem[i] == 0 {
+				mem[i] = dst[i] // wildcard: pattern match fills in the disk word
+				continue
+			}
+			if mem[i] != dst[i] {
+				d.stats.CheckFail++
+				return &CheckError{Addr: addr, Part: part, WordIdx: i, Expected: mem[i], OnDisk: dst[i]}
+			}
+		}
+		return nil
+	case Write:
+		if d.crashed {
+			return ErrCrashed
+		}
+		if d.crashAfterWrites == 0 {
+			d.crashed = true
+			return ErrCrashed
+		}
+		if d.crashAfterWrites > 0 {
+			d.crashAfterWrites--
+		}
+		d.stats.Writes++
+		copy(dst, mem)
+		return nil
+	}
+	return fmt.Errorf("%w: action %d", ErrBadOp, a)
+}
+
+// The header part of a sector is written at format time only; sectors are
+// addressed by position, so a Read or Check of the header serves to verify
+// the pack number and that the head really reached the sector it sought.
+
+// advanceTo charges the clock for reaching the sector at addr: a seek if the
+// cylinder differs, then rotational delay until the sector's slot arrives,
+// then one sector transfer time. d.mu is held.
+func (d *Drive) advanceTo(addr VDA) {
+	g := d.geom
+	cyl, _, sect := g.Locate(addr)
+	start := d.clock.Now()
+	t := start
+	if cyl != d.curCyl {
+		t += g.SeekTime(cyl - d.curCyl)
+		d.curCyl = cyl
+		d.stats.Seeks++
+	}
+	// Rotational position is a global property of the spindle: the slot that
+	// is under the heads at time t.
+	st := g.SectorTime()
+	rev := g.RevTime
+	pos := t % rev
+	target := time.Duration(sect) * st
+	wait := target - pos
+	if wait < 0 {
+		wait += rev
+	}
+	t += wait + st // wait for the slot, then transfer the sector
+	d.clock.Advance(t - start)
+	d.stats.Busy += t - start
+}
+
+// peek returns a copy of the raw sector for tools, tests and the fault
+// injector. It models removing the pack and examining it offline: no time is
+// charged and no checks are made.
+func (d *Drive) peek(addr VDA) (sector, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(addr) >= len(d.sectors) {
+		return sector{}, false
+	}
+	return d.sectors[addr], true
+}
+
+// PeekLabel returns the raw label words of a sector without charging time.
+// It exists for tests and offline tools only; the operating system proper
+// always pays for its accesses.
+func (d *Drive) PeekLabel(addr VDA) ([LabelWords]Word, bool) {
+	s, ok := d.peek(addr)
+	return s.label, ok
+}

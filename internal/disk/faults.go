@@ -1,0 +1,107 @@
+package disk
+
+// Fault injection. These methods model damage happening to the pack outside
+// the disciplined label-checked write path: media decay, a crashed program
+// scribbling with a stale map, a power failure mid-write. They bypass every
+// check and charge no simulated time, exactly as real damage would. The
+// robustness experiments (E8) injure a disk this way and then measure how
+// much the label checks and the Scavenger recover.
+
+import "altoos/internal/sim"
+
+// MarkBad makes the sector permanently unreadable: every operation on it
+// fails with ErrBadSector. The Scavenger retires such pages with the special
+// bad-page label so they are never allocated again (§3.5).
+func (d *Drive) MarkBad(addr VDA) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(addr) < len(d.sectors) {
+		d.sectors[addr].bad = true
+	}
+}
+
+// HealBad clears a bad-sector fault (the media recovered or was replaced).
+func (d *Drive) HealBad(addr VDA) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(addr) < len(d.sectors) {
+		d.sectors[addr].bad = false
+	}
+}
+
+// ZapLabel overwrites the sector's label with arbitrary words, bypassing all
+// checks — the kind of damage a wild microcode write or media failure causes.
+func (d *Drive) ZapLabel(addr VDA, w [LabelWords]Word) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(addr) < len(d.sectors) {
+		d.sectors[addr].label = w
+	}
+}
+
+// ZapValue overwrites the sector's value with arbitrary words, bypassing all
+// checks.
+func (d *Drive) ZapValue(addr VDA, v [PageWords]Word) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(addr) < len(d.sectors) {
+		d.sectors[addr].value = v
+	}
+}
+
+// CorruptLabel flips pseudo-random bits in the sector's label.
+func (d *Drive) CorruptLabel(addr VDA, r *sim.Rand) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(addr) >= len(d.sectors) {
+		return
+	}
+	lbl := &d.sectors[addr].label
+	for i := 0; i < 3; i++ {
+		w := r.Intn(LabelWords)
+		lbl[w] ^= 1 << uint(r.Intn(16))
+	}
+}
+
+// CorruptValue flips pseudo-random bits in the sector's value.
+func (d *Drive) CorruptValue(addr VDA, r *sim.Rand) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(addr) >= len(d.sectors) {
+		return
+	}
+	v := &d.sectors[addr].value
+	for i := 0; i < 8; i++ {
+		w := r.Intn(PageWords)
+		v[w] ^= 1 << uint(r.Intn(16))
+	}
+}
+
+// CrashAfterWrites arms the crash injector: after n more successful write
+// actions the drive behaves as if power failed — the (n+1)th and all later
+// writes are lost and return ErrCrashed. Reads and checks keep working, as
+// they would on a machine restarted after the crash. Pass a negative n to
+// disarm.
+func (d *Drive) CrashAfterWrites(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashAfterWrites = n
+	if n >= 0 {
+		d.crashed = false
+	}
+}
+
+// ClearCrash models restarting the machine after a crash: writes work again.
+func (d *Drive) ClearCrash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashed = false
+	d.crashAfterWrites = -1
+}
+
+// Crashed reports whether the simulated crash has triggered.
+func (d *Drive) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}

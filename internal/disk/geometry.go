@@ -1,0 +1,151 @@
+// Package disk models the Alto's moving-head disk at the level the paper
+// standardizes: a disk is an array of sectors, each holding a 2-word header,
+// a 7-word label and a 256-word value, and a single disk operation performs
+// read, check or write actions independently on each part (§3.3).
+//
+// Two properties of the model carry the paper's robustness and performance
+// story:
+//
+//  1. Check semantics. A check compares memory words against disk words; a
+//     zero memory word is a wildcard that is replaced by the disk word, so a
+//     check doubles as a guarded read. A mismatch aborts the rest of the
+//     operation before anything is written.
+//
+//  2. Rotational timing. The drive advances a shared virtual clock by seek,
+//     rotational-latency and transfer time. Because a check of a sector's
+//     label completes only as that label passes under the head, an operation
+//     that must *rewrite the same label it checked* needs a second pass —
+//     which is exactly why the paper says allocating or freeing a page
+//     "costs a disk revolution", while an ordinary data write (check label,
+//     then write the value that follows it) costs nothing extra.
+package disk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Word is the Alto's 16-bit machine word. Every on-disk and in-memory datum
+// in the system is expressed in words.
+type Word = uint16
+
+// VDA is a virtual disk address: the index of a sector on a pack. One word,
+// as in the paper's label format, so a pack holds at most 65535 sectors.
+type VDA uint16
+
+// NilVDA is the distinguished "no such page" link value (the paper's NIL).
+const NilVDA VDA = 0xFFFF
+
+const (
+	// PageWords is the size of a page value in words (§3.1: 256 data words).
+	PageWords = 256
+	// PageBytes is the page size in bytes; the label's length field counts
+	// bytes, so a full page has length 512.
+	PageBytes = 2 * PageWords
+	// LabelWords is the size of a label in words (§3.1 lists seven).
+	LabelWords = 7
+	// HeaderWords is the size of a sector header: pack number and address.
+	HeaderWords = 2
+)
+
+// Geometry describes the shape and timing of a disk model. The shape is part
+// of the disk descriptor's absolute information (§3.3); the timing drives the
+// virtual clock.
+type Geometry struct {
+	Name            string        // model name, e.g. "Diablo31"
+	Cylinders       int           // number of cylinders (seek positions)
+	Heads           int           // surfaces per cylinder
+	SectorsPerTrack int           // sectors per track
+	RevTime         time.Duration // time per spindle revolution
+	SeekSettle      time.Duration // fixed cost of any non-zero seek
+	SeekPerCyl      time.Duration // additional cost per cylinder crossed
+}
+
+// Diablo31 is the Alto's standard drive: a removable 2.5-megabyte pack
+// (203 cylinders x 2 heads x 12 sectors x 256 words + label + header).
+// The paper's machine "can transfer 64k words in about one second" on it.
+func Diablo31() Geometry {
+	return Geometry{
+		Name:            "Diablo31",
+		Cylinders:       203,
+		Heads:           2,
+		SectorsPerTrack: 12,
+		RevTime:         40 * time.Millisecond, // 1500 rpm
+		SeekSettle:      15 * time.Millisecond,
+		SeekPerCyl:      560 * time.Microsecond,
+	}
+}
+
+// Trident is the "other disk with about twice the size and performance"
+// mentioned in §2.
+func Trident() Geometry {
+	return Geometry{
+		Name:            "Trident",
+		Cylinders:       406,
+		Heads:           2,
+		SectorsPerTrack: 12,
+		RevTime:         20 * time.Millisecond, // twice the rotation rate
+		SeekSettle:      10 * time.Millisecond,
+		SeekPerCyl:      280 * time.Microsecond,
+	}
+}
+
+// NSectors returns the number of sectors on a pack with this geometry.
+func (g Geometry) NSectors() int {
+	return g.Cylinders * g.Heads * g.SectorsPerTrack
+}
+
+// Bytes returns the data capacity of the pack in bytes.
+func (g Geometry) Bytes() int { return g.NSectors() * PageBytes }
+
+// SectorTime returns the time one sector takes to pass under the head.
+func (g Geometry) SectorTime() time.Duration {
+	return g.RevTime / time.Duration(g.SectorsPerTrack)
+}
+
+// SeekTime returns the modelled time to move the head across dist cylinders.
+func (g Geometry) SeekTime(dist int) time.Duration {
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	return g.SeekSettle + time.Duration(dist-1)*g.SeekPerCyl
+}
+
+// Validate reports whether the geometry is internally consistent and small
+// enough that every sector is addressable by a one-word VDA.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Cylinders <= 0 || g.Heads <= 0 || g.SectorsPerTrack <= 0:
+		return fmt.Errorf("disk: geometry %q has non-positive dimension", g.Name)
+	case g.NSectors() >= int(NilVDA):
+		return fmt.Errorf("disk: geometry %q has %d sectors, exceeding the VDA word", g.Name, g.NSectors())
+	case g.RevTime <= 0:
+		return fmt.Errorf("disk: geometry %q has non-positive revolution time", g.Name)
+	}
+	return nil
+}
+
+// Locate converts a virtual disk address to its physical (cylinder, head,
+// sector) coordinates.
+func (g Geometry) Locate(a VDA) (cyl, head, sector int) {
+	n := int(a)
+	sector = n % g.SectorsPerTrack
+	n /= g.SectorsPerTrack
+	head = n % g.Heads
+	cyl = n / g.Heads
+	return
+}
+
+// Address converts physical coordinates to a virtual disk address.
+func (g Geometry) Address(cyl, head, sector int) VDA {
+	return VDA((cyl*g.Heads+head)*g.SectorsPerTrack + sector)
+}
+
+// String implements fmt.Stringer.
+func (g Geometry) String() string {
+	return fmt.Sprintf("%s: %d cyl x %d heads x %d sectors (%d KB)",
+		g.Name, g.Cylinders, g.Heads, g.SectorsPerTrack, g.Bytes()/1024)
+}

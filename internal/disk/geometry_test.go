@@ -1,0 +1,94 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGeometryPresetsValid(t *testing.T) {
+	for _, g := range []Geometry{Diablo31(), Trident()} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestDiablo31MatchesPaper(t *testing.T) {
+	g := Diablo31()
+	// §2: "each of which can store 2.5 megabytes on a single removable pack"
+	if mb := float64(g.Bytes()) / 1e6; mb < 2.3 || mb > 2.7 {
+		t.Errorf("Diablo31 capacity = %.2f MB, want about 2.5 MB", mb)
+	}
+	// §2: "can transfer 64k words in about one second": full-track streaming
+	// moves SectorsPerTrack*256 words per revolution.
+	wordsPerSec := float64(g.SectorsPerTrack*PageWords) / g.RevTime.Seconds()
+	secFor64K := 65536 / wordsPerSec
+	if secFor64K < 0.5 || secFor64K > 1.5 {
+		t.Errorf("64K words take %.2f s at full rate, want about 1 s", secFor64K)
+	}
+}
+
+func TestTridentRoughlyTwiceDiablo(t *testing.T) {
+	d, tr := Diablo31(), Trident()
+	if tr.Bytes() < 2*d.Bytes()*9/10 {
+		t.Errorf("Trident capacity %d not about twice Diablo %d", tr.Bytes(), d.Bytes())
+	}
+	if tr.RevTime >= d.RevTime {
+		t.Errorf("Trident not faster than Diablo: rev %v vs %v", tr.RevTime, d.RevTime)
+	}
+}
+
+func TestGeometryValidateRejectsBadShapes(t *testing.T) {
+	cases := []Geometry{
+		{Name: "zero"},
+		{Name: "neg", Cylinders: -1, Heads: 2, SectorsPerTrack: 12, RevTime: time.Millisecond},
+		{Name: "huge", Cylinders: 4096, Heads: 16, SectorsPerTrack: 12, RevTime: time.Millisecond},
+		{Name: "norev", Cylinders: 10, Heads: 2, SectorsPerTrack: 12},
+	}
+	for _, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad geometry", g.Name)
+		}
+	}
+}
+
+func TestLocateAddressRoundTrip(t *testing.T) {
+	g := Diablo31()
+	f := func(raw uint16) bool {
+		a := VDA(int(raw) % g.NSectors())
+		cyl, head, sector := g.Locate(a)
+		if cyl < 0 || cyl >= g.Cylinders || head < 0 || head >= g.Heads ||
+			sector < 0 || sector >= g.SectorsPerTrack {
+			return false
+		}
+		return g.Address(cyl, head, sector) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekTime(t *testing.T) {
+	g := Diablo31()
+	if g.SeekTime(0) != 0 {
+		t.Error("zero-distance seek should be free")
+	}
+	if g.SeekTime(1) != g.SeekSettle {
+		t.Errorf("one-cylinder seek = %v, want settle time %v", g.SeekTime(1), g.SeekSettle)
+	}
+	if g.SeekTime(-5) != g.SeekTime(5) {
+		t.Error("seek time should be symmetric in direction")
+	}
+	if g.SeekTime(100) <= g.SeekTime(10) {
+		t.Error("longer seeks should cost more")
+	}
+}
+
+func TestSectorTime(t *testing.T) {
+	g := Diablo31()
+	got, want := g.SectorTime()*time.Duration(g.SectorsPerTrack), g.RevTime
+	if diff := want - got; diff < 0 || diff >= time.Duration(g.SectorsPerTrack) {
+		t.Errorf("sector times sum to %v, want one revolution %v (within integer rounding)", got, want)
+	}
+}

@@ -1,0 +1,143 @@
+package disk
+
+import "fmt"
+
+// FID is a file identifier: the two-word serial number from the page label
+// (§3.1). The top bit of the serial is reserved to mark directory files, so
+// that the Scavenger can identify every directory from labels alone (§3.4).
+type FID uint32
+
+// DirFIDBit marks a file identifier as belonging to a directory file.
+const DirFIDBit FID = 0x8000_0000
+
+// Well-known file identifiers. The paper gives the main directory and the
+// disk descriptor "standard names and disk addresses"; we fix their FIDs too
+// so that a freshly scavenged disk reconstructs identical structures.
+const (
+	// SysDirFID identifies the root directory (a directory file).
+	SysDirFID FID = DirFIDBit | 1
+	// DescriptorFID identifies the disk descriptor file.
+	DescriptorFID FID = 2
+	// BootFID identifies the boot file whose first page sits at BootVDA.
+	BootFID FID = 3
+	// FirstUserFID is the first serial handed to ordinary files.
+	FirstUserFID FID = 0x100
+)
+
+// IsDirectory reports whether the identifier names a directory file.
+func (f FID) IsDirectory() bool { return f&DirFIDBit != 0 }
+
+// String implements fmt.Stringer.
+func (f FID) String() string {
+	if f.IsDirectory() {
+		return fmt.Sprintf("dir#%d", uint32(f&^DirFIDBit))
+	}
+	return fmt.Sprintf("file#%d", uint32(f))
+}
+
+// FV is the (file identifier, version) pair that, with a page number, forms
+// a page's absolute name (§3.1).
+type FV struct {
+	FID     FID
+	Version Word
+}
+
+// String implements fmt.Stringer.
+func (fv FV) String() string { return fmt.Sprintf("%v!%d", fv.FID, fv.Version) }
+
+// Label is the seven-word absolute-plus-hint record carried by every sector
+// (§3.1):
+//
+//	F  file identifier — two words  (absolute)
+//	V  version number  — one word   (absolute)
+//	PN page number     — one word   (absolute)
+//	L  length in bytes — one word   (absolute)
+//	NL next link       — one word   (hint)
+//	PL previous link   — one word   (hint)
+//
+// A page is completely defined by its absolutes; the links are hints that
+// can be reconstructed from the absolutes by the Scavenger.
+type Label struct {
+	FID     FID
+	Version Word
+	PageNum Word
+	Length  Word // bytes of data in this page; full pages have PageBytes
+	Next    VDA  // address of page (FV, PN+1), or NilVDA
+	Prev    VDA  // address of page (FV, PN-1), or NilVDA
+}
+
+// FV returns the label's (file identifier, version) pair.
+func (l Label) FV() FV { return FV{l.FID, l.Version} }
+
+// Name returns the page's absolute name as a string, for diagnostics.
+func (l Label) Name() string {
+	return fmt.Sprintf("(%v, %d)", l.FV(), l.PageNum)
+}
+
+// Words encodes the label into its on-disk seven-word form.
+func (l Label) Words() [LabelWords]Word {
+	return [LabelWords]Word{
+		Word(l.FID >> 16),
+		Word(l.FID),
+		l.Version,
+		l.PageNum,
+		l.Length,
+		Word(l.Next),
+		Word(l.Prev),
+	}
+}
+
+// LabelFromWords decodes a seven-word on-disk label.
+func LabelFromWords(w [LabelWords]Word) Label {
+	return Label{
+		FID:     FID(w[0])<<16 | FID(w[1]),
+		Version: w[2],
+		PageNum: w[3],
+		Length:  w[4],
+		Next:    VDA(w[5]),
+		Prev:    VDA(w[6]),
+	}
+}
+
+// Free-page and bad-page sentinels. Freeing a page writes ones into label and
+// value "to ensure that any attempt to treat the page as part of a file will
+// fail with a label check error" (§3.3). Permanently bad pages are "marked in
+// the label with a special value so that they will never be used again"
+// (§3.5).
+var (
+	freeLabelWords = [LabelWords]Word{0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF}
+	badLabelWords  = [LabelWords]Word{0xFFFF, 0xFFFE, 0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF}
+)
+
+// FreeLabelWords returns the label pattern carried by free pages.
+func FreeLabelWords() [LabelWords]Word { return freeLabelWords }
+
+// BadLabelWords returns the label pattern that permanently retires a page.
+func BadLabelWords() [LabelWords]Word { return badLabelWords }
+
+// IsFreeLabel reports whether the words are the free-page pattern.
+func IsFreeLabel(w [LabelWords]Word) bool { return w == freeLabelWords }
+
+// IsBadLabel reports whether the words are the bad-page pattern.
+func IsBadLabel(w [LabelWords]Word) bool { return w == badLabelWords }
+
+// InUse reports whether the words describe a live page of some file (neither
+// free nor retired).
+func InUse(w [LabelWords]Word) bool { return !IsFreeLabel(w) && !IsBadLabel(w) }
+
+// Header is the two-word sector header: the pack number (different for each
+// removable pack) and the sector's own disk address (§3.3).
+type Header struct {
+	Pack Word
+	Addr VDA
+}
+
+// Words encodes the header into its on-disk two-word form.
+func (h Header) Words() [HeaderWords]Word {
+	return [HeaderWords]Word{h.Pack, Word(h.Addr)}
+}
+
+// HeaderFromWords decodes a two-word on-disk header.
+func HeaderFromWords(w [HeaderWords]Word) Header {
+	return Header{Pack: w[0], Addr: VDA(w[1])}
+}

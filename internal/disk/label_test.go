@@ -1,0 +1,107 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelWordsRoundTrip(t *testing.T) {
+	f := func(fid uint32, ver, pn, length uint16, next, prev uint16) bool {
+		l := Label{
+			FID:     FID(fid),
+			Version: ver,
+			PageNum: pn,
+			Length:  length,
+			Next:    VDA(next),
+			Prev:    VDA(prev),
+		}
+		return LabelFromWords(l.Words()) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryFIDs(t *testing.T) {
+	if !SysDirFID.IsDirectory() {
+		t.Error("SysDirFID must be a directory FID")
+	}
+	if DescriptorFID.IsDirectory() {
+		t.Error("DescriptorFID must not be a directory FID")
+	}
+	if BootFID.IsDirectory() {
+		t.Error("BootFID must not be a directory FID")
+	}
+	if f := FirstUserFID | DirFIDBit; !f.IsDirectory() {
+		t.Error("setting DirFIDBit must mark a FID as a directory")
+	}
+}
+
+func TestSentinelLabels(t *testing.T) {
+	free, bad := FreeLabelWords(), BadLabelWords()
+	if free == bad {
+		t.Fatal("free and bad label patterns must differ")
+	}
+	if !IsFreeLabel(free) || IsFreeLabel(bad) {
+		t.Error("IsFreeLabel misclassifies")
+	}
+	if !IsBadLabel(bad) || IsBadLabel(free) {
+		t.Error("IsBadLabel misclassifies")
+	}
+	if InUse(free) || InUse(bad) {
+		t.Error("sentinel labels must not be in use")
+	}
+	live := Label{FID: FirstUserFID, Version: 1, PageNum: 0}.Words()
+	if !InUse(live) {
+		t.Error("a live label must be in use")
+	}
+}
+
+func TestLiveLabelIsNeverASentinel(t *testing.T) {
+	// Property: no label produced by the file layer (version >= 1, FID with a
+	// zero upper bit pattern outside 0xFFFF) collides with the sentinels.
+	f := func(fid uint32, ver uint16, pn uint16) bool {
+		if ver == 0 {
+			ver = 1
+		}
+		if fid == 0xFFFFFFFF || fid == 0xFFFFFFFE {
+			fid = uint32(FirstUserFID)
+		}
+		w := Label{FID: FID(fid), Version: ver, PageNum: pn}.Words()
+		return InUse(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(pack, addr uint16) bool {
+		h := Header{Pack: pack, Addr: VDA(addr)}
+		return HeaderFromWords(h.Words()) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIDStrings(t *testing.T) {
+	if s := SysDirFID.String(); s != "dir#1" {
+		t.Errorf("SysDirFID.String() = %q", s)
+	}
+	if s := DescriptorFID.String(); s != "file#2" {
+		t.Errorf("DescriptorFID.String() = %q", s)
+	}
+}
+
+func TestLinkPatternWildcardsHints(t *testing.T) {
+	fv := FV{FID: 7, Version: 3}
+	pat := LinkPattern(fv, 5)
+	if pat[4] != 0 || pat[5] != 0 || pat[6] != 0 {
+		t.Error("length and links must be wildcards in a link pattern")
+	}
+	got := LabelFromWords(pat)
+	if got.FID != 7 || got.Version != 3 || got.PageNum != 5 {
+		t.Errorf("absolute name mangled: %+v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package disk
+
+import (
+	"strings"
+	"testing"
+
+	"altoos/internal/sim"
+)
+
+func TestStringers(t *testing.T) {
+	for _, s := range []string{
+		Read.String(), Check.String(), Write.String(), None.String(),
+		PartHeader.String(), PartLabel.String(), PartValue.String(),
+		Diablo31().String(),
+		FV{FID: 3, Version: 1}.String(),
+		Label{FID: 3, Version: 1, PageNum: 2}.Name(),
+		(&CheckError{Addr: 1, Part: PartLabel, WordIdx: 2, Expected: 3, OnDisk: 4}).Error(),
+	} {
+		if s == "" {
+			t.Fatal("empty Stringer output")
+		}
+	}
+	if got := Action(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown action: %q", got)
+	}
+	if got := Part(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown part: %q", got)
+	}
+}
+
+func TestPeekLabel(t *testing.T) {
+	d := newTestDrive(t)
+	lbl, ok := d.PeekLabel(0)
+	if !ok || !IsFreeLabel(lbl) {
+		t.Fatalf("PeekLabel(0) = %v %v", lbl, ok)
+	}
+	if _, ok := d.PeekLabel(VDA(d.Geometry().NSectors())); ok {
+		t.Fatal("PeekLabel out of range succeeded")
+	}
+}
+
+func TestZapAndCorrupt(t *testing.T) {
+	d := newTestDrive(t)
+	lbl := testLabel(0)
+	var v [PageWords]Word
+	fill(&v, 1)
+	if err := Allocate(d, 5, lbl, &v); err != nil {
+		t.Fatal(err)
+	}
+
+	d.ZapLabel(5, BadLabelWords())
+	raw, _ := d.PeekLabel(5)
+	if !IsBadLabel(raw) {
+		t.Fatal("ZapLabel did not take")
+	}
+
+	var ones [PageWords]Word
+	for i := range ones {
+		ones[i] = 0xFFFF
+	}
+	d.ZapValue(5, ones)
+
+	r := sim.NewRand(1)
+	before, _ := d.PeekLabel(5)
+	d.CorruptLabel(5, r)
+	after, _ := d.PeekLabel(5)
+	if before == after {
+		t.Fatal("CorruptLabel changed nothing")
+	}
+	d.CorruptValue(5, r) // must not panic; content intentionally unchecked
+
+	// Out-of-range injections are harmless no-ops.
+	big := VDA(d.Geometry().NSectors())
+	d.ZapLabel(big, BadLabelWords())
+	d.ZapValue(big, ones)
+	d.CorruptLabel(big, r)
+	d.CorruptValue(big, r)
+}
+
+func TestValidateRejectsUnknownAction(t *testing.T) {
+	d := newTestDrive(t)
+	var lbl [LabelWords]Word
+	err := d.Do(&Op{Addr: 0, Label: Action(7), LabelData: &lbl})
+	if err == nil {
+		t.Fatal("unknown action accepted")
+	}
+}
+
+func TestDriveConcurrentOperations(t *testing.T) {
+	// The drive serializes operations internally; concurrent clients (the
+	// keyboard process and the main program, say) must never corrupt
+	// sectors or the clock.
+	d := newTestDrive(t)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			var v [PageWords]Word
+			for i := 0; i < 50; i++ {
+				a := VDA(g*500 + i)
+				lbl := Label{FID: FID(0x100 + g), Version: 1, PageNum: Word(i),
+					Length: PageBytes, Next: NilVDA, Prev: NilVDA}
+				if err := Allocate(d, a, lbl, &v); err != nil {
+					done <- err
+					return
+				}
+				if err := ReadValue(d, a, lbl, &v); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Stats().Ops != 4*50*3 {
+		t.Fatalf("ops = %d", d.Stats().Ops)
+	}
+}

@@ -1,0 +1,151 @@
+package disk
+
+// Convenience constructors for the handful of operation shapes the system
+// uses. Higher layers are free to build Ops directly — the point of the open
+// design is that nothing here is privileged — but these helpers encode the
+// label discipline of §3.3 in one place:
+//
+//   - every access gives the page's full name, and the label is checked
+//     before it is read, written or rewritten;
+//   - a label is only written when freeing a page, when writing a page the
+//     first time after allocation, or when changing the length of a file;
+//   - each of those label writes is a separate operation from the check that
+//     precedes it, so it costs an extra disk revolution, while ordinary data
+//     reads and writes check the label in passing at no cost.
+
+// checkWords converts a Label to the pattern a Check expects. Wildcarding is
+// the caller's business: callers that want a guarded read of some field zero
+// it explicitly (see LinkPattern).
+func checkWords(l Label) [LabelWords]Word { return l.Words() }
+
+// ReadValue reads the 256-word value of the page named by expect, verifying
+// the label on the way past. On success the value is stored in *v.
+func ReadValue(dev Device, addr VDA, expect Label, v *[PageWords]Word) error {
+	lbl := checkWords(expect)
+	return dev.Do(&Op{
+		Addr:      addr,
+		Label:     Check,
+		LabelData: &lbl,
+		Value:     Read,
+		ValueData: v,
+	})
+}
+
+// WriteValue writes the 256-word value of the page named by expect, verifying
+// the label on the way past. The label itself is not touched, so this costs
+// no extra revolution.
+func WriteValue(dev Device, addr VDA, expect Label, v *[PageWords]Word) error {
+	lbl := checkWords(expect)
+	return dev.Do(&Op{
+		Addr:      addr,
+		Label:     Check,
+		LabelData: &lbl,
+		Value:     Write,
+		ValueData: v,
+	})
+}
+
+// LinkPattern builds a check pattern carrying only the absolute name
+// (FID, version, page number), with the length and both links wildcarded.
+// Checking with this pattern is how the system reads a page's links and
+// length while verifying its identity — the paper's "basic operation ... to
+// read the links, given the full name".
+func LinkPattern(fv FV, pn Word) [LabelWords]Word {
+	return [LabelWords]Word{
+		Word(fv.FID >> 16),
+		Word(fv.FID),
+		fv.Version,
+		pn,
+		0, // length: wildcard
+		0, // next link: wildcard
+		0, // previous link: wildcard
+	}
+}
+
+// ReadLabel reads back the full label of the page (FV, pn) expected at addr,
+// verifying the absolute name and filling in the hint fields from the disk.
+func ReadLabel(dev Device, addr VDA, fv FV, pn Word) (Label, error) {
+	pat := LinkPattern(fv, pn)
+	err := dev.Do(&Op{Addr: addr, Label: Check, LabelData: &pat})
+	if err != nil {
+		return Label{}, err
+	}
+	return LabelFromWords(pat), nil
+}
+
+// ReadAnyLabel reads the raw label at addr with no expectations — the
+// Scavenger's basic operation. The header is checked against the pack and
+// address to confirm the head reached the right sector.
+func ReadAnyLabel(dev Device, addr VDA) ([LabelWords]Word, error) {
+	hdr := Header{Pack: dev.Pack(), Addr: addr}.Words()
+	var lbl [LabelWords]Word
+	err := dev.Do(&Op{
+		Addr:       addr,
+		Header:     Check,
+		HeaderData: &hdr,
+		Label:      Read,
+		LabelData:  &lbl,
+	})
+	return lbl, err
+}
+
+// Allocate claims the page at addr for the label newLabel and writes its
+// first value. It is the "first time the page is written after it has been
+// allocated" case: the check is that the page is free, then the proper label
+// is written (§3.3). Two operations on the same sector: one revolution.
+func Allocate(dev Device, addr VDA, newLabel Label, v *[PageWords]Word) error {
+	pat := freeLabelWords
+	if err := dev.Do(&Op{Addr: addr, Label: Check, LabelData: &pat}); err != nil {
+		return err
+	}
+	lbl := newLabel.Words()
+	return dev.Do(&Op{
+		Addr:      addr,
+		Label:     Write,
+		LabelData: &lbl,
+		Value:     Write,
+		ValueData: v,
+	})
+}
+
+// Free releases the page named by expect: its full name must be given, the
+// check is that the label is the right one, and then ones are written into
+// label and value (§3.3). One revolution.
+func Free(dev Device, addr VDA, expect Label) error {
+	pat := checkWords(expect)
+	if err := dev.Do(&Op{Addr: addr, Label: Check, LabelData: &pat}); err != nil {
+		return err
+	}
+	lbl := freeLabelWords
+	var ones [PageWords]Word
+	for i := range ones {
+		ones[i] = 0xFFFF
+	}
+	return dev.Do(&Op{
+		Addr:      addr,
+		Label:     Write,
+		LabelData: &lbl,
+		Value:     Write,
+		ValueData: &ones,
+	})
+}
+
+// Relabel rewrites the label of the page named by expect — the "change the
+// length of the file" case (§3.3): the old label is read and checked, then
+// rewritten with new values. The value must be rewritten too (a write
+// continues through the rest of the sector), so the caller supplies it.
+// One revolution.
+func Relabel(dev Device, addr VDA, expect, newLabel Label, v *[PageWords]Word) error {
+	pat := checkWords(expect)
+	if err := dev.Do(&Op{Addr: addr, Label: Check, LabelData: &pat}); err != nil {
+		return err
+	}
+	lbl := newLabel.Words()
+	return dev.Do(&Op{
+		Addr:      addr,
+		Label:     Write,
+		LabelData: &lbl,
+		Value:     Write,
+		ValueData: v,
+	})
+}

@@ -1,0 +1,215 @@
+// Package ether simulates the experimental 3 Mb/s Ethernet the Alto was
+// attached to. The paper standardizes "the representation ... of packets on
+// the network" below all software (§1) and uses the network in its
+// activity-switching example (§4): a printing server whose spooler task
+// accepts files from the network while its printer task runs.
+//
+// The model is a broadcast medium: every station sees every packet
+// (filtering on the destination address), transmission charges the shared
+// virtual clock at the wire rate, and stations poll their input queues —
+// there are no interrupts beyond the keyboard on this machine.
+package ether
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"altoos/internal/sim"
+)
+
+// Word is the unit of packet payloads, as everywhere in the system.
+type Word = uint16
+
+// Addr is a station address. Address 0 broadcasts.
+type Addr = uint16
+
+// Broadcast is the all-stations destination.
+const Broadcast Addr = 0
+
+// WireTime is the serialization time per 16-bit word at 3 Mb/s
+// (16 bits / 3,000,000 bits per second ≈ 5.33 µs).
+const WireTime = 16 * time.Second / 3_000_000
+
+// HeaderWords is the packet header size on the wire (dst, src, type).
+const HeaderWords = 3
+
+// MaxPayload bounds a packet to roughly the Alto's packet buffer: one page.
+const MaxPayload = 256
+
+// Packet is the standardized wire representation: destination, source, a
+// type word, and up to a page of payload words.
+type Packet struct {
+	Dst     Addr
+	Src     Addr
+	Type    Word
+	Payload []Word
+}
+
+// Errors.
+var (
+	// ErrTooBig reports a payload over MaxPayload words.
+	ErrTooBig = errors.New("ether: packet too big")
+	// ErrNoStation reports a send from an unattached station.
+	ErrNoStation = errors.New("ether: station not attached")
+	// ErrAddrInUse reports a duplicate station address.
+	ErrAddrInUse = errors.New("ether: address in use")
+)
+
+// Network is the shared medium.
+type Network struct {
+	mu       sync.Mutex
+	clock    *sim.Clock
+	stations map[Addr]*Station
+	sent     int64
+	words    int64
+}
+
+// New creates a network advancing clock (nil for a private clock).
+func New(clock *sim.Clock) *Network {
+	if clock == nil {
+		clock = sim.NewClock()
+	}
+	return &Network{clock: clock, stations: map[Addr]*Station{}}
+}
+
+// Clock returns the network's clock.
+func (n *Network) Clock() *sim.Clock { return n.clock }
+
+// Stats returns packets and words carried so far.
+func (n *Network) Stats() (packets, words int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.words
+}
+
+// Station is one attachment point: an input queue plus the network.
+type Station struct {
+	net  *Network
+	addr Addr
+
+	mu sync.Mutex
+	in []Packet
+}
+
+// Attach adds a station at addr (which must be nonzero and unused).
+func (n *Network) Attach(addr Addr) (*Station, error) {
+	if addr == Broadcast {
+		return nil, fmt.Errorf("%w: 0 is the broadcast address", ErrAddrInUse)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.stations[addr]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrAddrInUse, addr)
+	}
+	s := &Station{net: n, addr: addr}
+	n.stations[addr] = s
+	return s, nil
+}
+
+// Detach removes the station from the medium.
+func (s *Station) Detach() {
+	s.net.mu.Lock()
+	defer s.net.mu.Unlock()
+	delete(s.net.stations, s.addr)
+}
+
+// Addr returns the station's address.
+func (s *Station) Addr() Addr { return s.addr }
+
+// Send transmits a packet (source filled in), charging wire time.
+func (s *Station) Send(p Packet) error {
+	if len(p.Payload) > MaxPayload {
+		return fmt.Errorf("%w: %d words", ErrTooBig, len(p.Payload))
+	}
+	p.Src = s.addr
+	n := s.net
+	n.mu.Lock()
+	if n.stations[s.addr] != s {
+		n.mu.Unlock()
+		return ErrNoStation
+	}
+	n.sent++
+	n.words += int64(len(p.Payload) + HeaderWords)
+	// Copy the payload: the wire serializes, it does not alias.
+	cp := p
+	cp.Payload = append([]Word(nil), p.Payload...)
+	var dsts []*Station
+	for a, st := range n.stations {
+		if st == s {
+			continue
+		}
+		if p.Dst == Broadcast || p.Dst == a {
+			dsts = append(dsts, st)
+		}
+	}
+	n.mu.Unlock()
+
+	n.clock.Advance(time.Duration(len(p.Payload)+HeaderWords) * WireTime)
+	for _, st := range dsts {
+		st.mu.Lock()
+		st.in = append(st.in, cp)
+		st.mu.Unlock()
+	}
+	return nil
+}
+
+// Recv polls the input queue, returning the oldest packet if any.
+func (s *Station) Recv() (Packet, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.in) == 0 {
+		return Packet{}, false
+	}
+	p := s.in[0]
+	s.in = s.in[1:]
+	return p, true
+}
+
+// Pending reports queued packet count.
+func (s *Station) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.in)
+}
+
+// PackString converts a string into payload words (length-prefixed, two
+// bytes per word) and back — the standardized representation both ends
+// share regardless of their implementation language (§1).
+func PackString(str string) []Word {
+	if len(str) > 2*MaxPayload-2 {
+		str = str[:2*MaxPayload-2]
+	}
+	out := make([]Word, 1+(len(str)+1)/2)
+	out[0] = Word(len(str))
+	for i := 0; i < len(str); i++ {
+		if i%2 == 0 {
+			out[1+i/2] |= Word(str[i]) << 8
+		} else {
+			out[1+i/2] |= Word(str[i])
+		}
+	}
+	return out
+}
+
+// UnpackString is the inverse of PackString.
+func UnpackString(w []Word) (string, error) {
+	if len(w) == 0 {
+		return "", errors.New("ether: empty payload")
+	}
+	n := int(w[0])
+	if 1+(n+1)/2 > len(w) {
+		return "", fmt.Errorf("ether: truncated string: %d bytes in %d words", n, len(w))
+	}
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		word := w[1+i/2]
+		if i%2 == 0 {
+			buf[i] = byte(word >> 8)
+		} else {
+			buf[i] = byte(word)
+		}
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,150 @@
+package ether
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"altoos/internal/sim"
+)
+
+func TestSendRecv(t *testing.T) {
+	n := New(nil)
+	a, err := n.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(Packet{Dst: 2, Type: 7, Payload: []Word{10, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := b.Recv()
+	if !ok {
+		t.Fatal("no packet delivered")
+	}
+	if p.Src != 1 || p.Dst != 2 || p.Type != 7 || len(p.Payload) != 2 || p.Payload[1] != 20 {
+		t.Fatalf("packet %+v", p)
+	}
+	if _, ok := b.Recv(); ok {
+		t.Fatal("phantom second packet")
+	}
+	if _, ok := a.Recv(); ok {
+		t.Fatal("sender received its own unicast")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := New(nil)
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	c, _ := n.Attach(3)
+	if err := a.Send(Packet{Dst: Broadcast, Type: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() != 1 || c.Pending() != 1 {
+		t.Fatal("broadcast not delivered to all others")
+	}
+	if a.Pending() != 0 {
+		t.Fatal("broadcast echoed to sender")
+	}
+}
+
+func TestAddressFiltering(t *testing.T) {
+	n := New(nil)
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	c, _ := n.Attach(3)
+	a.Send(Packet{Dst: 3})
+	if b.Pending() != 0 {
+		t.Fatal("station 2 saw a packet for 3")
+	}
+	if c.Pending() != 1 {
+		t.Fatal("station 3 missed its packet")
+	}
+}
+
+func TestWireTimeCharged(t *testing.T) {
+	clock := sim.NewClock()
+	n := New(clock)
+	a, _ := n.Attach(1)
+	n.Attach(2)
+	before := clock.Now()
+	payload := make([]Word, 100)
+	if err := a.Send(Packet{Dst: 2, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(100+HeaderWords) * WireTime
+	if got := clock.Now() - before; got != want {
+		t.Fatalf("wire time %v, want %v", got, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	n := New(nil)
+	if _, err := n.Attach(0); !errors.Is(err, ErrAddrInUse) {
+		t.Error("attached at broadcast address")
+	}
+	a, _ := n.Attach(1)
+	if _, err := n.Attach(1); !errors.Is(err, ErrAddrInUse) {
+		t.Error("duplicate address accepted")
+	}
+	if err := a.Send(Packet{Dst: 2, Payload: make([]Word, MaxPayload+1)}); !errors.Is(err, ErrTooBig) {
+		t.Error("oversized packet accepted")
+	}
+	a.Detach()
+	if err := a.Send(Packet{Dst: 2}); !errors.Is(err, ErrNoStation) {
+		t.Error("detached station could send")
+	}
+}
+
+func TestPayloadIsCopied(t *testing.T) {
+	n := New(nil)
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	payload := []Word{1, 2, 3}
+	a.Send(Packet{Dst: 2, Payload: payload})
+	payload[0] = 99
+	p, _ := b.Recv()
+	if p.Payload[0] != 1 {
+		t.Fatal("payload aliased, not serialized")
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := New(nil)
+	a, _ := n.Attach(1)
+	n.Attach(2)
+	a.Send(Packet{Dst: 2, Payload: make([]Word, 10)})
+	a.Send(Packet{Dst: 2})
+	pkts, words := n.Stats()
+	if pkts != 2 || words != int64(10+HeaderWords+HeaderWords) {
+		t.Fatalf("stats %d pkts %d words", pkts, words)
+	}
+}
+
+func TestStringPackingProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) > 400 {
+			raw = raw[:400]
+		}
+		s := string(raw)
+		got, err := UnpackString(PackString(s))
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackRejectsDamage(t *testing.T) {
+	if _, err := UnpackString(nil); err == nil {
+		t.Error("accepted empty payload")
+	}
+	if _, err := UnpackString([]Word{500, 0}); err == nil {
+		t.Error("accepted truncated string")
+	}
+}

@@ -1,0 +1,452 @@
+package exec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"altoos/internal/asm"
+	"altoos/internal/cpu"
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/stream"
+	"altoos/internal/swap"
+	"altoos/internal/zone"
+)
+
+// world is a complete machine for tests: drive, fs, memory, zone, OS, CPU.
+type world struct {
+	drive *disk.Drive
+	os    *OS
+	cpu   *cpu.CPU
+	exec  *Executive
+	out   *bytes.Buffer
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	d, err := disk.NewDrive(disk.Diablo31(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.InitRoot(fs); err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	z, err := zone.New(m, 0x7000, 0x7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	o := NewOS(fs, m, z, stream.NewKeyboard(), stream.NewDisplay(&out))
+	c := cpu.New(m, d.Clock(), o)
+	return &world{drive: d, os: o, cpu: c, exec: NewExecutive(o, c), out: &out}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	m := mem.New()
+	for _, s := range []string{"", "a", "ab", "hello.dat", strings.Repeat("x", 255)} {
+		WriteString(m, 0x100, s)
+		if got := readString(m, 0x100); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestHelloProgramViaFixups(t *testing.T) {
+	w := newWorld(t)
+	// A program that prints "hi" by JSR through fixed-up OS vectors — the
+	// §5.1 binding mechanism.
+	p := asm.MustAssemble(`
+START:	LDA 0, CH
+	JSR @PUTC
+	LDA 0, CI
+	JSR @PUTC
+	HALT
+CH:	.word 'h'
+CI:	.word 'i'
+PUTC:	.word 0     ; bound by the loader to the PUTC stub
+`)
+	fix, err := FixupsFor(p, map[string]uint16{"PUTC": SysPutc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCodeFile(w.os, "hello.run", p, fix); err != nil {
+		t.Fatal(err)
+	}
+	ld := &Loader{OS: w.os}
+	if _, err := ld.RunProgram(w.cpu, "hello.run", 10000); err != nil {
+		t.Fatal(err)
+	}
+	if w.out.String() != "hi" {
+		t.Fatalf("output %q, want %q", w.out.String(), "hi")
+	}
+}
+
+func TestProgramFileIO(t *testing.T) {
+	w := newWorld(t)
+	// Write a file from machine code, then read it back from machine code.
+	writer := asm.MustAssemble(`
+START:	LDA 0, NAME+0   ; no-op to reference; real arg below
+	LDA 0, NAMEP
+	SYS 4           ; OpenW -> AC0 handle
+	STA 0, H
+	LDA 1, BYTE
+	LDA 0, H
+	SYS 6           ; Putb
+	LDA 0, H
+	SYS 7           ; Close
+	HALT
+NAMEP:	.word NAME
+H:	.word 0
+BYTE:	.word 'Q'
+NAME:	.blk 4
+`)
+	// Patch the name string "out.dat" into NAME manually after load — or
+	// simpler: deposit it via WriteString before running.
+	fixups := []Fixup(nil)
+	if err := WriteCodeFile(w.os, "writer.run", writer, fixups); err != nil {
+		t.Fatal(err)
+	}
+	ld := &Loader{OS: w.os}
+	entry, err := ld.Load("writer.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteString(w.os.Mem, writer.Symbols["NAME"], "out.dat")
+	w.cpu.Reset(entry)
+	if _, err := w.cpu.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+
+	fn, err := dir.ResolveName(w.os.FS, "out.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.os.FS.Open(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := stream.NewDisk(f, w.os.Zone, w.os.Mem, stream.ReadMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.ReadAll(s)
+	s.Close()
+	if err != nil || string(got) != "Q" {
+		t.Fatalf("file contents %q err %v", got, err)
+	}
+}
+
+func TestGetcFromTypeAhead(t *testing.T) {
+	w := newWorld(t)
+	w.os.Keyboard.TypeAhead("Z")
+	p := asm.MustAssemble(`
+START:	SYS 2       ; Getc
+	SYS 1       ; Putc (echo)
+	SYS 2       ; Getc again: empty -> AC0=0xFFFF, carry
+	STA 0, OUT
+	HALT
+OUT:	.word 0
+`)
+	if err := WriteCodeFile(w.os, "echo.run", p, nil); err != nil {
+		t.Fatal(err)
+	}
+	ld := &Loader{OS: w.os}
+	if _, err := ld.RunProgram(w.cpu, "echo.run", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if w.out.String() != "Z" {
+		t.Fatalf("echo %q", w.out.String())
+	}
+	if got := w.os.Mem.Load(p.Symbols["OUT"]); got != 0xFFFF {
+		t.Fatalf("empty Getc = %#x", got)
+	}
+}
+
+func TestChainLoading(t *testing.T) {
+	w := newWorld(t)
+	second := asm.MustAssemble(`
+START:	LDA 0, CB
+	SYS 1
+	HALT
+CB:	.word 'B'
+`)
+	if err := WriteCodeFile(w.os, "second.run", second, nil); err != nil {
+		t.Fatal(err)
+	}
+	first := asm.MustAssemble(`
+START:	LDA 0, CA
+	SYS 1
+	LDA 0, NAMEP
+	SYS 10      ; Chain
+	HALT        ; never reached
+CA:	.word 'A'
+NAMEP:	.word NAME
+NAME:	.blk 6
+`)
+	if err := WriteCodeFile(w.os, "first.run", first, nil); err != nil {
+		t.Fatal(err)
+	}
+	ld := &Loader{OS: w.os}
+	entry, err := ld.Load("first.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteString(w.os.Mem, first.Symbols["NAME"], "second.run")
+	w.cpu.Reset(entry)
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	name, ok := w.os.TakeChain()
+	if !ok || name != "second.run" {
+		t.Fatalf("chain = %q, %v", name, ok)
+	}
+	if _, err := ld.RunProgram(w.cpu, name, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if w.out.String() != "AB" {
+		t.Fatalf("output %q, want AB", w.out.String())
+	}
+}
+
+// The paper's §4.1 coroutine: two programs alternate via OutLoad/InLoad,
+// each seeing the other's messages. This exercises genuine whole-machine
+// state save/restore through the file system.
+func TestWorldSwapCoroutine(t *testing.T) {
+	w := newWorld(t)
+	// Program: prints its tag, OutLoads itself; if written (AC0=1), InLoads
+	// the partner; when resumed (AC0=0), prints tag again and halts.
+	src := func(tag byte) string {
+		return `
+START:	LDA 0, TAG
+	SYS 1           ; print tag
+	LDA 0, MYFN
+	SYS 8           ; OutLoad -> AC0: 1 written, 0 resumed
+	MOV# 0, 0, SZR  ; skip if AC0 == 0 (resumed)
+	JMP WRITTEN
+	LDA 0, TAG      ; resumed path
+	SYS 1
+	HALT
+WRITTEN: LDA 0, PARTFN
+	LDA 1, MSG
+	SYS 9           ; InLoad partner (never returns)
+	HALT
+MSG:	.blk 20
+TAG:	.word '` + string(tag) + `'
+MYFN:	.word MYNAME
+PARTFN:	.word PARTNAME
+MYNAME:	.blk 8
+PARTNAME: .blk 8
+`
+	}
+	progA := asm.MustAssemble(src('A'))
+	if err := WriteCodeFile(w.os, "coroA.run", progA, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ld := &Loader{OS: w.os}
+	entry, err := ld.Load("coroA.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteString(w.os.Mem, progA.Symbols["MYNAME"], "A.state")
+	WriteString(w.os.Mem, progA.Symbols["PARTNAME"], "B.state")
+
+	// Run A until it has OutLoaded itself and is about to InLoad B. B's
+	// state doesn't exist yet, so A's InLoad will fail; instead we stop A
+	// right after its OutLoad by running it and catching the error.
+	w.cpu.Reset(entry)
+	_, err = w.cpu.Run(100000)
+	if err == nil {
+		t.Fatal("expected A's InLoad of missing B.state to fail")
+	}
+	if got := w.out.String(); got != "A" {
+		t.Fatalf("A printed %q before swap", got)
+	}
+
+	// Now "B" is simply A's saved state under another name — restore it and
+	// run: the restored program continues after OutLoad with written=false
+	// and prints its tag again.
+	fn, err := dir.ResolveName(w.os.FS, "A.state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msg swap.Message
+	if err := swap.InLoad(w.os.FS, w.cpu, fn, msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.cpu.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.out.String(); got != "AA" {
+		t.Fatalf("after restore, output %q, want AA", got)
+	}
+}
+
+func TestExecutiveCommands(t *testing.T) {
+	w := newWorld(t)
+	// Seed a file.
+	f, err := w.os.FS.Create("note.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := dir.OpenRoot(w.os.FS)
+	if err := root.Insert("note.txt", f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := stream.NewDisk(f, w.os.Zone, w.os.Mem, stream.UpdateMode)
+	stream.PutString(s, "contents here")
+	s.Close()
+
+	w.os.Keyboard.TypeAhead("ls\ntype note.txt\nfree\nhelp\nquit\n")
+	if err := w.exec.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := w.out.String()
+	for _, want := range []string{"note.txt", "contents here", "free pages", "commands:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("executive output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExecutiveDelete(t *testing.T) {
+	w := newWorld(t)
+	f, _ := w.os.FS.Create("gone.txt")
+	root, _ := dir.OpenRoot(w.os.FS)
+	root.Insert("gone.txt", f.FN())
+
+	if _, err := w.exec.Execute("delete gone.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Lookup("gone.txt"); err == nil {
+		t.Fatal("entry survives delete")
+	}
+	if _, err := w.exec.Execute("delete gone.txt"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestExecutiveScavengeCommand(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.exec.Execute("scavenge"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.out.String(), "scavenge:") {
+		t.Fatalf("no scavenge report in %q", w.out.String())
+	}
+	// The swapped-in FS must still work.
+	if _, err := w.exec.Execute("free"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutiveUnknownProgram(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.exec.Execute("nonesuch"); err == nil {
+		t.Fatal("running a missing program should fail")
+	}
+}
+
+func TestBootImage(t *testing.T) {
+	w := newWorld(t)
+	p := asm.MustAssemble(`
+START:	LDA 0, CB
+	SYS 1
+	HALT
+CB:	.word '!'
+`)
+	if _, err := MakeBootImage(w.os, p); err != nil {
+		t.Fatal(err)
+	}
+	// Boot the machine: state restored from the fixed sector, program runs.
+	if err := swap.Boot(w.os.FS, w.cpu); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if w.out.String() != "!" {
+		t.Fatalf("boot output %q", w.out.String())
+	}
+}
+
+func TestBootFNWithoutBootFile(t *testing.T) {
+	w := newWorld(t)
+	if _, err := swap.BootFN(w.drive); err == nil {
+		t.Fatal("BootFN on a disk with no boot file should fail")
+	}
+}
+
+func TestStateFileRoundTripPreservesMachine(t *testing.T) {
+	w := newWorld(t)
+	// Fill memory with a pattern, save, scribble, load, compare.
+	for i := 0; i < mem.Words; i += 7 {
+		w.os.Mem.Store(uint16(i), uint16(i*3))
+	}
+	w.cpu.AC = [4]uint16{1, 2, 3, 4}
+	w.cpu.PC = 0x1234
+	w.cpu.Carry = true
+	sum := w.os.Mem.Checksum()
+
+	root, _ := dir.OpenRoot(w.os.FS)
+	f, err := w.os.FS.Create("m.state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.Insert("m.state", f.FN())
+	if err := swap.SaveState(w.os.FS, w.cpu, f.FN()); err != nil {
+		t.Fatal(err)
+	}
+
+	w.os.Mem.Store(100, 0xDEAD)
+	w.cpu.AC = [4]uint16{}
+	w.cpu.PC = 0
+	w.cpu.Carry = false
+
+	if err := swap.LoadState(w.os.FS, w.cpu, f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	if w.os.Mem.Checksum() != sum {
+		t.Error("memory not restored exactly")
+	}
+	if w.cpu.AC != [4]uint16{1, 2, 3, 4} || w.cpu.PC != 0x1234 || !w.cpu.Carry {
+		t.Errorf("registers not restored: %v", w.cpu)
+	}
+}
+
+func TestSecondSaveIsFasterThanFirst(t *testing.T) {
+	// §4.1: OutLoad takes "about a second". The installed case (file already
+	// sized) streams at full disk rate; the first save pays allocation.
+	w := newWorld(t)
+	root, _ := dir.OpenRoot(w.os.FS)
+	f, _ := w.os.FS.Create("t.state")
+	root.Insert("t.state", f.FN())
+
+	clock := w.drive.Clock()
+	t0 := clock.Now()
+	if err := swap.SaveState(w.os.FS, w.cpu, f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	first := clock.Now() - t0
+
+	t1 := clock.Now()
+	if err := swap.SaveState(w.os.FS, w.cpu, f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	second := clock.Now() - t1
+
+	if second >= first {
+		t.Errorf("installed save (%v) not faster than first save (%v)", second, first)
+	}
+	if secs := second.Seconds(); secs < 0.3 || secs > 3 {
+		t.Errorf("installed save took %.2fs, want about a second", secs)
+	}
+}

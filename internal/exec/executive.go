@@ -1,0 +1,357 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"altoos/internal/cpu"
+	"altoos/internal/dir"
+	"altoos/internal/scavenge"
+	"altoos/internal/stream"
+)
+
+// Executive is the standard command interpreter (§5.1): "If the program
+// returns, the system loads and runs a standard Executive program. The
+// Executive accepts user commands from the keyboard and executes them,
+// often by calling the loader to invoke a program the user has requested."
+//
+// Built-in commands operate on the file system; anything else is taken as
+// the name of a code file to load and run. Commands read from the keyboard
+// stream, so type-ahead entered during a program is interpreted by the
+// Executive afterwards, per §5.2.
+type Executive struct {
+	OS     *OS
+	CPU    *cpu.CPU
+	Loader *Loader
+
+	// MaxSteps bounds each program run (0 = unbounded).
+	MaxSteps int64
+
+	// Extra holds user-installed commands, tried before programs — the open
+	// system's way of extending its command interpreter without replacing
+	// it. A command receives its arguments and the Executive.
+	Extra map[string]func(e *Executive, args []string) error
+}
+
+// InstallCommand registers (or replaces) an Executive command.
+func (e *Executive) InstallCommand(name string, fn func(e *Executive, args []string) error) {
+	if e.Extra == nil {
+		e.Extra = map[string]func(*Executive, []string) error{}
+	}
+	e.Extra[name] = fn
+}
+
+// NewExecutive wires an Executive over the resident system.
+func NewExecutive(o *OS, c *cpu.CPU) *Executive {
+	return &Executive{OS: o, CPU: c, Loader: &Loader{OS: o}, MaxSteps: 10_000_000}
+}
+
+// printf writes to the display stream.
+func (e *Executive) printf(format string, args ...any) {
+	_ = stream.PutString(e.OS.Display, fmt.Sprintf(format, args...))
+}
+
+// ReadLine collects one command line from the keyboard stream, echoing.
+// It returns false when the keyboard has nothing more to offer (type-ahead
+// exhausted): a simulated session, unlike a real one, eventually ends.
+func (e *Executive) ReadLine() (string, bool) {
+	var b strings.Builder
+	for {
+		ch, err := e.OS.Keyboard.Get()
+		if errors.Is(err, stream.ErrNoInput) {
+			if b.Len() > 0 {
+				return b.String(), true
+			}
+			return "", false
+		}
+		if err != nil {
+			return "", false
+		}
+		if ch == '\n' || ch == '\r' {
+			_ = e.OS.Display.Put('\n')
+			return b.String(), true
+		}
+		_ = e.OS.Display.Put(ch)
+		b.WriteByte(ch)
+	}
+}
+
+// Run interprets commands until the keyboard runs dry or "quit".
+func (e *Executive) Run() error {
+	for {
+		e.printf(">")
+		line, ok := e.ReadLine()
+		if !ok {
+			return nil
+		}
+		quit, err := e.Execute(line)
+		if err != nil {
+			e.printf("?%v\n", err)
+		}
+		if quit {
+			return nil
+		}
+	}
+}
+
+// Execute runs a single command line. It returns quit=true for "quit".
+func (e *Executive) Execute(line string) (quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false, nil
+	}
+	cmd, args := strings.ToLower(fields[0]), fields[1:]
+	if fn, ok := e.Extra[cmd]; ok {
+		return false, fn(e, args)
+	}
+	switch cmd {
+	case "quit":
+		return true, nil
+
+	case "ls":
+		root, err := dir.OpenRoot(e.OS.FS)
+		if err != nil {
+			return false, err
+		}
+		entries, err := root.List()
+		if err != nil {
+			return false, err
+		}
+		for _, en := range entries {
+			f, err := e.OS.FS.Open(en.FN)
+			size := -1
+			if err == nil {
+				size = f.Size()
+			}
+			e.printf("%-24s %8d  %v\n", en.Name, size, en.FN.FV)
+		}
+		return false, nil
+
+	case "type":
+		if len(args) != 1 {
+			return false, errors.New("usage: type <file>")
+		}
+		fn, err := dir.ResolveName(e.OS.FS, args[0])
+		if err != nil {
+			return false, err
+		}
+		f, err := e.OS.FS.Open(fn)
+		if err != nil {
+			return false, err
+		}
+		s, err := stream.NewDisk(f, e.OS.Zone, e.OS.Mem, stream.ReadMode)
+		if err != nil {
+			return false, err
+		}
+		defer s.Close()
+		_, err = stream.Pump(e.OS.Display, s)
+		return false, err
+
+	case "delete":
+		if len(args) != 1 {
+			return false, errors.New("usage: delete <file>")
+		}
+		root, err := dir.OpenRoot(e.OS.FS)
+		if err != nil {
+			return false, err
+		}
+		fn, err := root.Lookup(args[0])
+		if err != nil {
+			return false, err
+		}
+		f, err := e.OS.FS.Open(fn)
+		if err != nil {
+			return false, err
+		}
+		if err := f.Delete(); err != nil {
+			return false, err
+		}
+		return false, root.Remove(args[0])
+
+	case "rename":
+		if len(args) != 2 {
+			return false, errors.New("usage: rename <old> <new>")
+		}
+		root, err := dir.OpenRoot(e.OS.FS)
+		if err != nil {
+			return false, err
+		}
+		fn, err := root.Lookup(args[0])
+		if err != nil {
+			return false, err
+		}
+		// Names and files are independent (§3.4): renaming rebinds the
+		// directory entry and refreshes the leader name so the Scavenger
+		// would adopt under the new name too.
+		if err := root.Insert(args[1], fn); err != nil {
+			return false, err
+		}
+		if err := root.Remove(args[0]); err != nil {
+			return false, err
+		}
+		if f, err := e.OS.FS.Open(fn); err == nil {
+			if err := f.Rename(args[1]); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+
+	case "copy":
+		if len(args) != 2 {
+			return false, errors.New("usage: copy <src> <dst>")
+		}
+		fn, err := dir.ResolveName(e.OS.FS, args[0])
+		if err != nil {
+			return false, err
+		}
+		srcF, err := e.OS.FS.Open(fn)
+		if err != nil {
+			return false, err
+		}
+		src, err := stream.NewDisk(srcF, e.OS.Zone, e.OS.Mem, stream.ReadMode)
+		if err != nil {
+			return false, err
+		}
+		defer src.Close()
+		dstF, err := e.OS.createOrTruncate(args[1])
+		if err != nil {
+			return false, err
+		}
+		dst, err := stream.NewDisk(dstF, e.OS.Zone, e.OS.Mem, stream.WriteMode)
+		if err != nil {
+			return false, err
+		}
+		defer dst.Close()
+		n, err := stream.Pump(dst, src)
+		if err != nil {
+			return false, err
+		}
+		e.printf("copied %d bytes\n", n)
+		return false, nil
+
+	case "free":
+		e.printf("%d free pages of %d\n",
+			e.OS.FS.FreeCount(), e.OS.FS.Device().Geometry().NSectors())
+		return false, nil
+
+	case "scavenge":
+		fs2, rep, err := scavenge.Run(e.OS.FS.Device())
+		if err != nil {
+			return false, err
+		}
+		e.OS.FS = fs2
+		e.printf("%s\n", rep)
+		return false, nil
+
+	case "compact":
+		fs2, rep, err := scavenge.Compact(e.OS.FS.Device())
+		if err != nil {
+			return false, err
+		}
+		e.OS.FS = fs2
+		e.printf("%s\n", rep)
+		return false, nil
+
+	case "dump":
+		if len(args) != 1 {
+			return false, errors.New("usage: dump <file>")
+		}
+		fn, err := dir.ResolveName(e.OS.FS, args[0])
+		if err != nil {
+			return false, err
+		}
+		f, err := e.OS.FS.Open(fn)
+		if err != nil {
+			return false, err
+		}
+		s, err := stream.NewDisk(f, e.OS.Zone, e.OS.Mem, stream.ReadMode)
+		if err != nil {
+			return false, err
+		}
+		defer s.Close()
+		pos := 0
+		line := make([]byte, 0, 16)
+		flush := func() {
+			if len(line) == 0 {
+				return
+			}
+			e.printf("%06x ", pos-len(line))
+			for i := 0; i < 16; i++ {
+				if i < len(line) {
+					e.printf("%02x ", line[i])
+				} else {
+					e.printf("   ")
+				}
+			}
+			e.printf(" |")
+			for _, b := range line {
+				if b >= 0x20 && b < 0x7F {
+					e.printf("%c", b)
+				} else {
+					e.printf(".")
+				}
+			}
+			e.printf("|\n")
+			line = line[:0]
+		}
+		for {
+			b, err := s.Get()
+			if err != nil {
+				break
+			}
+			line = append(line, b)
+			pos++
+			if len(line) == 16 {
+				flush()
+			}
+		}
+		flush()
+		return false, nil
+
+	case "login":
+		if e.OS.Hints == nil {
+			return false, errors.New("no resident data region")
+		}
+		if len(args) == 0 {
+			name := e.OS.Hints.User()
+			if name == "" {
+				name = "(nobody)"
+			}
+			e.printf("user: %s\n", name)
+			return false, nil
+		}
+		e.OS.Hints.SetUser(args[0])
+		return false, nil
+
+	case "stats":
+		st := e.OS.FS.Stats()
+		e.printf("allocs=%d retries=%d frees=%d hint-hits=%d chases=%d\n",
+			st.Allocs, st.AllocRetries, st.Frees, st.HintHits, st.LinkChases)
+		return false, nil
+
+	case "help":
+		cmds := []string{"ls", "type <f>", "delete <f>", "rename <a> <b>", "copy <a> <b>",
+			"dump <f>", "free", "stats", "scavenge", "compact", "run <prog>", "quit", "help"}
+		sort.Strings(cmds)
+		e.printf("commands: %s; anything else runs a code file\n", strings.Join(cmds, ", "))
+		return false, nil
+
+	case "run":
+		if len(args) != 1 {
+			return false, errors.New("usage: run <program>")
+		}
+		cmd = args[0]
+		fallthrough
+	default:
+		// §5.1: the Executive invokes a program the user has requested.
+		n, err := e.Loader.RunProgram(e.CPU, cmd, e.MaxSteps)
+		e.OS.CloseAll()
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", cmd, err)
+		}
+		e.printf("[%s: %d instructions]\n", cmd, n)
+		return false, nil
+	}
+}

@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"altoos/internal/dir"
+	"altoos/internal/stream"
+)
+
+func seedFile(t *testing.T, w *world, name, body string) {
+	t.Helper()
+	f, err := w.os.FS.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := dir.OpenRoot(w.os.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Insert(name, f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := stream.NewDisk(f, w.os.Zone, w.os.Mem, stream.UpdateMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.PutString(s, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutiveRename(t *testing.T) {
+	w := newWorld(t)
+	seedFile(t, w, "old.txt", "body")
+	if _, err := w.exec.Execute("rename old.txt new.txt"); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := dir.OpenRoot(w.os.FS)
+	if _, err := root.Lookup("old.txt"); err == nil {
+		t.Error("old name survives rename")
+	}
+	fn, err := root.Lookup("new.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.os.FS.Open(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The leader name — the Scavenger's adoption name — follows the rename.
+	if f.Name() != "new.txt" {
+		t.Errorf("leader name %q after rename", f.Name())
+	}
+	if _, err := w.exec.Execute("rename ghost.txt x"); err == nil {
+		t.Error("renaming a missing file should fail")
+	}
+}
+
+func TestExecutiveCopy(t *testing.T) {
+	w := newWorld(t)
+	seedFile(t, w, "src.txt", "copy me exactly")
+	if _, err := w.exec.Execute("copy src.txt dst.txt"); err != nil {
+		t.Fatal(err)
+	}
+	w.out.Reset()
+	if _, err := w.exec.Execute("type dst.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.out.String(); got != "copy me exactly" {
+		t.Fatalf("copy produced %q", got)
+	}
+	// Copying onto an existing file truncates it.
+	seedFile(t, w, "short.txt", "x")
+	if _, err := w.exec.Execute("copy short.txt dst.txt"); err != nil {
+		t.Fatal(err)
+	}
+	w.out.Reset()
+	if _, err := w.exec.Execute("type dst.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.out.String(); got != "x" {
+		t.Fatalf("overwriting copy produced %q", got)
+	}
+}
+
+func TestExecutiveCompactCommand(t *testing.T) {
+	w := newWorld(t)
+	seedFile(t, w, "a.txt", strings.Repeat("abc", 700))
+	if _, err := w.exec.Execute("compact"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.out.String(), "compact:") {
+		t.Fatalf("no compact report: %q", w.out.String())
+	}
+	// The system keeps working afterwards.
+	w.out.Reset()
+	if _, err := w.exec.Execute("type a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.out.String()) != 2100 {
+		t.Errorf("file damaged by compact: %d bytes", len(w.out.String()))
+	}
+}
+
+func TestExecutiveStatsCommand(t *testing.T) {
+	w := newWorld(t)
+	seedFile(t, w, "s.txt", "x")
+	w.out.Reset()
+	if _, err := w.exec.Execute("stats"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.out.String(), "allocs=") {
+		t.Fatalf("stats output %q", w.out.String())
+	}
+}
+
+func TestExecutiveEmptyAndUnknown(t *testing.T) {
+	w := newWorld(t)
+	if quit, err := w.exec.Execute(""); quit || err != nil {
+		t.Fatal("empty line should be a no-op")
+	}
+	if quit, _ := w.exec.Execute("quit"); !quit {
+		t.Fatal("quit should quit")
+	}
+}
+
+func TestExecutiveDump(t *testing.T) {
+	w := newWorld(t)
+	seedFile(t, w, "hexme.bin", "AB\x00\x01")
+	w.out.Reset()
+	if _, err := w.exec.Execute("dump hexme.bin"); err != nil {
+		t.Fatal(err)
+	}
+	out := w.out.String()
+	for _, want := range []string{"41 42 00 01", "|AB..|", "000000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := w.exec.Execute("dump ghost.bin"); err == nil {
+		t.Fatal("dump of missing file succeeded")
+	}
+}

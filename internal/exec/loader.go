@@ -1,0 +1,218 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"altoos/internal/asm"
+	"altoos/internal/cpu"
+	"altoos/internal/dir"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/stream"
+	"altoos/internal/swap"
+)
+
+// Program loading (§5.1): "Code for the program is read from a disk stream
+// and loaded into low memory addresses. All references to operating system
+// procedures are bound, using a fixup table contained in the code file.
+// Finally, the program is invoked by calling a single entry routine."
+//
+// Code-file layout, as words in the file's data bytes:
+//
+//	0: magic        1: format version
+//	2: load address 3: absolute entry address
+//	4: code length  5: fixup count
+//	code words...
+//	fixups: (code offset, syscall number) pairs
+//
+// Each fixup makes the code word at the offset point at the system vector
+// stub for that syscall, so programs call OS procedures with an ordinary
+// indirect JSR — the binding is data, not convention.
+
+const (
+	codeMagic   = 0xA17C
+	codeVersion = 1
+)
+
+// SysVecBase is where the loader lays down the system vector: two-word
+// stubs, one per syscall, each "SYS n; JMP 0(3)". It sits at the top of
+// memory with the level-1 services.
+const SysVecBase uint16 = 0xFEC0
+
+// ErrNotCode reports a file that is not a code file.
+var ErrNotCode = errors.New("exec: not a code file")
+
+// Fixup binds the code word at Offset (relative to the load address) to the
+// system vector stub for Syscall.
+type Fixup struct {
+	Offset  uint16
+	Syscall uint16
+}
+
+// InstallSysVec writes the system vector stubs into memory. The loader calls
+// it before every program; it is idempotent.
+func InstallSysVec(m *mem.Memory) {
+	for s := uint16(0); s < NumSyscalls; s++ {
+		a := SysVecBase + 2*s
+		m.Store(a, 3<<13|s) // SYS s
+		m.Store(a+1, 3<<8)  // JMP 0(3): return via AC3
+	}
+}
+
+// StubAddr returns the address of the vector stub for a syscall.
+func StubAddr(sys uint16) uint16 { return SysVecBase + 2*sys }
+
+// WriteCodeFile serializes an assembled program (plus fixups) into a named
+// file, creating the root-directory entry. The entry point is the program's
+// START label or origin.
+func WriteCodeFile(o *OS, name string, p *asm.Program, fixups []Fixup) error {
+	f, err := o.createOrTruncate(name)
+	if err != nil {
+		return err
+	}
+	s, err := stream.NewDisk(f, o.Zone, o.Mem, stream.WriteMode)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	put := func(w uint16) {
+		if err == nil {
+			err = stream.PutWord(s, w)
+		}
+	}
+	put(codeMagic)
+	put(codeVersion)
+	put(p.Origin)
+	put(p.Entry)
+	put(uint16(len(p.Words)))
+	put(uint16(len(fixups)))
+	for _, w := range p.Words {
+		put(w)
+	}
+	for _, fx := range fixups {
+		put(fx.Offset)
+		put(fx.Syscall)
+	}
+	return err
+}
+
+// FixupsFor builds a fixup table from labelled pointer words: each label in
+// binds names a one-word cell in the program that should point at the given
+// syscall's stub.
+func FixupsFor(p *asm.Program, binds map[string]uint16) ([]Fixup, error) {
+	var out []Fixup
+	for label, sys := range binds {
+		addr, ok := p.Symbols[label]
+		if !ok {
+			return nil, fmt.Errorf("exec: fixup label %q not defined", label)
+		}
+		out = append(out, Fixup{Offset: addr - p.Origin, Syscall: sys})
+	}
+	return out, nil
+}
+
+// Loader reads code files and prepares the machine to run them.
+type Loader struct {
+	OS *OS
+}
+
+// Load reads the named code file into memory, binds its fixups, installs
+// the system vector, and returns the entry address.
+func (l *Loader) Load(name string) (entry uint16, err error) {
+	root, err := dir.OpenRoot(l.OS.FS)
+	if err != nil {
+		return 0, err
+	}
+	fn, err := root.Lookup(name)
+	if err != nil {
+		return 0, fmt.Errorf("exec: no program %q: %w", name, err)
+	}
+	return l.LoadFN(fn)
+}
+
+// LoadFN is Load by full name.
+func (l *Loader) LoadFN(fn file.FN) (entry uint16, err error) {
+	f, err := l.OS.FS.Open(fn)
+	if err != nil {
+		return 0, err
+	}
+	s, err := stream.NewDisk(f, l.OS.Zone, l.OS.Mem, stream.ReadMode)
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+
+	get := func() uint16 {
+		if err != nil {
+			return 0
+		}
+		var w uint16
+		w, err = stream.GetWord(s)
+		return w
+	}
+	magic, version := get(), get()
+	loadAddr, entryAddr := get(), get()
+	codeLen, nfix := get(), get()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNotCode, err)
+	}
+	if magic != codeMagic || version != codeVersion {
+		return 0, fmt.Errorf("%w: magic %#04x version %d", ErrNotCode, magic, version)
+	}
+	for i := uint16(0); i < codeLen; i++ {
+		l.OS.Mem.Store(loadAddr+i, get())
+	}
+	InstallSysVec(l.OS.Mem)
+	for i := uint16(0); i < nfix; i++ {
+		off, sys := get(), get()
+		if err == nil {
+			if sys >= NumSyscalls {
+				return 0, fmt.Errorf("%w: fixup to syscall %d", ErrNotCode, sys)
+			}
+			l.OS.Mem.Store(loadAddr+off, StubAddr(sys))
+		}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("%w: truncated: %v", ErrNotCode, err)
+	}
+	return entryAddr, nil
+}
+
+// RunProgram loads the named program and runs it to completion on c,
+// returning the instruction count. Chain requests (SysChain) are followed,
+// as §5.1 describes: a program "may terminate ... by calling the program
+// loader to read in another program and thus overlay the first program".
+func (l *Loader) RunProgram(c *cpu.CPU, name string, maxSteps int64) (int64, error) {
+	var total int64
+	for {
+		entry, err := l.Load(name)
+		if err != nil {
+			return total, err
+		}
+		c.Reset(entry)
+		n, err := c.Run(maxSteps)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		next, ok := l.OS.TakeChain()
+		if !ok {
+			return total, nil
+		}
+		name = next
+	}
+}
+
+// MakeBootImage is the §4 linker path: it lays a program into a scratch
+// machine image "arranged so that they will constitute a running program
+// when the machine state is restored from the file", and writes it as the
+// boot file.
+func MakeBootImage(o *OS, p *asm.Program) (file.FN, error) {
+	scratch := mem.New()
+	scratch.StoreBlock(p.Origin, p.Words)
+	InstallSysVec(scratch)
+	boot := cpu.New(scratch, o.FS.Device().Clock(), nil)
+	boot.Reset(p.Entry)
+	return swap.WriteBoot(o.FS, boot)
+}

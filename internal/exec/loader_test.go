@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"altoos/internal/asm"
+	"altoos/internal/dir"
+	"altoos/internal/stream"
+)
+
+func TestLoaderRejectsNonCodeFiles(t *testing.T) {
+	w := newWorld(t)
+	seedFile(t, w, "garbage.run", "this is not a code file at all")
+	ld := &Loader{OS: w.os}
+	if _, err := ld.Load("garbage.run"); !errors.Is(err, ErrNotCode) {
+		t.Fatalf("got %v, want ErrNotCode", err)
+	}
+}
+
+func TestLoaderRejectsMissingProgram(t *testing.T) {
+	w := newWorld(t)
+	ld := &Loader{OS: w.os}
+	if _, err := ld.Load("nothere.run"); err == nil {
+		t.Fatal("loaded a missing program")
+	}
+}
+
+func TestLoaderRejectsTruncatedCodeFile(t *testing.T) {
+	w := newWorld(t)
+	p := asm.MustAssemble("START: HALT")
+	if err := WriteCodeFile(w.os, "trunc.run", p, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the code file to its header only.
+	fn, err := dir.ResolveName(w.os.FS, "trunc.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.os.FS.Open(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(1, 8); err != nil { // 4 words: through codeLen
+		t.Fatal(err)
+	}
+	ld := &Loader{OS: w.os}
+	if _, err := ld.Load("trunc.run"); !errors.Is(err, ErrNotCode) {
+		t.Fatalf("got %v, want ErrNotCode", err)
+	}
+}
+
+func TestLoaderRejectsWildFixup(t *testing.T) {
+	w := newWorld(t)
+	p := asm.MustAssemble("START: HALT\nPTR: .word 0")
+	fix := []Fixup{{Offset: 1, Syscall: 999}} // no such syscall
+	if err := WriteCodeFile(w.os, "wild.run", p, fix); err != nil {
+		t.Fatal(err)
+	}
+	ld := &Loader{OS: w.os}
+	if _, err := ld.Load("wild.run"); !errors.Is(err, ErrNotCode) {
+		t.Fatalf("got %v, want ErrNotCode", err)
+	}
+}
+
+func TestFixupsForUnknownLabel(t *testing.T) {
+	p := asm.MustAssemble("START: HALT")
+	if _, err := FixupsFor(p, map[string]uint16{"NOPE": SysPutc}); err == nil {
+		t.Fatal("fixup for undefined label accepted")
+	}
+}
+
+func TestSysVecStubsAreWellFormed(t *testing.T) {
+	w := newWorld(t)
+	InstallSysVec(w.os.Mem)
+	for s := uint16(0); s < NumSyscalls; s++ {
+		a := StubAddr(s)
+		if got := w.os.Mem.Load(a); got != 3<<13|s {
+			t.Fatalf("stub %d word 0 = %#04x", s, got)
+		}
+		if got := w.os.Mem.Load(a + 1); got != 3<<8 {
+			t.Fatalf("stub %d word 1 = %#04x (want JMP 0(3))", s, got)
+		}
+	}
+}
+
+func TestRunProgramClosesStrayHandles(t *testing.T) {
+	w := newWorld(t)
+	// A program that opens a file and halts without closing it.
+	p := asm.MustAssemble(`
+START:	LDA 0, NAMEP
+	SYS 4
+	HALT
+NAMEP:	.word NAME
+NAME:	.blk 6
+`)
+	if err := WriteCodeFile(w.os, "leaky.run", p, nil); err != nil {
+		t.Fatal(err)
+	}
+	ld := &Loader{OS: w.os}
+	entry, err := ld.Load("leaky.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	WriteString(w.os.Mem, p.Symbols["NAME"], "leak.dat")
+	w.cpu.Reset(entry)
+	if _, err := w.cpu.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if w.os.OpenHandles() != 1 {
+		t.Fatalf("expected a leaked handle, have %d", w.os.OpenHandles())
+	}
+	// The Executive's program teardown cleans up.
+	w.os.CloseAll()
+	if w.os.OpenHandles() != 0 {
+		t.Fatal("CloseAll missed the stray")
+	}
+}
+
+var _ = stream.PutString // the seedFile helper in executive_test.go uses it

@@ -1,0 +1,387 @@
+// Package exec implements §5 of the paper: the resident operating system as
+// a collection of services reachable from running programs (the SYS trap
+// surface), the program loader with its fixup tables (§5.1), and the
+// Executive command interpreter.
+//
+// Nothing here is privileged. The OS type is ordinary code over the same
+// exported file, stream and zone packages any program could use; a program
+// that prefers its own facilities simply doesn't trap.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"altoos/internal/cpu"
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/stream"
+	"altoos/internal/swap"
+	"altoos/internal/zone"
+)
+
+// Syscall numbers. User programs reach these through SYS traps, usually via
+// the system vector stubs the loader binds (see loader.go).
+const (
+	SysHalt  = 0  // stop the program; control returns to the Executive
+	SysPutc  = 1  // AC0: character -> display stream
+	SysGetc  = 2  // keyboard -> AC0, or 0xFFFF with carry set if none
+	SysOpenR = 3  // AC0: name string -> AC0 handle, 0 on failure
+	SysOpenW = 4  // AC0: name string -> AC0 handle (creates/truncates)
+	SysGetb  = 5  // AC0: handle -> AC1 byte; carry set at end of stream
+	SysPutb  = 6  // AC0: handle, AC1: byte
+	SysClose = 7  // AC0: handle
+	SysOutLd = 8  // AC0: state-file name string -> AC0: 1 written, 0 resumed
+	SysInLd  = 9  // AC0: state-file name string, AC1: message address
+	SysChain = 10 // AC0: program name string; Executive loads it next
+	SysMsg   = 11 // AC0: destination for the 20-word InLoad message
+	SysDebug = 12 // breakpoint: save the machine as Swatee and stop (§4)
+)
+
+// NumSyscalls bounds the system vector table.
+const NumSyscalls = 13
+
+// SwateeName is the state file a breakpoint writes — the faulty program,
+// pickled for the debugger. (The Alto's debugger was called Swat; its victim
+// the Swatee.)
+const SwateeName = "Swatee."
+
+// OS is the resident system: the standard streams, the system free-storage
+// zone, and the syscall dispatch. It implements cpu.SysHandler.
+type OS struct {
+	FS       *file.FS
+	Mem      *mem.Memory
+	Zone     *zone.MemZone
+	Keyboard *stream.Keyboard
+	Display  stream.Stream
+
+	// Hints, when present, is the level-3 resident hint table: name
+	// lookups consult it before the directories and keep it fresh.
+	Hints *ResidentHints
+
+	handles map[uint16]stream.Stream
+	next    uint16
+	chain   string // program name requested via SysChain
+	swatHit bool   // a breakpoint fired and the Swatee was written
+}
+
+// TookBreakpoint reports and clears the breakpoint flag.
+func (o *OS) TookBreakpoint() bool {
+	hit := o.swatHit
+	o.swatHit = false
+	return hit
+}
+
+var _ cpu.SysHandler = (*OS)(nil)
+
+// NewOS assembles the resident system over its substrates.
+func NewOS(fs *file.FS, m *mem.Memory, z *zone.MemZone, kbd *stream.Keyboard, display stream.Stream) *OS {
+	return &OS{
+		FS: fs, Mem: m, Zone: z, Keyboard: kbd, Display: display,
+		handles: map[uint16]stream.Stream{},
+		next:    1,
+	}
+}
+
+// TakeChain returns and clears the chain-load request, if any.
+func (o *OS) TakeChain() (string, bool) {
+	c := o.chain
+	o.chain = ""
+	return c, c != ""
+}
+
+// OpenHandles reports how many streams programs have left open; the
+// Executive closes strays between programs.
+func (o *OS) OpenHandles() int { return len(o.handles) }
+
+// CloseAll closes every open handle (program teardown).
+func (o *OS) CloseAll() {
+	for h, s := range o.handles {
+		s.Close()
+		delete(o.handles, h)
+	}
+}
+
+// readString reads a BCPL-style string from memory: first byte is the
+// length, bytes packed two per word, high byte first.
+func readString(m *mem.Memory, addr uint16) string {
+	first := m.Load(addr)
+	n := int(first >> 8)
+	buf := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		// Byte i+1 of the packed representation.
+		w := m.Load(addr + uint16((i+1)/2))
+		if (i+1)%2 == 0 {
+			buf = append(buf, byte(w>>8))
+		} else {
+			buf = append(buf, byte(w))
+		}
+	}
+	return string(buf)
+}
+
+// WriteString stores a BCPL-style string at addr and returns the number of
+// words used.
+func WriteString(m *mem.Memory, addr uint16, s string) int {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	words := 1 + len(s)/2
+	w := uint16(len(s)) << 8
+	if len(s) > 0 {
+		w |= uint16(s[0])
+	}
+	m.Store(addr, w)
+	for i := 1; i < len(s); i += 2 {
+		w := uint16(s[i]) << 8
+		if i+1 < len(s) {
+			w |= uint16(s[i+1])
+		}
+		m.Store(addr+uint16((i+1)/2), w)
+	}
+	return words
+}
+
+// lookup resolves a name, consulting the level-3 resident hint table first
+// (§5: "hints for frequently-used files"). A resident hint is only a hint:
+// the caller's open validates it with label checks; resolveVerified below
+// handles the failed-hint retry.
+func (o *OS) lookup(name string) (file.FN, error) {
+	if o.Hints != nil {
+		if fn, _, ok := o.Hints.Recall(name); ok {
+			return fn, nil
+		}
+	}
+	root, err := dir.OpenRoot(o.FS)
+	if err != nil {
+		return file.FN{}, err
+	}
+	fn, err := root.Lookup(name)
+	if err != nil {
+		return file.FN{}, err
+	}
+	if o.Hints != nil {
+		o.Hints.Remember(name, fn, disk.NilVDA)
+	}
+	return fn, nil
+}
+
+// resolveVerified opens a named file, trying the resident hint first and
+// falling back to the directories when the hint proves stale.
+func (o *OS) resolveVerified(name string) (*file.File, error) {
+	if o.Hints != nil {
+		if fn, _, ok := o.Hints.Recall(name); ok {
+			if f, err := o.FS.Open(fn); err == nil {
+				return f, nil
+			}
+			o.Hints.Forget(name)
+		}
+	}
+	root, err := dir.OpenRoot(o.FS)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := root.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := o.FS.Open(fn)
+	if err != nil {
+		return nil, err
+	}
+	if o.Hints != nil {
+		o.Hints.Remember(name, f.FN(), disk.NilVDA)
+	}
+	return f, nil
+}
+
+// Sys implements cpu.SysHandler: the boundary where a running program calls
+// a system facility.
+func (o *OS) Sys(c *cpu.CPU, code uint16) error {
+	switch code {
+	case SysHalt:
+		return cpu.ErrHalted
+
+	case SysPutc:
+		return o.Display.Put(byte(c.AC[0]))
+
+	case SysGetc:
+		b, err := o.Keyboard.Get()
+		if errors.Is(err, stream.ErrNoInput) {
+			c.AC[0] = 0xFFFF
+			c.Carry = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.AC[0] = uint16(b)
+		c.Carry = false
+		return nil
+
+	case SysOpenR, SysOpenW:
+		name := readString(o.Mem, c.AC[0])
+		var f *file.File
+		if code == SysOpenR {
+			var err error
+			f, err = o.resolveVerified(name)
+			if err != nil {
+				c.AC[0] = 0
+				return nil
+			}
+		} else {
+			var err error
+			f, err = o.createOrTruncate(name)
+			if err != nil {
+				c.AC[0] = 0
+				return nil
+			}
+		}
+		mode := stream.ReadMode
+		if code == SysOpenW {
+			mode = stream.WriteMode
+		}
+		s, err := stream.NewDisk(f, o.Zone, o.Mem, mode)
+		if err != nil {
+			c.AC[0] = 0
+			return nil
+		}
+		h := o.next
+		o.next++
+		o.handles[h] = s
+		c.AC[0] = h
+		return nil
+
+	case SysGetb:
+		s, ok := o.handles[c.AC[0]]
+		if !ok {
+			return fmt.Errorf("exec: bad handle %d", c.AC[0])
+		}
+		b, err := s.Get()
+		if errors.Is(err, stream.ErrEnd) {
+			c.Carry = true
+			c.AC[1] = 0xFFFF
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.Carry = false
+		c.AC[1] = uint16(b)
+		return nil
+
+	case SysPutb:
+		s, ok := o.handles[c.AC[0]]
+		if !ok {
+			return fmt.Errorf("exec: bad handle %d", c.AC[0])
+		}
+		return s.Put(byte(c.AC[1]))
+
+	case SysClose:
+		if s, ok := o.handles[c.AC[0]]; ok {
+			delete(o.handles, c.AC[0])
+			return s.Close()
+		}
+		return nil
+
+	case SysOutLd:
+		name := readString(o.Mem, c.AC[0])
+		fn, err := o.stateFile(name)
+		if err != nil {
+			return err
+		}
+		written, err := swap.OutLoad(o.FS, c, fn)
+		if err != nil {
+			return err
+		}
+		if written {
+			c.AC[0] = 1
+		}
+		return nil
+
+	case SysInLd:
+		name := readString(o.Mem, c.AC[0])
+		fn, err := o.lookup(name)
+		if err != nil {
+			return fmt.Errorf("exec: InLoad %q: %w", name, err)
+		}
+		var msg swap.Message
+		base := c.AC[1]
+		for i := range msg {
+			msg[i] = o.Mem.Load(base + uint16(i))
+		}
+		// After this, the calling program is gone; the machine continues in
+		// the restored program.
+		return swap.InLoad(o.FS, c, fn, msg)
+
+	case SysChain:
+		o.chain = readString(o.Mem, c.AC[0])
+		return cpu.ErrHalted
+
+	case SysMsg:
+		msg := swap.ReadMessage(c)
+		base := c.AC[0]
+		for i, w := range msg {
+			o.Mem.Store(base+uint16(i), w)
+		}
+		return nil
+
+	case SysDebug:
+		// §4: "the state of the machine is written on a disk file" — with
+		// the PC pointing back at the breakpoint address, so that resuming
+		// (after the debugger restores the displaced instruction) re-executes
+		// it. Then the machine stops; the debugger takes over.
+		c.PC--
+		fn, err := o.stateFile(SwateeName)
+		if err != nil {
+			return err
+		}
+		if err := swap.SaveState(o.FS, c, fn); err != nil {
+			return err
+		}
+		o.swatHit = true
+		return cpu.ErrHalted
+	}
+	return fmt.Errorf("exec: undefined syscall %d", code)
+}
+
+// createOrTruncate opens name for writing, creating it and its root entry
+// if absent.
+func (o *OS) createOrTruncate(name string) (*file.File, error) {
+	root, err := dir.OpenRoot(o.FS)
+	if err != nil {
+		return nil, err
+	}
+	if fn, err := root.Lookup(name); err == nil {
+		return o.FS.Open(fn)
+	}
+	f, err := o.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := root.Insert(name, f.FN()); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// stateFile opens or creates a state file by name.
+func (o *OS) stateFile(name string) (file.FN, error) {
+	root, err := dir.OpenRoot(o.FS)
+	if err != nil {
+		return file.FN{}, err
+	}
+	if fn, err := root.Lookup(name); err == nil {
+		return fn, nil
+	}
+	f, err := o.FS.Create(name)
+	if err != nil {
+		return file.FN{}, err
+	}
+	if err := root.Insert(name, f.FN()); err != nil {
+		return file.FN{}, err
+	}
+	return f.FN(), nil
+}

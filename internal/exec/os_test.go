@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"altoos/internal/cpu"
+	"altoos/internal/swap"
+)
+
+// sysWorld gives a world plus a helper for invoking syscalls directly, the
+// way a single trap instruction would.
+func sysCall(t *testing.T, w *world, code uint16, setup func(c *cpu.CPU)) error {
+	t.Helper()
+	if setup != nil {
+		setup(w.cpu)
+	}
+	return w.os.Sys(w.cpu, code)
+}
+
+func TestSysFileIODirect(t *testing.T) {
+	w := newWorld(t)
+	// OpenW a new file by name.
+	WriteString(w.os.Mem, 0x3000, "direct.dat")
+	if err := sysCall(t, w, SysOpenW, func(c *cpu.CPU) { c.AC[0] = 0x3000 }); err != nil {
+		t.Fatal(err)
+	}
+	h := w.cpu.AC[0]
+	if h == 0 {
+		t.Fatal("OpenW failed")
+	}
+	if w.os.OpenHandles() != 1 {
+		t.Fatalf("OpenHandles = %d", w.os.OpenHandles())
+	}
+	// Put two bytes, close.
+	for _, b := range []uint16{'o', 'k'} {
+		if err := sysCall(t, w, SysPutb, func(c *cpu.CPU) { c.AC[0], c.AC[1] = h, b }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sysCall(t, w, SysClose, func(c *cpu.CPU) { c.AC[0] = h }); err != nil {
+		t.Fatal(err)
+	}
+	// OpenR it back and read to the end.
+	if err := sysCall(t, w, SysOpenR, func(c *cpu.CPU) { c.AC[0] = 0x3000 }); err != nil {
+		t.Fatal(err)
+	}
+	h = w.cpu.AC[0]
+	var got []byte
+	for {
+		if err := sysCall(t, w, SysGetb, func(c *cpu.CPU) { c.AC[0] = h }); err != nil {
+			t.Fatal(err)
+		}
+		if w.cpu.Carry {
+			break
+		}
+		got = append(got, byte(w.cpu.AC[1]))
+	}
+	if string(got) != "ok" {
+		t.Fatalf("read back %q", got)
+	}
+	w.os.CloseAll()
+	if w.os.OpenHandles() != 0 {
+		t.Fatal("CloseAll left handles")
+	}
+}
+
+func TestSysOpenRMissingFile(t *testing.T) {
+	w := newWorld(t)
+	WriteString(w.os.Mem, 0x3000, "missing.dat")
+	if err := sysCall(t, w, SysOpenR, func(c *cpu.CPU) { c.AC[0] = 0x3000 }); err != nil {
+		t.Fatal(err)
+	}
+	if w.cpu.AC[0] != 0 {
+		t.Fatal("OpenR of missing file returned a handle")
+	}
+}
+
+func TestSysBadHandles(t *testing.T) {
+	w := newWorld(t)
+	if err := sysCall(t, w, SysGetb, func(c *cpu.CPU) { c.AC[0] = 99 }); err == nil {
+		t.Error("Getb on bad handle succeeded")
+	}
+	if err := sysCall(t, w, SysPutb, func(c *cpu.CPU) { c.AC[0] = 99 }); err == nil {
+		t.Error("Putb on bad handle succeeded")
+	}
+	// Close of an unknown handle is harmless, as on the original.
+	if err := sysCall(t, w, SysClose, func(c *cpu.CPU) { c.AC[0] = 99 }); err != nil {
+		t.Errorf("Close of unknown handle: %v", err)
+	}
+}
+
+func TestSysUndefined(t *testing.T) {
+	w := newWorld(t)
+	if err := sysCall(t, w, 999, nil); err == nil {
+		t.Fatal("undefined syscall succeeded")
+	}
+}
+
+func TestSysOutLdInLdDirect(t *testing.T) {
+	w := newWorld(t)
+	WriteString(w.os.Mem, 0x3000, "direct.state")
+	w.cpu.PC = 0x2000
+	if err := sysCall(t, w, SysOutLd, func(c *cpu.CPU) { c.AC[0] = 0x3000 }); err != nil {
+		t.Fatal(err)
+	}
+	if w.cpu.AC[0] != 1 {
+		t.Fatal("OutLd did not report written")
+	}
+	// Scribble, then InLoad back: AC0 becomes 0 (the resumed view), message
+	// delivered at the fixed buffer.
+	w.os.Mem.Store(0x3100, 7)
+	w.os.Mem.Store(0x3101, 8)
+	if err := sysCall(t, w, SysInLd, func(c *cpu.CPU) {
+		c.AC[0], c.AC[1] = 0x3000, 0x3100
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if w.cpu.AC[0] != 0 {
+		t.Fatal("restored state should see written=false")
+	}
+	msg := swap.ReadMessage(w.cpu)
+	if msg[0] != 7 || msg[1] != 8 {
+		t.Fatalf("message %v", msg)
+	}
+	// SysMsg copies it wherever the program asks.
+	if err := sysCall(t, w, SysMsg, func(c *cpu.CPU) { c.AC[0] = 0x3200 }); err != nil {
+		t.Fatal(err)
+	}
+	if w.os.Mem.Load(0x3200) != 7 {
+		t.Fatal("SysMsg did not copy")
+	}
+}
+
+func TestSysInLdMissingState(t *testing.T) {
+	w := newWorld(t)
+	WriteString(w.os.Mem, 0x3000, "never.state")
+	if err := sysCall(t, w, SysInLd, func(c *cpu.CPU) { c.AC[0] = 0x3000 }); err == nil {
+		t.Fatal("InLd of missing state succeeded")
+	}
+}
+
+func TestInstallCommandOverridesAndExtends(t *testing.T) {
+	w := newWorld(t)
+	called := ""
+	w.exec.InstallCommand("greet", func(e *Executive, args []string) error {
+		called = strings.Join(args, ",")
+		return nil
+	})
+	if _, err := w.exec.Execute("greet a b"); err != nil {
+		t.Fatal(err)
+	}
+	if called != "a,b" {
+		t.Fatalf("extension got %q", called)
+	}
+	// Extensions shadow built-ins, as replacement requires.
+	w.exec.InstallCommand("free", func(e *Executive, args []string) error {
+		called = "shadowed"
+		return nil
+	})
+	if _, err := w.exec.Execute("free"); err != nil {
+		t.Fatal(err)
+	}
+	if called != "shadowed" {
+		t.Fatal("built-in not shadowed")
+	}
+}
+
+func TestExecutiveLoginCommand(t *testing.T) {
+	w := newWorld(t)
+	hints, err := NewResidentHints(w.os.Mem, nil2(t, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.os.Hints = hints
+	if _, err := w.exec.Execute("login thacker"); err != nil {
+		t.Fatal(err)
+	}
+	w.out.Reset()
+	if _, err := w.exec.Execute("login"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.out.String(), "thacker") {
+		t.Fatalf("login output %q", w.out.String())
+	}
+}

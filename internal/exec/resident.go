@@ -1,0 +1,154 @@
+package exec
+
+// The level-3 resident data of §5: "storage for a good deal of handy data,
+// such as hints for frequently-used files, the user's name and password".
+// The hint table lives in simulated main memory inside the level-3 region,
+// below everything a typical Junta removes, so an installed program coming
+// back from a world swap still finds its file hints hot.
+//
+// Every entry is, of course, a hint: a full name plus the address of data
+// page 1, verified by label checks on use and simply re-learned when wrong.
+
+import (
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/junta"
+	"altoos/internal/mem"
+)
+
+// Resident hint-table layout, in words, inside the level-3 region:
+//
+//	+0            entry count
+//	+1..+10       user name (BCPL string, up to 19 bytes)
+//	then per entry (hintEntryWords words):
+//	  0     name hash (16-bit FNV-ish of the file name)
+//	  1,2   FID
+//	  3     version
+//	  4     leader address (hint)
+//	  5     page-1 address (hint)
+const (
+	resCount       = 0
+	resUser        = 1
+	resUserCap     = 10
+	resEntries     = resUser + resUserCap
+	hintEntryWords = 6
+)
+
+// ResidentHints is a view over the level-3 region of main memory.
+type ResidentHints struct {
+	m      *mem.Memory
+	region mem.Region
+	cap    int
+}
+
+// NewResidentHints builds the view over the machine's level-3 region.
+func NewResidentHints(m *mem.Memory, j *junta.Junta) (*ResidentHints, error) {
+	r, err := j.Region(junta.LevelHints)
+	if err != nil {
+		return nil, err
+	}
+	capEntries := (r.Size() - resEntries) / hintEntryWords
+	return &ResidentHints{m: m, region: r, cap: capEntries}, nil
+}
+
+// nameHash is a tiny 16-bit hash; collisions only cost a wasted label check.
+func nameHash(name string) uint16 {
+	h := uint16(0x9DC5)
+	for i := 0; i < len(name); i++ {
+		h ^= uint16(name[i])
+		h *= 0x0193
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Count returns the number of live entries.
+func (r *ResidentHints) Count() int {
+	return int(r.m.Load(r.region.Start + resCount))
+}
+
+// SetUser records the user's name in the resident region.
+func (r *ResidentHints) SetUser(name string) {
+	if len(name) > 2*resUserCap-1 {
+		name = name[:2*resUserCap-1]
+	}
+	WriteString(r.m, r.region.Start+resUser, name)
+}
+
+// User reads the user's name back.
+func (r *ResidentHints) User() string {
+	return readString(r.m, r.region.Start+resUser)
+}
+
+// entryAddr returns the memory address of entry i.
+func (r *ResidentHints) entryAddr(i int) mem.Addr {
+	return r.region.Start + resEntries + mem.Addr(i*hintEntryWords)
+}
+
+// Remember stores (or refreshes) a hint for name.
+func (r *ResidentHints) Remember(name string, fn file.FN, page1 disk.VDA) {
+	h := nameHash(name)
+	n := r.Count()
+	slot := -1
+	for i := 0; i < n; i++ {
+		if r.m.Load(r.entryAddr(i)) == h {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		if n >= r.cap {
+			slot = int(h) % r.cap // evict: it is only a hint
+		} else {
+			slot = n
+			r.m.Store(r.region.Start+resCount, uint16(n+1))
+		}
+	}
+	a := r.entryAddr(slot)
+	r.m.Store(a, h)
+	r.m.Store(a+1, uint16(fn.FV.FID>>16))
+	r.m.Store(a+2, uint16(fn.FV.FID))
+	r.m.Store(a+3, fn.FV.Version)
+	r.m.Store(a+4, uint16(fn.Leader))
+	r.m.Store(a+5, uint16(page1))
+}
+
+// Recall looks a name up in the table.
+func (r *ResidentHints) Recall(name string) (file.FN, disk.VDA, bool) {
+	h := nameHash(name)
+	for i := 0; i < r.Count(); i++ {
+		a := r.entryAddr(i)
+		if r.m.Load(a) != h {
+			continue
+		}
+		fn := file.FN{
+			FV: disk.FV{
+				FID:     disk.FID(r.m.Load(a+1))<<16 | disk.FID(r.m.Load(a+2)),
+				Version: r.m.Load(a + 3),
+			},
+			Leader: disk.VDA(r.m.Load(a + 4)),
+		}
+		return fn, disk.VDA(r.m.Load(a + 5)), true
+	}
+	return file.FN{}, 0, false
+}
+
+// Forget drops a hint (after it proved wrong and was not re-learned).
+func (r *ResidentHints) Forget(name string) {
+	h := nameHash(name)
+	n := r.Count()
+	for i := 0; i < n; i++ {
+		if r.m.Load(r.entryAddr(i)) == h {
+			// Move the last entry into the hole.
+			last := r.entryAddr(n - 1)
+			hole := r.entryAddr(i)
+			for w := 0; w < hintEntryWords; w++ {
+				r.m.Store(hole+mem.Addr(w), r.m.Load(last+mem.Addr(w)))
+			}
+			r.m.Store(r.region.Start+resCount, uint16(n-1))
+			return
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"testing"
+
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/junta"
+	"altoos/internal/mem"
+)
+
+func newHints(t *testing.T) (*ResidentHints, *mem.Memory, *junta.Junta) {
+	t.Helper()
+	m := mem.New()
+	j := junta.New(m)
+	h, err := NewResidentHints(m, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, m, j
+}
+
+func fnFor(serial uint32, leader disk.VDA) file.FN {
+	return file.FN{FV: disk.FV{FID: disk.FID(serial), Version: 1}, Leader: leader}
+}
+
+func TestResidentRememberRecallForget(t *testing.T) {
+	h, _, _ := newHints(t)
+	fn := fnFor(300, 42)
+	h.Remember("editor.state", fn, 43)
+	got, page1, ok := h.Recall("editor.state")
+	if !ok || got != fn || page1 != 43 {
+		t.Fatalf("recall: %v %v %v", got, page1, ok)
+	}
+	if _, _, ok := h.Recall("nonesuch"); ok {
+		t.Fatal("recalled a hint never remembered")
+	}
+	// Refresh overwrites in place.
+	fn2 := fnFor(300, 99)
+	h.Remember("editor.state", fn2, 100)
+	got, _, _ = h.Recall("editor.state")
+	if got.Leader != 99 {
+		t.Fatal("refresh did not take")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d after refresh", h.Count())
+	}
+	h.Forget("editor.state")
+	if _, _, ok := h.Recall("editor.state"); ok {
+		t.Fatal("forgotten hint recalled")
+	}
+	if h.Count() != 0 {
+		t.Fatal("count not decremented")
+	}
+}
+
+func TestResidentUserName(t *testing.T) {
+	h, _, _ := newHints(t)
+	if h.User() != "" {
+		t.Fatal("fresh region has a user")
+	}
+	h.SetUser("lampson")
+	if h.User() != "lampson" {
+		t.Fatalf("user = %q", h.User())
+	}
+	// Over-long names are clipped, not corrupted.
+	h.SetUser("a-very-long-user-name-that-does-not-fit")
+	if len(h.User()) == 0 || len(h.User()) > 19 {
+		t.Fatalf("clipped user = %q", h.User())
+	}
+}
+
+func TestResidentEvictionWhenFull(t *testing.T) {
+	h, _, _ := newHints(t)
+	for i := 0; i < h.cap+10; i++ {
+		h.Remember(string(rune('a'+i%26))+string(rune('0'+i%10)), fnFor(uint32(i), disk.VDA(i)), 0)
+	}
+	if h.Count() > h.cap {
+		t.Fatalf("table overflowed: %d > %d", h.Count(), h.cap)
+	}
+}
+
+func TestResidentLivesInLevel3AndSurvivesJunta(t *testing.T) {
+	h, m, j := newHints(t)
+	h.SetUser("sproull")
+	h.Remember("f", fnFor(7, 7), 7)
+	// A deep Junta that keeps level 3 leaves the data intact.
+	if _, _, err := j.Do(junta.LevelHints); err != nil {
+		t.Fatal(err)
+	}
+	if h.User() != "sproull" {
+		t.Fatal("level-3 data lost to a junta that kept level 3")
+	}
+	if _, _, ok := h.Recall("f"); !ok {
+		t.Fatal("hint lost")
+	}
+	// A junta to level 2 scrubs it; the table self-heals to empty.
+	if err := j.CounterJunta(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Do(junta.LevelKeyboard); err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	if h.Count() != 0 {
+		t.Fatalf("count = %d after level-3 removal", h.Count())
+	}
+	if h.User() != "" {
+		t.Fatal("user survived level-3 removal")
+	}
+}
+
+func TestOSUsesResidentHints(t *testing.T) {
+	w := newWorld(t)
+	hints, err := NewResidentHints(w.os.Mem, nil2(t, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.os.Hints = hints
+	seedFile(t, w, "hot.dat", "warm data")
+
+	// First open populates the table; a second uses it.
+	f, err := w.os.resolveVerified("hot.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := hints.Recall("hot.dat"); !ok {
+		t.Fatal("lookup did not populate the resident table")
+	}
+	// Poison the hint; resolveVerified must fall back and re-learn.
+	bad := f.FN()
+	bad.Leader = 4001
+	hints.Remember("hot.dat", bad, 0)
+	g, err := w.os.resolveVerified("hot.dat")
+	if err != nil {
+		t.Fatalf("stale resident hint not recovered: %v", err)
+	}
+	if g.FN().Leader != f.FN().Leader {
+		t.Fatal("recovered to the wrong file")
+	}
+	if fn, _, _ := hints.Recall("hot.dat"); fn.Leader != f.FN().Leader {
+		t.Fatal("table not re-learned")
+	}
+}
+
+// nil2 builds a junta for the test world's memory.
+func nil2(t *testing.T, w *world) *junta.Junta {
+	t.Helper()
+	return junta.New(w.os.Mem)
+}

@@ -1,0 +1,129 @@
+// Package experiments regenerates every quantitative claim in the paper's
+// text — its "tables and figures". The paper is a design paper with no
+// numbered exhibits, so each embedded claim is promoted to an experiment
+// E1..E9 (see DESIGN.md §3 and EXPERIMENTS.md for the index). Each
+// experiment builds the workload it needs from scratch, runs it on the
+// simulated machine, and reports the measured shape next to the paper's
+// sentence.
+//
+// All times are simulated (the virtual clock the disk, CPU and network
+// models advance); wall-clock time on the host is irrelevant to the claims.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/sim"
+)
+
+// Row is one line of an experiment's table.
+type Row struct {
+	Label string
+	Value string
+}
+
+// Result is a completed experiment.
+type Result struct {
+	ID    string
+	Title string
+	Claim string // the paper's sentence, abridged
+	Rows  []Row
+	// Metrics carries machine-readable values for benchmarks.
+	Metrics map[string]float64
+}
+
+// Table renders the result for a terminal.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "  paper: %s\n", r.Claim)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-44s %s\n", row.Label, row.Value)
+	}
+	return b.String()
+}
+
+func (r *Result) add(label, format string, args ...any) {
+	r.Rows = append(r.Rows, Row{Label: label, Value: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
+}
+
+// rig builds a formatted drive + fs + root for experiments.
+type rig struct {
+	drive *disk.Drive
+	fs    *file.FS
+	root  *dir.Directory
+}
+
+func newRig(g disk.Geometry) (*rig, error) {
+	d, err := disk.NewDrive(g, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		return nil, err
+	}
+	root, err := dir.InitRoot(fs)
+	if err != nil {
+		return nil, err
+	}
+	return &rig{drive: d, fs: fs, root: root}, nil
+}
+
+// addFile creates a named file with n full data pages of deterministic
+// content plus the trailing partial page.
+func (r *rig) addFile(name string, pages int) (*file.File, error) {
+	f, err := r.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	var page [disk.PageWords]disk.Word
+	for pn := 1; pn <= pages; pn++ {
+		for i := range page {
+			page[i] = disk.Word(pn*31 + i)
+		}
+		if err := f.WritePage(disk.Word(pn), &page, disk.PageBytes); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	if err := r.root.Insert(name, f.FN()); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// readSequential reads pages 1..last of f, returning simulated time per page.
+func (r *rig) readSequential(f *file.File) (time.Duration, int, error) {
+	lastPN, _ := f.LastPage()
+	start := r.drive.Clock().Now()
+	var buf [disk.PageWords]disk.Word
+	for pn := disk.Word(1); pn <= lastPN; pn++ {
+		if _, err := f.ReadPage(pn, &buf); err != nil {
+			return 0, 0, err
+		}
+	}
+	return r.drive.Clock().Now() - start, int(lastPN), nil
+}
+
+// ms formats a duration as milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// secs formats a duration as seconds.
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+var _ = sim.NewRand // keep the import set stable across experiment files

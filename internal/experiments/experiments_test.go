@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each experiment must run, produce its table, and land inside the loose
+// bands that make it a faithful reproduction of the paper's claim. The
+// virtual clock and seeded PRNG make every value deterministic, so these
+// bounds are regression tripwires, not flaky thresholds.
+
+func check(t *testing.T, r *Result, metric string, lo, hi float64) {
+	t.Helper()
+	v, ok := r.Metrics[metric]
+	if !ok {
+		t.Fatalf("%s: metric %q missing (have %v)", r.ID, metric, r.Metrics)
+	}
+	if v < lo || v > hi {
+		t.Errorf("%s: %s = %.3f, want within [%.3f, %.3f]", r.ID, metric, v, lo, hi)
+	}
+}
+
+func TestE1RawTransfer(t *testing.T) {
+	r, err := E1RawTransfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "about one second" for 64K words.
+	check(t, r, "sim_seconds_64kwords", 0.5, 2.0)
+	check(t, r, "words_per_sec", 30_000, 80_000)
+}
+
+func TestE2AllocFreeCost(t *testing.T) {
+	r, err := E2AllocFreeCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "costs a disk revolution each time a page is allocated or freed".
+	check(t, r, "alloc_overhead_revs", 0.9, 1.1)
+	check(t, r, "free_overhead_revs", 0.9, 1.1)
+}
+
+func TestE3Scavenge(t *testing.T) {
+	r, err := E3Scavenge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "about a minute for a 2.5 megabyte disk": same order of magnitude.
+	check(t, r, "scavenge_seconds_Diablo31", 10, 120)
+	check(t, r, "scavenge_seconds_Trident", 5, 120)
+}
+
+func TestE4Compaction(t *testing.T) {
+	r, err := E4Compaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "an order of magnitude": the two scatter regimes bracket 10x.
+	check(t, r, "speedup", 4, 20)
+	check(t, r, "aged_speedup", 8, 25)
+}
+
+func TestE5HintLadder(t *testing.T) {
+	r, err := E5HintLadder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := r.Metrics["ms_direct_hint"]
+	chase := r.Metrics["ms_link_chase"]
+	kth := r.Metrics["ms_kth_page"]
+	fv := r.Metrics["ms_fv_lookup"]
+	scav := r.Metrics["ms_scavenge"]
+	if !(direct < kth && kth < chase && chase < fv && fv < scav) {
+		t.Errorf("ladder not ordered: direct=%.0f kth=%.0f chase=%.0f fv=%.0f scavenge=%.0f",
+			direct, kth, chase, fv, scav)
+	}
+	// A correct hint is a single disk access: well under two revolutions.
+	check(t, r, "ms_direct_hint", 1, 80)
+}
+
+func TestE6WorldSwap(t *testing.T) {
+	r, err := E6WorldSwap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "requires about a second".
+	check(t, r, "outload_seconds", 0.5, 3)
+	check(t, r, "inload_seconds", 0.5, 3)
+}
+
+func TestE7Junta(t *testing.T) {
+	r, err := E7Junta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := r.Metrics["full_resident_words"]
+	freed := r.Metrics["max_words_freed"]
+	if freed >= full {
+		t.Errorf("freed %v >= resident %v: level 1 must stay", freed, full)
+	}
+	if full-freed > 2048 {
+		t.Errorf("resident floor %v too big: InLoad/OutLoad is about 900 words", full-freed)
+	}
+}
+
+func TestE8Robustness(t *testing.T) {
+	r, err := E8Robustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, r, "wild_writes_rejected_pct", 100, 100)
+	check(t, r, "undamaged_recovery_pct", 100, 100)
+	if r.Metrics["map_lie_retries"] < 1 {
+		t.Error("map lies cost no retries — the experiment is not exercising the check")
+	}
+}
+
+func TestE9InstalledHints(t *testing.T) {
+	r, err := E9InstalledHints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, r, "warm_advantage", 1.5, 20)
+	check(t, r, "hints_failed_after_delete", 1, 1)
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	results, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Fatalf("All returned %d results", len(results))
+	}
+	for _, r := range results {
+		tbl := r.Table()
+		if !strings.Contains(tbl, r.ID) || !strings.Contains(tbl, "paper:") {
+			t.Errorf("%s: malformed table:\n%s", r.ID, tbl)
+		}
+		if len(r.Rows) == 0 {
+			t.Errorf("%s: no rows", r.ID)
+		}
+	}
+}

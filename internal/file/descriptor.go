@@ -1,0 +1,180 @@
+package file
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"altoos/internal/disk"
+)
+
+// Descriptor is the in-core image of the disk descriptor file (§3.3): the
+// disk shape (absolute), the allocation bit map (a hint — "the absolute
+// information about which pages are free is contained in the labels"), the
+// name of the root directory (hint), and the next file serial to issue.
+//
+// We implement the paper's recommended arrangement ("that's how we should
+// have done it"): the descriptor has a standard name and disk address and
+// points to the root directory, rather than the other way round.
+type Descriptor struct {
+	Shape      disk.Geometry
+	Pack       disk.Word
+	NextSerial uint32  // next FID serial to issue (scavenger recomputes)
+	RootDir    FN      // hint: the root directory's full name
+	Free       *BitMap // hint: the allocation map
+}
+
+// Well-known disk addresses. "A disk contains a file called the disk
+// descriptor with a standard name and disk address" (§3.3); the bootstrap
+// hardware reads the boot file's first data page from a fixed location (§4).
+const (
+	// BootVDA holds the boot file's first data page.
+	BootVDA disk.VDA = 0
+	// SysDirLeaderVDA holds the root directory's leader page.
+	SysDirLeaderVDA disk.VDA = 1
+	// DescLeaderVDA holds the disk descriptor file's leader page.
+	DescLeaderVDA disk.VDA = 2
+)
+
+// ErrDescriptor reports a malformed on-disk descriptor.
+var ErrDescriptor = errors.New("file: malformed disk descriptor")
+
+// BitMap is the allocation map: one bit per sector, set = busy. It is pure
+// hint; every decision it informs is verified by a label check.
+type BitMap struct {
+	bits []disk.Word
+	n    int
+}
+
+// NewBitMap returns an all-free map over n sectors.
+func NewBitMap(n int) *BitMap {
+	return &BitMap{bits: make([]disk.Word, (n+15)/16), n: n}
+}
+
+// Len returns the number of sectors the map covers.
+func (b *BitMap) Len() int { return b.n }
+
+// Busy reports whether the map marks sector a busy.
+func (b *BitMap) Busy(a disk.VDA) bool {
+	return b.bits[int(a)/16]&(1<<(uint(a)%16)) != 0
+}
+
+// SetBusy marks sector a busy.
+func (b *BitMap) SetBusy(a disk.VDA) {
+	b.bits[int(a)/16] |= 1 << (uint(a) % 16)
+}
+
+// SetFree marks sector a free.
+func (b *BitMap) SetFree(a disk.VDA) {
+	b.bits[int(a)/16] &^= 1 << (uint(a) % 16)
+}
+
+// CountFree returns the number of sectors the map believes are free.
+func (b *BitMap) CountFree() int {
+	free := 0
+	for i := 0; i < b.n; i++ {
+		if !b.Busy(disk.VDA(i)) {
+			free++
+		}
+	}
+	return free
+}
+
+// scan returns the first sector at or after start (wrapping) that the map
+// marks free, or NilVDA if none.
+func (b *BitMap) scan(start disk.VDA) disk.VDA {
+	for i := 0; i < b.n; i++ {
+		a := disk.VDA((int(start) + i) % b.n)
+		if !b.Busy(a) {
+			return a
+		}
+	}
+	return disk.NilVDA
+}
+
+// Descriptor serialization. The descriptor occupies the data pages of the
+// descriptor file. Layout in words:
+//
+//	0     magic
+//	1     format version
+//	2..8  shape: cylinders, heads, sectors/track, rev (100us), settle (100us),
+//	      seek/cyl (us), pack
+//	9..10 next serial (32 bits)
+//	11..13 root dir: FID hi, FID lo, version
+//	14    root dir leader address
+//	15    number of sectors covered by the map
+//	16..  the bit map
+const (
+	descMagic   = 0xA170
+	descVersion = 1
+	descFixed   = 16
+)
+
+// EncodeWords returns the descriptor's on-disk words.
+func (d *Descriptor) EncodeWords() []disk.Word {
+	w := make([]disk.Word, descFixed+len(d.Free.bits))
+	w[0] = descMagic
+	w[1] = descVersion
+	w[2] = disk.Word(d.Shape.Cylinders)
+	w[3] = disk.Word(d.Shape.Heads)
+	w[4] = disk.Word(d.Shape.SectorsPerTrack)
+	w[5] = disk.Word(d.Shape.RevTime / (100 * time.Microsecond))
+	w[6] = disk.Word(d.Shape.SeekSettle / (100 * time.Microsecond))
+	w[7] = disk.Word(d.Shape.SeekPerCyl / time.Microsecond)
+	w[8] = d.Pack
+	w[9] = disk.Word(d.NextSerial >> 16)
+	w[10] = disk.Word(d.NextSerial)
+	w[11] = disk.Word(d.RootDir.FV.FID >> 16)
+	w[12] = disk.Word(d.RootDir.FV.FID)
+	w[13] = d.RootDir.FV.Version
+	w[14] = disk.Word(d.RootDir.Leader)
+	w[15] = disk.Word(d.Free.n)
+	copy(w[descFixed:], d.Free.bits)
+	return w
+}
+
+// DecodeDescriptor parses on-disk descriptor words.
+func DecodeDescriptor(w []disk.Word) (*Descriptor, error) {
+	if len(w) < descFixed {
+		return nil, fmt.Errorf("%w: only %d words", ErrDescriptor, len(w))
+	}
+	if w[0] != descMagic {
+		return nil, fmt.Errorf("%w: bad magic %#04x", ErrDescriptor, w[0])
+	}
+	if w[1] != descVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrDescriptor, w[1])
+	}
+	n := int(w[15])
+	need := descFixed + (n+15)/16
+	if len(w) < need {
+		return nil, fmt.Errorf("%w: map truncated: have %d words, need %d", ErrDescriptor, len(w), need)
+	}
+	bm := NewBitMap(n)
+	copy(bm.bits, w[descFixed:need])
+	d := &Descriptor{
+		Shape: disk.Geometry{
+			Name:            "from-descriptor",
+			Cylinders:       int(w[2]),
+			Heads:           int(w[3]),
+			SectorsPerTrack: int(w[4]),
+			RevTime:         time.Duration(w[5]) * 100 * time.Microsecond,
+			SeekSettle:      time.Duration(w[6]) * 100 * time.Microsecond,
+			SeekPerCyl:      time.Duration(w[7]) * time.Microsecond,
+		},
+		Pack:       w[8],
+		NextSerial: uint32(w[9])<<16 | uint32(w[10]),
+		RootDir: FN{
+			FV:     disk.FV{FID: disk.FID(w[11])<<16 | disk.FID(w[12]), Version: w[13]},
+			Leader: disk.VDA(w[14]),
+		},
+		Free: bm,
+	}
+	return d, nil
+}
+
+// DescriptorPages returns the number of data pages the descriptor file needs
+// for geometry g.
+func DescriptorPages(g disk.Geometry) int {
+	words := descFixed + (g.NSectors()+15)/16
+	return (words + disk.PageWords - 1) / disk.PageWords
+}

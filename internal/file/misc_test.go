@@ -1,0 +1,210 @@
+package file
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"altoos/internal/disk"
+)
+
+func TestRenameUpdatesLeaderName(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.Create("before.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename("after.dat"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Open(f.FN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "after.dat" {
+		t.Fatalf("leader name %q", g.Name())
+	}
+	long := strings.Repeat("x", MaxLeaderName+1)
+	if err := f.Rename(long); !errors.Is(err, ErrBadArg) {
+		t.Fatalf("over-long rename: %v", err)
+	}
+}
+
+func TestCreateDirectoryFileHasDirFID(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.CreateDirectoryFile("sub.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.FN().FV.FID.IsDirectory() {
+		t.Fatal("directory file without directory FID")
+	}
+}
+
+func TestCreateBootFilePlacesPage1(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.CreateBootFile("SysBoot.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.PageAddr(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != BootVDA {
+		t.Fatalf("boot page at %d", a)
+	}
+	// A second boot file cannot claim the occupied boot sector.
+	if _, err := fs.CreateBootFile("SysBoot2."); err == nil {
+		t.Fatal("second boot file claimed the boot sector")
+	}
+}
+
+func TestCreateWithFVRejectsVersionZero(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.CreateWithFV(disk.FV{FID: 0x500}, "x", disk.NilVDA); !errors.Is(err, ErrBadArg) {
+		t.Fatalf("version 0 accepted: %v", err)
+	}
+}
+
+func TestFlushAndRemountKeepsRover(t *testing.T) {
+	fs := newFS(t)
+	fs.SetRover(2000)
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(fs.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rover is in-core only; what matters is the map round-trips.
+	if fs2.FreeCount() != fs.FreeCount() {
+		t.Fatalf("free counts diverge: %d vs %d", fs2.FreeCount(), fs.FreeCount())
+	}
+}
+
+func TestDescriptorPages(t *testing.T) {
+	if n := DescriptorPages(disk.Diablo31()); n < 2 {
+		t.Fatalf("Diablo descriptor needs %d pages", n)
+	}
+	if DescriptorPages(disk.Trident()) <= DescriptorPages(disk.Diablo31()) {
+		t.Fatal("bigger disk must need a bigger map")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	fn := FN{FV: disk.FV{FID: 5, Version: 1}, Leader: 9}
+	if fn.String() == "" {
+		t.Fatal("FN.String empty")
+	}
+	bp := BytePointer{FN: fn, PN: 1, Addr: 10, Off: 3}
+	if !strings.Contains(bp.String(), "@10") {
+		t.Fatalf("BytePointer.String: %q", bp.String())
+	}
+}
+
+func TestSetRootDirAndDescriptorFN(t *testing.T) {
+	fs := newFS(t)
+	orig := fs.RootDir()
+	moved := orig
+	moved.Leader = 77
+	fs.SetRootDir(moved)
+	if fs.RootDir().Leader != 77 {
+		t.Fatal("SetRootDir did not take")
+	}
+	dfn := fs.DescriptorFN()
+	dfn.Leader = 88
+	fs.SetDescriptorFN(dfn)
+	if fs.DescriptorFN().Leader != 88 {
+		t.Fatal("SetDescriptorFN did not take")
+	}
+}
+
+func TestNearlyFullDiskBehaviour(t *testing.T) {
+	// Fill a tiny disk almost completely; creation fails cleanly with
+	// ErrDiskFull, deleting something makes room again, and nothing is
+	// corrupted along the way.
+	g := disk.Geometry{
+		Name: "tiny", Cylinders: 3, Heads: 2, SectorsPerTrack: 6,
+		RevTime: disk.Diablo31().RevTime, SeekSettle: disk.Diablo31().SeekSettle,
+		SeekPerCyl: disk.Diablo31().SeekPerCyl,
+	}
+	d, err := disk.NewDrive(g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*File
+	for {
+		f, err := fs.Create("filler")
+		if err != nil {
+			if !errors.Is(err, ErrDiskFull) {
+				t.Fatalf("unexpected failure: %v", err)
+			}
+			break
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatal("nothing fit")
+	}
+	// Every surviving file is intact.
+	var buf [disk.PageWords]disk.Word
+	for _, f := range files {
+		if _, err := f.ReadPage(1, &buf); err != nil {
+			t.Fatalf("file damaged by exhaustion: %v", err)
+		}
+	}
+	// Deleting one makes room for one more.
+	if err := files[0].Delete(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("afterwards"); err != nil {
+		t.Fatalf("no room after delete: %v", err)
+	}
+}
+
+func TestGrowthFailsCleanlyWhenFull(t *testing.T) {
+	g := disk.Geometry{
+		Name: "tiny2", Cylinders: 3, Heads: 2, SectorsPerTrack: 6,
+		RevTime: disk.Diablo31().RevTime, SeekSettle: disk.Diablo31().SeekSettle,
+		SeekPerCyl: disk.Diablo31().SeekPerCyl,
+	}
+	d, err := disk.NewDrive(g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("grower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page [disk.PageWords]disk.Word
+	pn := disk.Word(1)
+	for {
+		if err := f.WritePage(pn, &page, disk.PageBytes); err != nil {
+			if !errors.Is(err, ErrDiskFull) {
+				t.Fatalf("growth failed with %v", err)
+			}
+			break
+		}
+		pn++
+	}
+	// The file is still well-formed and fully readable after the failure.
+	lastPN, lastLen := f.LastPage()
+	if lastLen >= disk.PageBytes {
+		t.Fatal("invariant broken at exhaustion")
+	}
+	var buf [disk.PageWords]disk.Word
+	for p := disk.Word(1); p <= lastPN; p++ {
+		if _, err := f.ReadPage(p, &buf); err != nil {
+			t.Fatalf("page %d unreadable after exhaustion: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package file
+
+import (
+	"fmt"
+
+	"altoos/internal/disk"
+)
+
+// BytePointer is the §3.6 extension of a hint: "such a hint can be expanded
+// to name a particular byte within the file system, simply by augmenting a
+// full name with a byte position within the page." Programs store these in
+// their state files to reach a specific datum — an index entry, a document
+// position — in one disk access, with the usual guarantee: a stale pointer
+// fails a label check, it never reads the wrong byte.
+type BytePointer struct {
+	FN   FN        // the file's full name (absolute + leader hint)
+	PN   disk.Word // page number (absolute)
+	Addr disk.VDA  // hint: the page's disk address
+	Off  int       // byte offset within the page (absolute position)
+}
+
+// Pos returns the pointer's absolute byte position within the file.
+func (bp BytePointer) Pos() int {
+	return (int(bp.PN)-1)*disk.PageBytes + bp.Off
+}
+
+// String implements fmt.Stringer.
+func (bp BytePointer) String() string {
+	return fmt.Sprintf("%v:(%d,%d)@%d", bp.FN.FV, bp.PN, bp.Off, bp.Addr)
+}
+
+// PointerTo builds a byte pointer for an absolute file position, resolving
+// the page address through the handle (and its ladder if needed).
+func (f *File) PointerTo(pos int) (BytePointer, error) {
+	if pos < 0 || pos >= f.Size() {
+		return BytePointer{}, fmt.Errorf("%w: position %d of %d", ErrBadArg, pos, f.Size())
+	}
+	pn := disk.Word(pos/disk.PageBytes + 1)
+	a, err := f.PageAddr(pn)
+	if err != nil {
+		return BytePointer{}, err
+	}
+	return BytePointer{FN: f.fn, PN: pn, Addr: a, Off: pos % disk.PageBytes}, nil
+}
+
+// Deref reads the bytes at the pointer (up to n, bounded by the page's
+// valid length) in a single guarded access when the hint holds, climbing
+// the ladder when it doesn't. It returns the bytes and the (possibly
+// refreshed) pointer for re-saving.
+func Deref(fs *FS, bp BytePointer, n int) ([]byte, BytePointer, error) {
+	if bp.Off < 0 || bp.Off >= disk.PageBytes || n <= 0 {
+		return nil, bp, fmt.Errorf("%w: deref %v n=%d", ErrBadArg, bp, n)
+	}
+	f, err := fs.Open(bp.FN)
+	if err != nil {
+		return nil, bp, err
+	}
+	f.SetHint(bp.PN, bp.Addr) // the whole point: one access when it is right
+	var buf [disk.PageWords]disk.Word
+	length, err := f.ReadPage(bp.PN, &buf)
+	if err != nil {
+		return nil, bp, err
+	}
+	if bp.Off >= length {
+		return nil, bp, fmt.Errorf("%w: pointer beyond page length %d", ErrBadArg, length)
+	}
+	if bp.Off+n > length {
+		n = length - bp.Off
+	}
+	out := make([]byte, n)
+	for i := range out {
+		w := buf[(bp.Off+i)/2]
+		if (bp.Off+i)%2 == 0 {
+			out[i] = byte(w >> 8)
+		} else {
+			out[i] = byte(w)
+		}
+	}
+	fresh := bp
+	fresh.FN = f.FN()
+	if a, ok := f.Hint(bp.PN); ok {
+		fresh.Addr = a
+	}
+	return out, fresh, nil
+}

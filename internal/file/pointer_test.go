@@ -1,0 +1,128 @@
+package file
+
+import (
+	"errors"
+	"testing"
+
+	"altoos/internal/disk"
+)
+
+func pointerFixture(t *testing.T) (*FS, *File) {
+	t.Helper()
+	fs := newFS(t)
+	f, err := fs.Create("ptr.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three pages of recognizable bytes: byte at absolute position p has
+	// value p&0xFF.
+	var v [disk.PageWords]disk.Word
+	for pn := 1; pn <= 3; pn++ {
+		for i := 0; i < disk.PageWords; i++ {
+			pos := (pn-1)*disk.PageBytes + 2*i
+			v[i] = disk.Word(pos&0xFF)<<8 | disk.Word((pos+1)&0xFF)
+		}
+		length := disk.PageBytes
+		if pn == 3 {
+			length = 100
+		}
+		if err := f.WritePage(disk.Word(pn), &v, length); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return fs, f
+}
+
+func TestBytePointerRoundTrip(t *testing.T) {
+	fs, f := pointerFixture(t)
+	for _, pos := range []int{0, 1, 511, 512, 513, 1023, 1024 + 50} {
+		bp, err := f.PointerTo(pos)
+		if err != nil {
+			t.Fatalf("PointerTo(%d): %v", pos, err)
+		}
+		if bp.Pos() != pos {
+			t.Errorf("Pos() = %d, want %d", bp.Pos(), pos)
+		}
+		got, _, err := Deref(fs, bp, 1)
+		if err != nil {
+			t.Fatalf("Deref(%v): %v", bp, err)
+		}
+		if got[0] != byte(pos&0xFF) {
+			t.Errorf("byte at %d = %#x, want %#x", pos, got[0], byte(pos&0xFF))
+		}
+	}
+}
+
+func TestBytePointerIsOneAccessWhenValid(t *testing.T) {
+	fs, f := pointerFixture(t)
+	bp, err := f.PointerTo(700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	if _, _, err := Deref(fs, bp, 4); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.LinkChases != 0 || st.FVResolves != 0 {
+		t.Errorf("valid pointer needed recovery: %+v", st)
+	}
+}
+
+func TestBytePointerStaleHintRecovers(t *testing.T) {
+	fs, f := pointerFixture(t)
+	bp, err := f.PointerTo(700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Addr = 4000 // lie about the page address; absolutes stay right
+	got, fresh, err := Deref(fs, bp, 2)
+	if err != nil {
+		t.Fatalf("stale pointer not recovered: %v", err)
+	}
+	if got[0] != byte(700&0xFF) {
+		t.Fatal("stale pointer produced wrong data")
+	}
+	if fresh.Addr == 4000 {
+		t.Error("refreshed pointer still carries the lie")
+	}
+	// Second deref with the refreshed pointer is clean.
+	fs.ResetStats()
+	if _, _, err := Deref(fs, fresh, 2); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Stats().LinkChases != 0 {
+		t.Error("refreshed pointer still chased links")
+	}
+}
+
+func TestBytePointerBounds(t *testing.T) {
+	fs, f := pointerFixture(t)
+	if _, err := f.PointerTo(-1); !errors.Is(err, ErrBadArg) {
+		t.Error("negative position accepted")
+	}
+	if _, err := f.PointerTo(f.Size()); !errors.Is(err, ErrBadArg) {
+		t.Error("position at EOF accepted")
+	}
+	// Pointer into the unwritten tail of the last page.
+	bp, err := f.PointerTo(2*disk.PageBytes + 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Off = 200 // beyond the page's 100 valid bytes
+	if _, _, err := Deref(fs, bp, 1); !errors.Is(err, ErrBadArg) {
+		t.Errorf("deref beyond page length: %v", err)
+	}
+	// Reads are clipped at the page's valid length.
+	bp2, _ := f.PointerTo(2*disk.PageBytes + 95)
+	got, _, err := Deref(fs, bp2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("clipped read returned %d bytes, want 5", len(got))
+	}
+}

@@ -1,0 +1,192 @@
+package junta
+
+import (
+	"errors"
+	"testing"
+
+	"altoos/internal/mem"
+	"altoos/internal/zone"
+)
+
+func TestLayoutIsContiguousFromTop(t *testing.T) {
+	j := New(mem.New())
+	prevStart := 1 << 16
+	for l := Level(1); l <= NumLevels; l++ {
+		r, err := j.Region(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end := int(r.End)
+		if end == 0 {
+			end = 1 << 16
+		}
+		if end != prevStart {
+			t.Errorf("%v: region %v does not abut previous start %#x", l, r, prevStart)
+		}
+		if r.Size() <= 0 {
+			t.Errorf("%v: empty region", l)
+		}
+		prevStart = int(r.Start)
+	}
+	// Level 1 must be at the very top of memory (§5.2).
+	r1, _ := j.Region(1)
+	if int(r1.Start)+r1.Size() != 1<<16 {
+		t.Error("level 1 not at top of memory")
+	}
+}
+
+func TestJuntaFreesExpectedWords(t *testing.T) {
+	j := New(mem.New())
+	base0 := j.Base()
+	freed, words, err := j.Do(LevelDiskStream) // keep 1..8
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWords := 0
+	for l := LevelDirectory; l <= LevelFreeStore; l++ {
+		r, _ := j.Region(l)
+		wantWords += r.Size()
+	}
+	if words != wantWords {
+		t.Errorf("freed %d words, want %d", words, wantWords)
+	}
+	if freed.Size() != words {
+		t.Errorf("region size %d != freed words %d", freed.Size(), words)
+	}
+	if j.Base() <= base0 {
+		t.Error("base did not rise after Junta")
+	}
+	if j.Retained() != LevelDiskStream {
+		t.Errorf("retained %v", j.Retained())
+	}
+	if j.Resident(LevelDirectory) {
+		t.Error("level 9 still resident")
+	}
+	if !j.Resident(LevelDiskStream) {
+		t.Error("level 8 not resident")
+	}
+}
+
+func TestJuntaTeardownAndRestoreOrder(t *testing.T) {
+	j := New(mem.New())
+	var events []string
+	for _, l := range []Level{LevelDirectory, LevelDisplay, LevelFreeStore} {
+		l := l
+		j.Register(&Service{
+			Name:     l.String(),
+			Level:    l,
+			Teardown: func() { events = append(events, "down:"+l.String()) },
+			Restore:  func() error { events = append(events, "up:"+l.String()); return nil },
+		})
+	}
+	if _, _, err := j.Do(LevelDiskStream); err != nil {
+		t.Fatal(err)
+	}
+	// Teardown: highest level (most dependent) first.
+	want := []string{
+		"down:" + LevelFreeStore.String(),
+		"down:" + LevelDisplay.String(),
+		"down:" + LevelDirectory.String(),
+	}
+	for i, w := range want {
+		if i >= len(events) || events[i] != w {
+			t.Fatalf("teardown order %v, want %v", events, want)
+		}
+	}
+	events = nil
+	if err := j.CounterJunta(); err != nil {
+		t.Fatal(err)
+	}
+	wantUp := []string{
+		"up:" + LevelDirectory.String(),
+		"up:" + LevelDisplay.String(),
+		"up:" + LevelFreeStore.String(),
+	}
+	for i, w := range wantUp {
+		if i >= len(events) || events[i] != w {
+			t.Fatalf("restore order %v, want %v", events, wantUp)
+		}
+	}
+	if j.Retained() != NumLevels {
+		t.Error("CounterJunta did not restore all levels")
+	}
+}
+
+func TestFreedRegionUsableAsZone(t *testing.T) {
+	// §5.2: the program takes over the freed storage — here by building a
+	// zone over it, which is exactly what the allocator supports.
+	m := mem.New()
+	j := New(m)
+	freed, words, err := j.Do(LevelSwap) // keep only level 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words < 10000 {
+		t.Fatalf("keeping only level 1 freed just %d words", words)
+	}
+	size := freed.Size()
+	if size > 0x7FFF {
+		size = 0x7FFF
+	}
+	z, err := zone.New(m, freed.Start, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Alloc(1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJuntaScrubsFreedMemory(t *testing.T) {
+	m := mem.New()
+	j := New(m)
+	r, _ := j.Region(LevelFreeStore)
+	m.Store(r.Start+5, 0xBEEF)
+	if _, _, err := j.Do(LevelLoader); err != nil {
+		t.Fatal(err)
+	}
+	if m.Load(r.Start+5) != 0 {
+		t.Error("freed level data survived the Junta")
+	}
+}
+
+func TestJuntaNoopWhenKeepingEverything(t *testing.T) {
+	j := New(mem.New())
+	_, words, err := j.Do(NumLevels)
+	if err != nil || words != 0 {
+		t.Fatalf("no-op junta freed %d words, err %v", words, err)
+	}
+}
+
+func TestBadLevels(t *testing.T) {
+	j := New(mem.New())
+	if _, _, err := j.Do(0); !errors.Is(err, ErrBadLevel) {
+		t.Error("accepted level 0")
+	}
+	if _, _, err := j.Do(14); !errors.Is(err, ErrBadLevel) {
+		t.Error("accepted level 14")
+	}
+	if _, err := j.Region(99); !errors.Is(err, ErrBadLevel) {
+		t.Error("Region(99) succeeded")
+	}
+	if err := j.Register(&Service{Level: 0}); !errors.Is(err, ErrBadLevel) {
+		t.Error("registered service at level 0")
+	}
+}
+
+func TestTable(t *testing.T) {
+	j := New(mem.New())
+	j.Do(LevelZones)
+	tbl := j.Table()
+	if len(tbl) != NumLevels {
+		t.Fatalf("table has %d entries", len(tbl))
+	}
+	for _, e := range tbl {
+		if e.Resident != (e.Level <= LevelZones) {
+			t.Errorf("%v residency wrong", e.Level)
+		}
+		if e.Words != e.Region.Size() {
+			t.Errorf("%v words %d != region %v", e.Level, e.Words, e.Region)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package netfile
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/ether"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/sim"
+	"altoos/internal/stream"
+	"altoos/internal/zone"
+)
+
+// net builds a server machine and a client station on one wire.
+func netFixture(t *testing.T) (*Server, *Client, *file.FS) {
+	t.Helper()
+	clock := sim.NewClock()
+	wire := ether.New(clock)
+
+	d, err := disk.NewDrive(disk.Diablo31(), 1, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.InitRoot(fs); err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	z, err := zone.New(m, 0x4000, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sst, err := wire.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst, err := wire.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(fs, sst, z, m), NewClient(cst), fs
+}
+
+// pump alternates server and client polls until the client finishes.
+func pump(t *testing.T, s *Server, c *Client) {
+	t.Helper()
+	for i := 0; i < 10000 && !c.Done(); i++ {
+		if _, err := s.Poll(); err != nil {
+			t.Fatalf("server: %v", err)
+		}
+		if _, err := c.Poll(); err != nil {
+			return // the client records its failure; Result reports it
+		}
+	}
+	if !c.Done() {
+		t.Fatal("transfer never completed")
+	}
+}
+
+// drain runs the server until it goes idle.
+func drain(t *testing.T, s *Server) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		worked, err := s.Poll()
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+		if !worked {
+			return
+		}
+	}
+	t.Fatal("server never went idle")
+}
+
+func seed(t *testing.T, fs *Server, name string, body []byte) {
+	t.Helper()
+	f, err := fs.FS.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := dir.OpenRoot(fs.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Insert(name, f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := stream.NewDisk(f, fs.Zone, fs.Mem, stream.WriteMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range body {
+		if err := s.Put(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchSmallFile(t *testing.T) {
+	srv, cli, _ := netFixture(t)
+	seed(t, srv, "memo.txt", []byte("standardized below all software"))
+	if err := cli.Request(1, "memo.txt"); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, srv, cli)
+	got, err := cli.Result()
+	if err != nil || string(got) != "standardized below all software" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestFetchMultiPacketFile(t *testing.T) {
+	srv, cli, _ := netFixture(t)
+	r := sim.NewRand(3)
+	body := make([]byte, 3*dataBytesPerPacket+123)
+	for i := range body {
+		body[i] = byte(r.Word())
+	}
+	seed(t, srv, "big.bin", body)
+	if err := cli.Request(1, "big.bin"); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, srv, cli)
+	got, err := cli.Result()
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("multi-packet fetch: %d bytes, err %v", len(got), err)
+	}
+}
+
+func TestFetchMissingFileReportsRemoteError(t *testing.T) {
+	srv, cli, _ := netFixture(t)
+	if err := cli.Request(1, "ghost.txt"); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, srv, cli)
+	_, err := cli.Result()
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("got %v, want ErrRemote", err)
+	}
+}
+
+func TestStoreCreatesFileOnServer(t *testing.T) {
+	srv, cli, fs := netFixture(t)
+	body := []byte("uploaded across the wire")
+	if err := cli.Store(1, "upload.txt", body); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, srv)
+	fn, err := dir.ResolveName(fs, "upload.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := stream.NewDisk(f, srv.Zone, srv.Mem, stream.ReadMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := stream.ReadAll(s)
+	s.Close()
+	if !bytes.Equal(got, body) {
+		t.Fatalf("stored %q", got)
+	}
+}
+
+func TestStoreThenFetchRoundTrip(t *testing.T) {
+	srv, cli, _ := netFixture(t)
+	body := bytes.Repeat([]byte("round and round "), 100)
+	if err := cli.Store(1, "rt.txt", body); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, srv)
+	if err := cli.Request(1, "rt.txt"); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, srv, cli)
+	got, err := cli.Result()
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("round trip: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestSecondRequestWhileBusy(t *testing.T) {
+	srv, cli, _ := netFixture(t)
+	seed(t, srv, "a.txt", []byte("a"))
+	if err := cli.Request(1, "a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Request(1, "a.txt"); !errors.Is(err, ErrBusy) {
+		t.Fatalf("got %v, want ErrBusy", err)
+	}
+	pump(t, srv, cli)
+	if _, err := cli.Result(); err != nil {
+		t.Fatal(err)
+	}
+	// After Result the client is reusable.
+	if err := cli.Request(1, "a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, srv, cli)
+}
+
+func TestDataPackingProperty(t *testing.T) {
+	r := sim.NewRand(9)
+	for i := 0; i < 200; i++ {
+		n := r.Intn(dataBytesPerPacket + 1)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = byte(r.Word())
+		}
+		seq := r.Word()
+		gotSeq, got, err := unpackData(packData(seq, data))
+		if err != nil || gotSeq != seq || !bytes.Equal(got, data) {
+			t.Fatalf("pack/unpack: n=%d seq=%d err=%v", n, seq, err)
+		}
+	}
+}
+
+func TestWireTimeAccumulates(t *testing.T) {
+	srv, cli, fs := netFixture(t)
+	body := make([]byte, 2*dataBytesPerPacket)
+	seed(t, srv, "timed.bin", body)
+	before := fs.Device().Clock().Now()
+	cli.Request(1, "timed.bin")
+	pump(t, srv, cli)
+	if _, err := cli.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Device().Clock().Now() == before {
+		t.Fatal("transfer charged no simulated time")
+	}
+}

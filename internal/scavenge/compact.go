@@ -1,0 +1,244 @@
+package scavenge
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/sim"
+)
+
+// CompactReport describes a compaction run.
+type CompactReport struct {
+	FilesLaidOut  int
+	PagesMoved    int
+	PagesAlready  int // pages that were already in place
+	Elapsed       time.Duration
+	ScavengeAfter *Report // the rebuild pass that refreshed all hints
+}
+
+// String summarizes the report.
+func (r *CompactReport) String() string {
+	return fmt.Sprintf("compact: %d files laid out, %d pages moved (%d already placed), %v",
+		r.FilesLaidOut, r.PagesMoved, r.PagesAlready, r.Elapsed.Round(time.Millisecond))
+}
+
+// Compact is the "more elaborate scavenger that does an in-place permutation
+// of the file pages on the disk so that the pages of each file are in
+// consecutive sectors. This arrangement typically increases the speed with
+// which the files can be read sequentially by an order of magnitude" (§3.5).
+//
+// The algorithm moves pages one at a time, never holding more than one page
+// value in memory, and keeps every label correct at every step (a moved page
+// is allocated at its destination under its absolute name before the source
+// is freed). Links go stale during the permutation — they are hints — and a
+// final scavenging pass reconstructs them, so a crash mid-compaction costs
+// nothing but time.
+func Compact(dev disk.Device) (*file.FS, *CompactReport, error) {
+	rep := &CompactReport{}
+	watch := sim.Watch(dev.Clock())
+
+	// Learn the current layout from the labels.
+	s := newScavenger(dev)
+	if err := s.sweep(s.keepInMemory); err != nil {
+		return nil, nil, err
+	}
+
+	// Plan the target layout. Fixed sectors keep their occupants: the boot
+	// page, the root leader and the descriptor leader have standard
+	// addresses that must not move. Every file is then laid out
+	// consecutively (leader first) in FID order, system files first, in the
+	// lowest available run of sectors.
+	occupied := map[disk.VDA]*pageInfo{}
+	for _, pages := range s.files {
+		for _, p := range pages {
+			occupied[p.addr] = p
+		}
+	}
+
+	n := s.dev.Geometry().NSectors()
+	target := make([]*pageInfo, n) // target[a] = page that must end up at a
+	taken := make([]bool, n)
+	// Unusable sectors never receive pages.
+	for i := 0; i < n; i++ {
+		if s.free.Busy(disk.VDA(i)) {
+			if _, live := occupied[disk.VDA(i)]; !live {
+				taken[i] = true // bad or retired sector
+			}
+		}
+	}
+
+	// Pin the standard addresses.
+	pin := func(a disk.VDA) {
+		if p, ok := occupied[a]; ok && standardAddress(p) == a {
+			target[a] = p
+			taken[a] = true
+		} else {
+			taken[a] = true // reserve even if empty (boot page slot)
+		}
+	}
+	pin(file.BootVDA)
+	pin(file.SysDirLeaderVDA)
+	pin(file.DescLeaderVDA)
+
+	fvs := make([]disk.FV, 0, len(s.files))
+	for _, fv := range s.order {
+		if _, ok := s.files[fv]; ok {
+			fvs = append(fvs, fv)
+		}
+	}
+	sort.Slice(fvs, func(i, j int) bool { return lessFV(fvs[i], fvs[j]) })
+
+	cursor := 0
+	for _, fv := range fvs {
+		pages := s.files[fv]
+		sort.Slice(pages, func(i, j int) bool { return pages[i].pn < pages[j].pn })
+		rep.FilesLaidOut++
+		for _, p := range pages {
+			if std := standardAddress(p); std != disk.NilVDA {
+				continue // already pinned
+			}
+			// Find the next run start; single pages just take the next slot.
+			for cursor < n && taken[cursor] {
+				cursor++
+			}
+			if cursor >= n {
+				return nil, nil, fmt.Errorf("scavenge: compaction ran out of sectors")
+			}
+			target[cursor] = p
+			taken[cursor] = true
+			cursor++
+		}
+	}
+
+	// Execute the permutation. For each destination in order: if the right
+	// page is already there, done; otherwise evacuate whatever sits there to
+	// a free sector, then move the wanted page in.
+	cur := map[disk.VDA]*pageInfo{} // live page by current address
+	for _, pages := range s.files {
+		for _, p := range pages {
+			cur[p.addr] = p
+		}
+	}
+	freeNow := func() disk.VDA {
+		for i := n - 1; i >= 0; i-- { // evacuate to the far end
+			a := disk.VDA(i)
+			if _, live := cur[a]; live {
+				continue
+			}
+			if target[a] != nil && target[a].addr == a {
+				continue
+			}
+			if s.free.Busy(a) && occupied[a] == nil {
+				continue // bad sector
+			}
+			if a == file.BootVDA || a == file.SysDirLeaderVDA || a == file.DescLeaderVDA {
+				continue
+			}
+			return a
+		}
+		return disk.NilVDA
+	}
+	move := func(p *pageInfo, to disk.VDA) error {
+		// Read the value under the old label, allocate the destination
+		// under the same absolute name, then free the source.
+		pat := p.raw
+		var v [disk.PageWords]disk.Word
+		if err := s.dev.Do(&disk.Op{
+			Addr: p.addr, Label: disk.Check, LabelData: &pat,
+			Value: disk.Read, ValueData: &v,
+		}); err != nil {
+			return err
+		}
+		lbl := disk.LabelFromWords(p.raw) // links stale after the move: hints
+		// Allocate checks the destination carries the free label, so a
+		// squatter becomes a check error, never an overwrite.
+		if err := disk.Allocate(s.dev, to, lbl, &v); err != nil {
+			return err
+		}
+		if err := s.freeRaw(p.addr, p.raw); err != nil {
+			return err
+		}
+		delete(cur, p.addr)
+		s.free.SetBusy(to)
+		p.addr = to
+		p.raw = lbl.Words()
+		cur[to] = p
+		rep.PagesMoved++
+		return nil
+	}
+
+	for i := 0; i < n; i++ {
+		want := target[i]
+		if want == nil {
+			continue
+		}
+		dst := disk.VDA(i)
+		if want.addr == dst {
+			rep.PagesAlready++
+			continue
+		}
+		if squatter, ok := cur[dst]; ok {
+			spare := freeNow()
+			if spare == disk.NilVDA {
+				return nil, nil, fmt.Errorf("scavenge: no spare sector during compaction")
+			}
+			if err := move(squatter, spare); err != nil {
+				return nil, nil, fmt.Errorf("scavenge: evacuating %d: %w", dst, err)
+			}
+		}
+		if err := move(want, dst); err != nil {
+			return nil, nil, fmt.Errorf("scavenge: moving page to %d: %w", dst, err)
+		}
+	}
+
+	// Links, leaders, the allocation map and directory address hints are all
+	// stale now. They are hints; the Scavenger rebuilds every one of them
+	// from the absolutes.
+	fs, after, err := Run(dev)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scavenge: post-compaction rebuild: %w", err)
+	}
+	rep.ScavengeAfter = after
+	rep.Elapsed = watch.Elapsed()
+	return fs, rep, nil
+}
+
+// standardAddress returns the fixed address a page must occupy, or NilVDA.
+func standardAddress(p *pageInfo) disk.VDA {
+	switch {
+	case p.fv.FID == disk.SysDirFID && p.pn == 0:
+		return file.SysDirLeaderVDA
+	case p.fv.FID == disk.DescriptorFID && p.pn == 0:
+		return file.DescLeaderVDA
+	case p.fv.FID == disk.BootFID && p.pn == 1:
+		return file.BootVDA
+	}
+	return disk.NilVDA
+}
+
+// lessFV orders files for layout: system files first, then by serial.
+func lessFV(a, b disk.FV) bool {
+	ra, rb := layoutRank(a.FID), layoutRank(b.FID)
+	if ra != rb {
+		return ra < rb
+	}
+	if a.FID != b.FID {
+		return a.FID < b.FID
+	}
+	return a.Version < b.Version
+}
+
+func layoutRank(f disk.FID) int {
+	switch f {
+	case disk.DescriptorFID:
+		return 0
+	case disk.SysDirFID:
+		return 1
+	case disk.BootFID:
+		return 2
+	}
+	return 3
+}

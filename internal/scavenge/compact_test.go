@@ -1,0 +1,204 @@
+package scavenge
+
+import (
+	"fmt"
+	"testing"
+
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+)
+
+// fragment builds a drive whose files' pages are interleaved: nfiles files
+// grown round-robin one page at a time, so consecutive pages of one file are
+// nfiles sectors apart.
+func fragment(t *testing.T, nfiles, pagesEach int) (*disk.Drive, *file.FS, []*file.File) {
+	t.Helper()
+	d, err := disk.NewDrive(disk.Diablo31(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := dir.InitRoot(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]*file.File, nfiles)
+	for i := range files {
+		f, err := fs.Create(fmt.Sprintf("frag-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = f
+		if err := root.Insert(fmt.Sprintf("frag-%d", i), f.FN()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pn := 1; pn <= pagesEach; pn++ {
+		for i, f := range files {
+			p := pageOf(disk.Word(i*1000 + pn))
+			if err := f.WritePage(disk.Word(pn), &p, disk.PageBytes); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, f := range files {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return d, fs, files
+}
+
+// readSequentially times a steady-state sequential read of the named file:
+// one warm-up pass fills the hint cache, the second is measured — the
+// regime the paper's sequential-speed claims describe.
+func readSequentially(t *testing.T, fs *file.FS, name string) (perPage float64) {
+	t.Helper()
+	fn, err := dir.ResolveName(fs, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastPN, _ := f.LastPage()
+	var buf [disk.PageWords]disk.Word
+	for pass := 0; pass < 2; pass++ {
+		start := fs.Device().Clock().Now()
+		for pn := disk.Word(1); pn <= lastPN; pn++ {
+			if _, err := f.ReadPage(pn, &buf); err != nil {
+				t.Fatalf("%s page %d: %v", name, pn, err)
+			}
+		}
+		perPage = (fs.Device().Clock().Now() - start).Seconds() / float64(lastPN)
+	}
+	return perPage
+}
+
+func TestCompactMakesFilesConsecutive(t *testing.T) {
+	d, _, _ := fragment(t, 6, 8)
+	fs2, rep, err := Compact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PagesMoved == 0 {
+		t.Fatal("nothing moved on a fragmented disk")
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("frag-%d", i)
+		fn, err := dir.ResolveName(fs2, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs2.Open(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Leader().MaybeConsecutive {
+			t.Errorf("%s not marked consecutive after compaction", name)
+		}
+		prev, err := f.PageAddr(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastPN, _ := f.LastPage()
+		for pn := disk.Word(1); pn <= lastPN; pn++ {
+			a, err := f.PageAddr(pn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != prev+1 {
+				t.Fatalf("%s page %d at %d, want %d", name, pn, a, prev+1)
+			}
+			prev = a
+		}
+	}
+}
+
+func TestCompactPreservesContent(t *testing.T) {
+	d, _, _ := fragment(t, 4, 6)
+	fs2, _, err := Compact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("frag-%d", i)
+		fn, err := dir.ResolveName(fs2, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs2.Open(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf [disk.PageWords]disk.Word
+		for pn := 1; pn <= 6; pn++ {
+			if _, err := f.ReadPage(disk.Word(pn), &buf); err != nil {
+				t.Fatalf("%s page %d: %v", name, pn, err)
+			}
+			if want := pageOf(disk.Word(i*1000 + pn)); buf != want {
+				t.Fatalf("%s page %d corrupted by compaction", name, pn)
+			}
+		}
+	}
+}
+
+func TestCompactKeepsStandardAddresses(t *testing.T) {
+	d, _, _ := fragment(t, 3, 3)
+	fs2, _, err := Compact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs2.RootDir().Leader != file.SysDirLeaderVDA {
+		t.Errorf("root leader moved to %d", fs2.RootDir().Leader)
+	}
+	if fs2.DescriptorFN().Leader != file.DescLeaderVDA {
+		t.Errorf("descriptor leader moved to %d", fs2.DescriptorFN().Leader)
+	}
+	// The disk must still mount cold.
+	if _, err := file.Mount(d); err != nil {
+		t.Fatalf("Mount after compaction: %v", err)
+	}
+}
+
+func TestCompactSpeedsUpSequentialReadByAnOrderOfMagnitude(t *testing.T) {
+	// §3.5: compaction "typically increases the speed with which the files
+	// can be read sequentially by an order of magnitude".
+	d, fs, _ := fragment(t, 12, 16)
+	before := readSequentially(t, fs, "frag-3")
+
+	fs2, _, err := Compact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := readSequentially(t, fs2, "frag-3")
+
+	speedup := before / after
+	if speedup < 4 {
+		t.Errorf("compaction speedup = %.1fx (before %.2fms/page, after %.2fms/page), want order of magnitude",
+			speedup, before*1000, after*1000)
+	}
+	t.Logf("sequential read speedup after compaction: %.1fx", speedup)
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	d, _, _ := fragment(t, 3, 4)
+	if _, _, err := Compact(d); err != nil {
+		t.Fatal(err)
+	}
+	_, rep2, err := Compact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.PagesMoved != 0 {
+		t.Errorf("second compaction moved %d pages, want 0", rep2.PagesMoved)
+	}
+}

@@ -1,0 +1,725 @@
+// Package scavenge implements the Scavenger (§3.5): the procedure that
+// reconstructs the entire state of the file system from whatever fragmented
+// state it has fallen into, using only the absolute information in the page
+// labels and leader pages.
+//
+// "By reading all the labels on the disk, we can check that all the links
+// are correct (reconstructing any that prove faulty), obtain full names for
+// all existing files, and produce a list of free pages. ... We can then read
+// all the directories and verify that each entry points to page 0 of an
+// existing file, fixing up the address if necessary and detecting entries
+// which point elsewhere. If any file remains unaccounted for by directory
+// entries, we can make a new entry for it in the main directory, using its
+// leader name."
+//
+// Two drivers share the repair machinery. Run holds the whole label table
+// in memory — the paper's case where "a table with 48 bits per sector" fits
+// main storage. RunLowMemory honours the other case ("larger disks require
+// this list to be written on a specially reserved section of the disk"): it
+// spills the table to free sectors as it sweeps, externally sorts it with a
+// bounded in-core window, and streams the sorted groups through the same
+// repairs.
+//
+// The Scavenger is deliberately not privileged: it is a client of the disk
+// device, built from the same checked operations as everything else, and it
+// only ever *rewrites hints* (links, maps, addresses) — the absolutes it
+// found are what it preserves.
+package scavenge
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/sim"
+)
+
+// Report describes everything one scavenging pass found and repaired.
+type Report struct {
+	SectorsScanned int
+	FilesFound     int
+	Directories    int
+	FreePages      int
+	BadSectors     int
+	RetiredPages   int // pages carrying the bad-page label
+
+	DuplicatesFreed   int // two sectors claimed the same absolute name
+	HeadlessFreed     int // data pages with no leader anywhere
+	IncompleteFiles   int // files truncated at a gap or short interior page
+	PagesFreed        int
+	LinksRepaired     int
+	LeadersRepaired   int
+	TailPagesAdded    int // empty pages appended to restore the invariant
+	RootRecreated     bool
+	DescRecreated     bool
+	DirsRepaired      int
+	DirEntriesFixed   int // leader-address hints corrected
+	DirEntriesRemoved int // entries pointing at nothing
+	OrphansAdopted    int
+
+	SpilledEntries int // low-memory mode: table entries written to disk
+	SpillSectors   int // low-memory mode: reserved sectors used
+
+	Elapsed time.Duration // simulated time the pass took
+}
+
+// String summarizes the report in one line.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"scavenge: %d sectors, %d files (%d dirs), %d free, %d bad; repaired %d links, %d leaders, %d entries; adopted %d orphans; %v",
+		r.SectorsScanned, r.FilesFound, r.Directories, r.FreePages, r.BadSectors,
+		r.LinksRepaired, r.LeadersRepaired, r.DirEntriesFixed+r.DirEntriesRemoved,
+		r.OrphansAdopted, r.Elapsed.Round(time.Millisecond))
+}
+
+// pageInfo is the table entry built for every in-use sector. The paper packs
+// these into 48 bits; ours round-trips through exactly 8 on-disk words in
+// the low-memory spill (the 7 label words plus the address).
+type pageInfo struct {
+	fv     disk.FV
+	pn     disk.Word
+	addr   disk.VDA
+	length disk.Word
+	next   disk.VDA
+	prev   disk.VDA
+	raw    [disk.LabelWords]disk.Word
+}
+
+// summary is the per-file record kept after a group has been repaired —
+// bounded by the number of files, not sectors, which is what lets the
+// low-memory driver discard page entries after use.
+type summary struct {
+	leaderAddr disk.VDA
+	leaderRaw  [disk.LabelWords]disk.Word
+	lastPN     disk.Word
+	lastAddr   disk.VDA
+	lastLen    int
+	consec     bool
+}
+
+// scavenger carries one pass's working state.
+type scavenger struct {
+	dev      disk.Device
+	report   *Report
+	free     *file.BitMap // busy = not allocatable
+	files    map[disk.FV][]*pageInfo
+	order    []disk.FV // deterministic iteration order
+	sums     map[disk.FV]*summary
+	leaders  map[disk.FV]file.Leader
+	reserved map[disk.VDA]bool // spill sectors: not allocatable while in use
+}
+
+func newScavenger(dev disk.Device) *scavenger {
+	return &scavenger{
+		dev:      dev,
+		report:   &Report{},
+		files:    map[disk.FV][]*pageInfo{},
+		sums:     map[disk.FV]*summary{},
+		leaders:  map[disk.FV]file.Leader{},
+		reserved: map[disk.VDA]bool{},
+	}
+}
+
+// Run scavenges the device with the whole table in memory and returns a
+// freshly mounted file system plus the report. It needs no readable
+// descriptor, directory or leader to start from — only the labels.
+func Run(dev disk.Device) (*file.FS, *Report, error) {
+	s := newScavenger(dev)
+	watch := sim.Watch(dev.Clock())
+
+	if err := s.sweep(s.keepInMemory); err != nil {
+		return nil, nil, err
+	}
+	if err := s.fixFiles(); err != nil {
+		return nil, nil, err
+	}
+	fs, rep, err := s.finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Elapsed = watch.Elapsed()
+	return fs, rep, nil
+}
+
+// RunLowMemory scavenges holding at most window table entries in memory,
+// spilling the rest to free sectors of the disk being scavenged — the
+// paper's large-disk mode. The spilled sectors keep their free labels (only
+// their values are borrowed), so a crash mid-scavenge costs nothing.
+func RunLowMemory(dev disk.Device, window int) (*file.FS, *Report, error) {
+	if window < 64 {
+		window = 64
+	}
+	s := newScavenger(dev)
+	watch := sim.Watch(dev.Clock())
+
+	spill := newSpillTable(s, window)
+	if err := s.sweep(spill.add); err != nil {
+		return nil, nil, err
+	}
+	if err := spill.finishRuns(); err != nil {
+		return nil, nil, err
+	}
+	// Stream the externally sorted table, one file group at a time, through
+	// the same repairs the in-memory driver uses.
+	if err := spill.mergeGroups(func(fv disk.FV, pages []*pageInfo) error {
+		return s.fixOneGroup(fv, pages)
+	}); err != nil {
+		return nil, nil, err
+	}
+	spill.release()
+	s.report.FreePages = s.free.CountFree()
+
+	fs, rep, err := s.finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Elapsed = watch.Elapsed()
+	return fs, rep, nil
+}
+
+// finish runs the shared passes after per-file repair: system structures,
+// leader refresh, directories, descriptor flush.
+func (s *scavenger) finish() (*file.FS, *Report, error) {
+	fs, root, err := s.rebuildSystem()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Recompute every leader's hint fields (last page, consecutive flag)
+	// from the absolutes: "when it is complete, all hints have been
+	// recomputed from absolutes".
+	for _, fv := range s.order {
+		if _, ok := s.sums[fv]; ok {
+			if _, err := s.leaderOf(fv); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := s.fixDirectories(fs, root); err != nil {
+		return nil, nil, err
+	}
+	if err := fs.Flush(); err != nil {
+		return nil, nil, fmt.Errorf("scavenge: writing descriptor: %w", err)
+	}
+	return fs, s.report, nil
+}
+
+// keepInMemory is the in-memory sweep sink.
+func (s *scavenger) keepInMemory(p pageInfo) error {
+	if _, ok := s.files[p.fv]; !ok {
+		s.order = append(s.order, p.fv)
+	}
+	cp := p
+	s.files[p.fv] = append(s.files[p.fv], &cp)
+	return nil
+}
+
+// sweep reads every label on the disk (pass 1). Sequential by address, so a
+// whole track's labels go by in one revolution. In-use entries go to emit.
+func (s *scavenger) sweep(emit func(pageInfo) error) error {
+	n := s.dev.Geometry().NSectors()
+	s.report.SectorsScanned = n
+	s.free = file.NewBitMap(n)
+	for i := 0; i < n; i++ {
+		addr := disk.VDA(i)
+		raw, err := disk.ReadAnyLabel(s.dev, addr)
+		switch {
+		case errors.Is(err, disk.ErrBadSector):
+			s.report.BadSectors++
+			s.free.SetBusy(addr)
+			continue
+		case disk.IsCheck(err):
+			// Header does not match the address: unreliable sector.
+			s.report.BadSectors++
+			s.free.SetBusy(addr)
+			continue
+		case err != nil:
+			return fmt.Errorf("scavenge: sweeping sector %d: %w", addr, err)
+		}
+		switch {
+		case disk.IsFreeLabel(raw):
+			continue // free: stays free in the map
+		case disk.IsBadLabel(raw):
+			s.report.RetiredPages++
+			s.free.SetBusy(addr)
+		default:
+			lbl := disk.LabelFromWords(raw)
+			s.free.SetBusy(addr)
+			if err := emit(pageInfo{
+				fv: lbl.FV(), pn: lbl.PageNum, addr: addr,
+				length: lbl.Length, next: lbl.Next, prev: lbl.Prev, raw: raw,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// freeRaw releases a sector whose current label words are raw: check the
+// label we read, then write the free pattern over label and value.
+func (s *scavenger) freeRaw(addr disk.VDA, raw [disk.LabelWords]disk.Word) error {
+	pat := raw
+	if err := s.dev.Do(&disk.Op{Addr: addr, Label: disk.Check, LabelData: &pat}); err != nil {
+		return err
+	}
+	lbl := disk.FreeLabelWords()
+	var ones [disk.PageWords]disk.Word
+	for i := range ones {
+		ones[i] = 0xFFFF
+	}
+	if err := s.dev.Do(&disk.Op{
+		Addr: addr, Label: disk.Write, LabelData: &lbl,
+		Value: disk.Write, ValueData: &ones,
+	}); err != nil {
+		return err
+	}
+	s.free.SetFree(addr)
+	s.report.PagesFreed++
+	return nil
+}
+
+// relabelRaw rewrites a sector's label, preserving its value: one operation
+// checks the old label and reads the value, the next (a revolution later)
+// writes the corrected label and the value back.
+func (s *scavenger) relabelRaw(p *pageInfo, newLbl disk.Label) error {
+	pat := p.raw
+	var v [disk.PageWords]disk.Word
+	if err := s.dev.Do(&disk.Op{
+		Addr: p.addr, Label: disk.Check, LabelData: &pat,
+		Value: disk.Read, ValueData: &v,
+	}); err != nil {
+		return err
+	}
+	w := newLbl.Words()
+	if err := s.dev.Do(&disk.Op{
+		Addr: p.addr, Label: disk.Write, LabelData: &w,
+		Value: disk.Write, ValueData: &v,
+	}); err != nil {
+		return err
+	}
+	p.raw = w
+	p.length = newLbl.Length
+	p.next = newLbl.Next
+	p.prev = newLbl.Prev
+	return nil
+}
+
+// allocFresh claims a free sector for a brand-new page, skipping sectors the
+// spill table has borrowed.
+func (s *scavenger) allocFresh(lbl disk.Label, v *[disk.PageWords]disk.Word) (disk.VDA, error) {
+	for i := 0; i < s.free.Len(); i++ {
+		a := disk.VDA(i)
+		if s.free.Busy(a) || s.reserved[a] {
+			continue
+		}
+		s.free.SetBusy(a)
+		err := disk.Allocate(s.dev, a, lbl, v)
+		if err == nil {
+			return a, nil
+		}
+		if disk.IsCheck(err) || errors.Is(err, disk.ErrBadSector) {
+			continue // stays busy
+		}
+		return disk.NilVDA, err
+	}
+	return disk.NilVDA, file.ErrDiskFull
+}
+
+// fixFiles (pass 2, in-memory driver) runs fixOneGroup over every file.
+func (s *scavenger) fixFiles() error {
+	// Iterate a snapshot: dropped files remove themselves from s.order.
+	order := append([]disk.FV(nil), s.order...)
+	for _, fv := range order {
+		if err := s.fixOneGroup(fv, s.files[fv]); err != nil {
+			return err
+		}
+	}
+	s.report.FreePages = s.free.CountFree()
+	return nil
+}
+
+// fixOneGroup enforces one file's structure from the absolutes: contiguous
+// pages 0..n, interior pages full, last page partial, links pointing at the
+// right neighbours. On success it records the file's summary.
+func (s *scavenger) fixOneGroup(fv disk.FV, pages []*pageInfo) error {
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].pn != pages[j].pn {
+			return pages[i].pn < pages[j].pn
+		}
+		return pages[i].addr < pages[j].addr
+	})
+
+	// Duplicates: the same absolute name on two sectors. Keep the first.
+	var kept []*pageInfo
+	for _, p := range pages {
+		if len(kept) > 0 && kept[len(kept)-1].pn == p.pn {
+			if err := s.freeRaw(p.addr, p.raw); err != nil {
+				return err
+			}
+			s.report.DuplicatesFreed++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	pages = kept
+
+	// Headless: no page 0 anywhere. Without a leader there is no name to
+	// recover the data under; release the pages.
+	if pages[0].pn != 0 {
+		for _, p := range pages {
+			if err := s.freeRaw(p.addr, p.raw); err != nil {
+				return err
+			}
+		}
+		s.report.HeadlessFreed++
+		s.drop(fv)
+		return nil
+	}
+
+	// Contiguous prefix; a gap truncates the file there.
+	end := 1
+	for end < len(pages) && pages[end].pn == pages[end-1].pn+1 {
+		end++
+	}
+	// A short interior page also ends the file: bytes beyond it cannot be
+	// part of a well-formed file.
+	for i := 1; i < end-1; i++ {
+		if pages[i].length < disk.PageBytes {
+			end = i + 1
+			break
+		}
+	}
+	if end < len(pages) {
+		for _, p := range pages[end:] {
+			if err := s.freeRaw(p.addr, p.raw); err != nil {
+				return err
+			}
+		}
+		pages = pages[:end]
+		s.report.IncompleteFiles++
+	}
+
+	// The leader must be exactly full.
+	if pages[0].length != disk.PageBytes {
+		lbl := disk.LabelFromWords(pages[0].raw)
+		lbl.Length = disk.PageBytes
+		if err := s.relabelRaw(pages[0], lbl); err != nil {
+			return err
+		}
+		s.report.LeadersRepaired++
+	}
+
+	// Restore "the last page is partial": a leader-only file gets an empty
+	// page 1; a full last page gets an empty successor.
+	if len(pages) == 1 || pages[len(pages)-1].length >= disk.PageBytes {
+		last := pages[len(pages)-1]
+		var empty [disk.PageWords]disk.Word
+		newLbl := disk.Label{
+			FID: fv.FID, Version: fv.Version, PageNum: last.pn + 1,
+			Length: 0, Next: disk.NilVDA, Prev: last.addr,
+		}
+		a, err := s.allocFresh(newLbl, &empty)
+		if err != nil {
+			return fmt.Errorf("scavenge: extending %v: %w", fv, err)
+		}
+		p := &pageInfo{fv: fv, pn: last.pn + 1, addr: a, length: 0,
+			next: disk.NilVDA, prev: last.addr, raw: newLbl.Words()}
+		pages = append(pages, p)
+		s.report.TailPagesAdded++
+	}
+
+	// Rebuild the links from the absolutes.
+	for i, p := range pages {
+		next, prev := disk.NilVDA, disk.NilVDA
+		if i+1 < len(pages) {
+			next = pages[i+1].addr
+		}
+		if i > 0 {
+			prev = pages[i-1].addr
+		}
+		if p.next != next || p.prev != prev {
+			lbl := disk.LabelFromWords(p.raw)
+			lbl.Next = next
+			lbl.Prev = prev
+			if err := s.relabelRaw(p, lbl); err != nil {
+				return err
+			}
+			s.report.LinksRepaired++
+		}
+	}
+
+	consec := true
+	for i := 1; i < len(pages); i++ {
+		if pages[i].addr != pages[i-1].addr+1 {
+			consec = false
+			break
+		}
+	}
+	last := pages[len(pages)-1]
+	s.setSummary(fv, &summary{
+		leaderAddr: pages[0].addr,
+		leaderRaw:  pages[0].raw,
+		lastPN:     last.pn,
+		lastAddr:   last.addr,
+		lastLen:    int(last.length),
+		consec:     consec,
+	})
+	if _, inMem := s.files[fv]; inMem {
+		s.files[fv] = pages
+	}
+	s.report.FilesFound++
+	if fv.FID.IsDirectory() {
+		s.report.Directories++
+	}
+	return nil
+}
+
+// setSummary records a repaired file, maintaining deterministic order for
+// the low-memory driver (the in-memory driver set order during the sweep).
+func (s *scavenger) setSummary(fv disk.FV, sum *summary) {
+	if _, ok := s.sums[fv]; !ok {
+		if _, inMem := s.files[fv]; !inMem {
+			s.order = append(s.order, fv)
+		}
+	}
+	s.sums[fv] = sum
+}
+
+// drop removes all record of a file that did not survive repair.
+func (s *scavenger) drop(fv disk.FV) {
+	delete(s.files, fv)
+	delete(s.sums, fv)
+	for i, v := range s.order {
+		if v == fv {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// leaderOf reads and decodes a file's leader, synthesizing one if the value
+// is damaged beyond parsing, and refreshing the hint fields.
+func (s *scavenger) leaderOf(fv disk.FV) (file.Leader, error) {
+	if ldr, ok := s.leaders[fv]; ok {
+		return ldr, nil
+	}
+	sum, ok := s.sums[fv]
+	if !ok {
+		return file.Leader{}, fmt.Errorf("scavenge: no summary for %v", fv)
+	}
+	pat := sum.leaderRaw
+	var v [disk.PageWords]disk.Word
+	if err := s.dev.Do(&disk.Op{
+		Addr: sum.leaderAddr, Label: disk.Check, LabelData: &pat,
+		Value: disk.Read, ValueData: &v,
+	}); err != nil {
+		return file.Leader{}, err
+	}
+	ldr, err := file.DecodeLeader(&v)
+	damaged := err != nil || ldr.Name == ""
+	if damaged {
+		ldr = file.Leader{Name: fmt.Sprintf("Rescued!%d.", uint32(fv.FID&^disk.DirFIDBit))}
+	}
+	if damaged || ldr.LastPN != sum.lastPN || ldr.LastAddr != sum.lastAddr || ldr.MaybeConsecutive != sum.consec {
+		ldr.LastPN, ldr.LastAddr, ldr.MaybeConsecutive = sum.lastPN, sum.lastAddr, sum.consec
+		var nv [disk.PageWords]disk.Word
+		if err := ldr.Encode(&nv); err != nil {
+			return file.Leader{}, err
+		}
+		cpat := sum.leaderRaw
+		if err := s.dev.Do(&disk.Op{
+			Addr: sum.leaderAddr, Label: disk.Check, LabelData: &cpat,
+			Value: disk.Write, ValueData: &nv,
+		}); err != nil {
+			return file.Leader{}, err
+		}
+		s.report.LeadersRepaired++
+	}
+	s.leaders[fv] = ldr
+	return ldr, nil
+}
+
+// findFID returns the surviving file with the given FID (any version).
+func (s *scavenger) findFID(fid disk.FID) (disk.FV, *summary, bool) {
+	for _, fv := range s.order {
+		if sum, ok := s.sums[fv]; ok && fv.FID == fid {
+			return fv, sum, true
+		}
+	}
+	return disk.FV{}, nil, false
+}
+
+// openTrusted builds a file handle from a verified summary.
+func (s *scavenger) openTrusted(fs *file.FS, fv disk.FV) (*file.File, error) {
+	sum := s.sums[fv]
+	ldr, err := s.leaderOf(fv)
+	if err != nil {
+		return nil, err
+	}
+	return fs.OpenTrusted(file.FN{FV: fv, Leader: sum.leaderAddr}, ldr, sum.lastPN, sum.lastLen), nil
+}
+
+// rebuildSystem (pass 3) reconstructs the descriptor and, if necessary, the
+// descriptor file and root directory themselves.
+func (s *scavenger) rebuildSystem() (*file.FS, *dir.Directory, error) {
+	// Serial high-water mark from the absolutes.
+	next := uint32(disk.FirstUserFID)
+	for _, fv := range s.order {
+		if _, ok := s.sums[fv]; !ok {
+			continue
+		}
+		serial := uint32(fv.FID &^ disk.DirFIDBit)
+		if serial >= next {
+			next = serial + 1
+		}
+	}
+
+	desc := &file.Descriptor{
+		Shape:      s.dev.Geometry(),
+		Pack:       s.dev.Pack(),
+		NextSerial: next,
+		Free:       s.free,
+	}
+	// The boot page stays reserved even if no boot file exists yet.
+	desc.Free.SetBusy(file.BootVDA)
+
+	var descFN file.FN
+	if fv, sum, ok := s.findFID(disk.DescriptorFID); ok {
+		descFN = file.FN{FV: fv, Leader: sum.leaderAddr}
+	}
+	fs := file.Adopt(s.dev, desc, descFN)
+
+	if descFN == (file.FN{}) {
+		at := file.DescLeaderVDA
+		if s.free.Busy(at) {
+			at = disk.NilVDA
+		}
+		f, err := fs.CreateWithFV(disk.FV{FID: disk.DescriptorFID, Version: 1}, "DiskDescriptor.", at)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scavenge: recreating descriptor file: %w", err)
+		}
+		fs.SetDescriptorFN(f.FN())
+		s.report.DescRecreated = true
+	}
+
+	var root *dir.Directory
+	if fv, _, ok := s.findFID(disk.SysDirFID); ok {
+		f, err := s.openTrusted(fs, fv)
+		if err != nil {
+			return nil, nil, err
+		}
+		root = dir.Adopt(fs, f)
+	} else {
+		at := file.SysDirLeaderVDA
+		if s.free.Busy(at) {
+			at = disk.NilVDA
+		}
+		f, err := fs.CreateWithFV(disk.FV{FID: disk.SysDirFID, Version: 1}, "SysDir.", at)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scavenge: recreating root directory: %w", err)
+		}
+		root = dir.Adopt(fs, f)
+		if err := root.Clear(); err != nil {
+			return nil, nil, err
+		}
+		s.report.RootRecreated = true
+	}
+	fs.SetRootDir(root.FN())
+	return fs, root, nil
+}
+
+// fixDirectories (pass 4) verifies every directory entry against the table,
+// fixes stale leader-address hints, drops entries pointing at nothing, and
+// adopts unreferenced files into the root directory under their leader
+// names.
+func (s *scavenger) fixDirectories(fs *file.FS, root *dir.Directory) error {
+	leaderAddr := func(fv disk.FV) (disk.VDA, bool) {
+		sum, ok := s.sums[fv]
+		if !ok {
+			return 0, false
+		}
+		return sum.leaderAddr, true
+	}
+
+	referenced := map[disk.FV]bool{}
+	// Every directory found on the disk is checked, reachable or not: a
+	// disconnected directory still holds valid name bindings.
+	for _, fv := range s.order {
+		if _, ok := s.sums[fv]; !ok || !fv.FID.IsDirectory() {
+			continue
+		}
+		var d *dir.Directory
+		if fv.FID == disk.SysDirFID {
+			d = root
+		} else {
+			f, err := s.openTrusted(fs, fv)
+			if err != nil {
+				return err
+			}
+			d = dir.Adopt(fs, f)
+		}
+		entries, err := d.Load()
+		damaged := err != nil
+		changed := false
+		var fixed []dir.Entry
+		for _, e := range entries {
+			addr, ok := leaderAddr(e.FN.FV)
+			if !ok {
+				s.report.DirEntriesRemoved++
+				changed = true
+				continue
+			}
+			if e.FN.Leader != addr {
+				e.FN.Leader = addr
+				s.report.DirEntriesFixed++
+				changed = true
+			}
+			referenced[e.FN.FV] = true
+			fixed = append(fixed, e)
+		}
+		if damaged || changed {
+			if err := d.Store(fixed); err != nil {
+				return fmt.Errorf("scavenge: repairing directory %v: %w", fv, err)
+			}
+			if damaged {
+				s.report.DirsRepaired++
+			}
+		}
+	}
+
+	// Orphans: every surviving file must be reachable by name. This is the
+	// sole function of the leader name (§3.4).
+	rootEntries, err := root.Load()
+	if err != nil {
+		return err
+	}
+	names := map[string]bool{}
+	for _, e := range rootEntries {
+		names[e.Name] = true
+	}
+	for _, fv := range s.order {
+		sum, ok := s.sums[fv]
+		if !ok || referenced[fv] {
+			continue
+		}
+		ldr, err := s.leaderOf(fv)
+		if err != nil {
+			return err
+		}
+		name := ldr.Name
+		for i := 2; names[name]; i++ {
+			name = fmt.Sprintf("%s!%d", ldr.Name, i)
+		}
+		names[name] = true
+		fn := file.FN{FV: fv, Leader: sum.leaderAddr}
+		if err := root.Insert(name, fn); err != nil {
+			return fmt.Errorf("scavenge: adopting %v as %q: %w", fv, name, err)
+		}
+		s.report.OrphansAdopted++
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package scavenge
+
+import (
+	"fmt"
+	"testing"
+
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/sim"
+)
+
+func TestLowMemoryScavengeMatchesInMemory(t *testing.T) {
+	// The same damaged disk scavenged both ways must produce equivalent
+	// results: same files reachable, same contents.
+	mk := func() *disk.Drive {
+		d, fs, root, files := build(t, 10, 3)
+		_ = fs
+		// Damage: orphan one file, break one link, leave a stale entry.
+		if err := root.Remove("file-3"); err != nil {
+			t.Fatal(err)
+		}
+		addr, err := files[5].PageAddr(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := d.PeekLabel(addr)
+		lbl := disk.LabelFromWords(raw)
+		lbl.Next = 4009
+		d.ZapLabel(addr, lbl.Words())
+		return d
+	}
+
+	dMem := mk()
+	_, repMem, err := Run(dMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dLow := mk()
+	fsLow, repLow, err := RunLowMemory(dLow, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repLow.SpilledEntries == 0 || repLow.SpillSectors == 0 {
+		t.Fatalf("low-memory run did not spill: %+v", repLow)
+	}
+	if repLow.FilesFound != repMem.FilesFound {
+		t.Errorf("files found: low %d vs mem %d", repLow.FilesFound, repMem.FilesFound)
+	}
+	if repLow.OrphansAdopted != repMem.OrphansAdopted {
+		t.Errorf("orphans: low %d vs mem %d", repLow.OrphansAdopted, repMem.OrphansAdopted)
+	}
+	if repLow.LinksRepaired != repMem.LinksRepaired {
+		t.Errorf("links: low %d vs mem %d", repLow.LinksRepaired, repMem.LinksRepaired)
+	}
+	verify(t, fsLow, 10, 3)
+}
+
+func TestLowMemoryScavengeTinyWindow(t *testing.T) {
+	// A pathologically small window forces many runs and a wide merge.
+	d, _, _, _ := build(t, 12, 4)
+	fs2, rep, err := RunLowMemory(d, 1) // clamped to the 64 minimum
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SpilledEntries < 60 {
+		t.Errorf("expected heavy spilling, got %d entries", rep.SpilledEntries)
+	}
+	verify(t, fs2, 12, 4)
+}
+
+func TestLowMemorySpillSectorsComeBackFree(t *testing.T) {
+	d, _, _, _ := build(t, 5, 2)
+	fs2, rep, err := RunLowMemory(d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SpillSectors == 0 {
+		t.Fatal("no sectors borrowed")
+	}
+	// Free counts must match an in-memory scavenge of an identical disk:
+	// nothing borrowed stays reserved.
+	d2, _, _, _ := build(t, 5, 2)
+	fs3, _, err := Run(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs2.FreeCount() != fs3.FreeCount() {
+		t.Errorf("free pages differ: low %d vs mem %d", fs2.FreeCount(), fs3.FreeCount())
+	}
+}
+
+func TestLowMemoryScavengeIdempotent(t *testing.T) {
+	d, _, _, _ := build(t, 6, 3)
+	if _, _, err := RunLowMemory(d, 64); err != nil {
+		t.Fatal(err)
+	}
+	_, rep2, err := RunLowMemory(d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.LinksRepaired != 0 || rep2.LeadersRepaired != 0 || rep2.OrphansAdopted != 0 {
+		t.Errorf("second low-memory scavenge not idempotent: %+v", rep2)
+	}
+}
+
+func TestLowMemoryDestroyedRoot(t *testing.T) {
+	d, _, root, _ := build(t, 4, 2)
+	lastPN, _ := root.File().LastPage()
+	for pn := disk.Word(0); pn <= lastPN; pn++ {
+		addr, err := root.File().PageAddr(pn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.ZapLabel(addr, disk.FreeLabelWords())
+	}
+	fs2, rep, err := RunLowMemory(d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RootRecreated || rep.OrphansAdopted < 4 {
+		t.Errorf("root recovery failed under low memory: %+v", rep)
+	}
+	verify(t, fs2, 4, 2)
+}
+
+func TestSpillSortAndMergeProperty(t *testing.T) {
+	// Random tables must come back in exact key order with all entries.
+	for seed := uint64(1); seed <= 4; seed++ {
+		r := sim.NewRand(seed)
+		d, err := disk.NewDrive(disk.Diablo31(), 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newScavenger(d)
+		s.free = file.NewBitMap(d.Geometry().NSectors())
+		// Mark a band busy so borrow has to hunt.
+		for i := 0; i < 100; i++ {
+			s.free.SetBusy(disk.VDA(r.Intn(400)))
+		}
+		spill := newSpillTable(s, 64)
+		n := 300 + r.Intn(300)
+		want := 0
+		for i := 0; i < n; i++ {
+			p := pageInfo{
+				fv:   disk.FV{FID: disk.FID(1 + r.Intn(20)), Version: 1},
+				pn:   disk.Word(r.Intn(50)),
+				addr: disk.VDA(1000 + i),
+			}
+			lbl := disk.Label{FID: p.fv.FID, Version: 1, PageNum: p.pn}
+			p.raw = lbl.Words()
+			p.length = 0
+			spill.lastSeen = disk.VDA(d.Geometry().NSectors() - 1)
+			if err := spill.add(p); err != nil {
+				t.Fatal(err)
+			}
+			want++
+		}
+		if err := spill.finishRuns(); err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		var prev *pageInfo
+		err = spill.mergeGroups(func(fv disk.FV, pages []*pageInfo) error {
+			for _, p := range pages {
+				if p.fv != fv {
+					return fmt.Errorf("group mixes files")
+				}
+				if prev != nil && keyLess(p, prev) {
+					return fmt.Errorf("out of order: %v after %v", p, prev)
+				}
+				cp := *p
+				prev = &cp
+				got++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: merged %d entries, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestBorrowFailsOnFullDisk(t *testing.T) {
+	d, err := disk.NewDrive(disk.Diablo31(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScavenger(d)
+	s.free = file.NewBitMap(d.Geometry().NSectors())
+	for i := 0; i < s.free.Len(); i++ {
+		s.free.SetBusy(disk.VDA(i))
+	}
+	spill := newSpillTable(s, 64)
+	spill.lastSeen = disk.VDA(s.free.Len() - 1)
+	if _, err := spill.borrow(); err == nil {
+		t.Fatal("borrow succeeded on a full disk")
+	}
+	_ = dir.Walk // keep dir import for build()'s helpers in this package
+}

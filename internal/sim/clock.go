@@ -1,0 +1,74 @@
+// Package sim provides the deterministic simulation substrate shared by the
+// rest of the system: a virtual clock, against which every timed claim in the
+// paper is measured, and a seeded random-number helper for reproducible
+// workload generation.
+//
+// The paper's quantitative claims ("scavenging takes about a minute",
+// "OutLoad requires about a second") are statements about Alto hardware.
+// Rather than measuring wall time on a modern machine — which would be
+// meaningless — the disk, CPU and network models advance a shared Clock by
+// the time the modelled hardware would have taken. Benchmarks then report
+// simulated time, whose shape is directly comparable to the paper.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value is a clock reading zero.
+//
+// A Clock is safe for concurrent use; in practice the system is single-user
+// and nearly single-threaded (the paper's machine has two processes, one of
+// which only fills the keyboard buffer), but tests exercise components
+// concurrently.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock reading zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time since the clock's epoch.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative d is ignored: simulated
+// hardware can only take time, never give it back.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// Reset rewinds the clock to zero. Used between benchmark iterations.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}
+
+// Stopwatch measures an interval of simulated time on a Clock.
+type Stopwatch struct {
+	c     *Clock
+	start time.Duration
+}
+
+// Watch starts a stopwatch on c.
+func Watch(c *Clock) Stopwatch { return Stopwatch{c: c, start: c.Now()} }
+
+// Elapsed reports the simulated time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return s.c.Now() - s.start }
+
+// String formats the clock reading for diagnostics.
+func (c *Clock) String() string {
+	return fmt.Sprintf("sim.Clock(%v)", c.Now())
+}

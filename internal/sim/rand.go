@@ -1,0 +1,61 @@
+package sim
+
+// A small deterministic PRNG (xorshift64*) used by workload generators and
+// fault injectors. We avoid math/rand's global state so that every experiment
+// is reproducible from its seed alone, and so that tests may run in parallel
+// without sharing a source.
+
+// Rand is a deterministic pseudo-random source. The zero value is not valid;
+// use NewRand.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. A zero seed is replaced by a
+// fixed non-zero constant, since xorshift has a zero fixed point.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Word returns a pseudo-random 16-bit word.
+func (r *Rand) Word() uint16 { return uint16(r.Uint64()) }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Bool returns true with probability num/den.
+func (r *Rand) Bool(num, den int) bool {
+	if den <= 0 {
+		panic("sim: Bool with non-positive denominator")
+	}
+	return r.Intn(den) < num
+}

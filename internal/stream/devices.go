@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"io"
+	"sync"
+)
+
+// MemStream is a stream over an in-memory byte buffer — the cheapest
+// concrete implementation of the abstract stream object, and the one
+// programs use for scratch data. The zero value is an empty read/write
+// stream.
+type MemStream struct {
+	buf    []byte
+	pos    int
+	closed bool
+}
+
+var (
+	_ Stream     = (*MemStream)(nil)
+	_ Positioner = (*MemStream)(nil)
+)
+
+// NewMem returns a stream positioned at the start of data (which is not
+// copied).
+func NewMem(data []byte) *MemStream { return &MemStream{buf: data} }
+
+// Get implements Stream.
+func (s *MemStream) Get() (Item, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.pos >= len(s.buf) {
+		return 0, ErrEnd
+	}
+	b := s.buf[s.pos]
+	s.pos++
+	return b, nil
+}
+
+// Put implements Stream: writes at the current position, extending the
+// buffer at the end.
+func (s *MemStream) Put(b Item) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.pos < len(s.buf) {
+		s.buf[s.pos] = b
+	} else {
+		s.buf = append(s.buf, b)
+	}
+	s.pos++
+	return nil
+}
+
+// Reset implements Stream.
+func (s *MemStream) Reset() error {
+	if s.closed {
+		return ErrClosed
+	}
+	s.pos = 0
+	return nil
+}
+
+// EndOf implements Stream.
+func (s *MemStream) EndOf() bool { return s.pos >= len(s.buf) }
+
+// Close implements Stream.
+func (s *MemStream) Close() error { s.closed = true; return nil }
+
+// Pos implements Positioner.
+func (s *MemStream) Pos() int { return s.pos }
+
+// Len implements Positioner.
+func (s *MemStream) Len() int { return len(s.buf) }
+
+// Seek implements Positioner.
+func (s *MemStream) Seek(pos int) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if pos < 0 || pos > len(s.buf) {
+		return ErrEnd
+	}
+	s.pos = pos
+	return nil
+}
+
+// Bytes returns the accumulated buffer.
+func (s *MemStream) Bytes() []byte { return s.buf }
+
+// Keyboard is the keyboard input stream with the type-ahead buffer of §5.2:
+// "the keyboard input buffer is present nearly always, so that any
+// characters typed ahead by the user when running one program are saved for
+// interpretation by the next". The buffer survives program switches because
+// it lives at level 2, below everything a Junta removes.
+//
+// The producing side (TypeAhead) stands in for the interrupt-driven keyboard
+// process of §2; Get is the consuming stream operation. Get on an empty
+// buffer returns ErrNoInput — the caller polls, as Alto programs did.
+type Keyboard struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+var _ Stream = (*Keyboard)(nil)
+
+// NewKeyboard returns an empty keyboard stream.
+func NewKeyboard() *Keyboard { return &Keyboard{} }
+
+// TypeAhead appends user keystrokes to the buffer (the interrupt side).
+func (k *Keyboard) TypeAhead(s string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.buf = append(k.buf, s...)
+}
+
+// Get implements Stream.
+func (k *Keyboard) Get() (Item, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if len(k.buf) == 0 {
+		return 0, ErrNoInput
+	}
+	b := k.buf[0]
+	k.buf = k.buf[1:]
+	return b, nil
+}
+
+// Put implements Stream: the keyboard produces, it does not consume.
+func (k *Keyboard) Put(Item) error { return ErrReadOnly }
+
+// Reset implements Stream: discards pending type-ahead.
+func (k *Keyboard) Reset() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.buf = nil
+	return nil
+}
+
+// EndOf implements Stream: a keyboard never ends, it merely has nothing yet.
+func (k *Keyboard) EndOf() bool { return false }
+
+// Close implements Stream.
+func (k *Keyboard) Close() error { return nil }
+
+// Pending reports how many characters are typed ahead.
+func (k *Keyboard) Pending() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.buf)
+}
+
+// Display is the display output stream: Put sends characters to the
+// terminal. Ours writes to any io.Writer, which is what a simulated display
+// is.
+type Display struct {
+	w io.Writer
+}
+
+var _ Stream = (*Display)(nil)
+
+// NewDisplay returns a display stream over w.
+func NewDisplay(w io.Writer) *Display { return &Display{w: w} }
+
+// Get implements Stream: a display consumes, it does not produce.
+func (d *Display) Get() (Item, error) { return 0, ErrWriteOnly }
+
+// Put implements Stream.
+func (d *Display) Put(b Item) error {
+	_, err := d.w.Write([]byte{b})
+	return err
+}
+
+// Reset implements Stream: clears nothing; the glass teletype scrolls.
+func (d *Display) Reset() error { return nil }
+
+// EndOf implements Stream.
+func (d *Display) EndOf() bool { return false }
+
+// Close implements Stream.
+func (d *Display) Close() error { return nil }
+
+// NullStream discards everything and produces nothing: the stream a program
+// substitutes when it has rejected the system's I/O facilities.
+type NullStream struct{}
+
+var _ Stream = NullStream{}
+
+// Get implements Stream.
+func (NullStream) Get() (Item, error) { return 0, ErrEnd }
+
+// Put implements Stream.
+func (NullStream) Put(Item) error { return nil }
+
+// Reset implements Stream.
+func (NullStream) Reset() error { return nil }
+
+// EndOf implements Stream.
+func (NullStream) EndOf() bool { return true }
+
+// Close implements Stream.
+func (NullStream) Close() error { return nil }

@@ -1,0 +1,176 @@
+// Package stream implements the OS6-style stream objects of §2: "a stream
+// is an object that can produce or consume items", with a standard set of
+// operations — Get, Put, Reset, a test for end of input — invoked through
+// the object itself, so that any number of concrete implementations can
+// coexist and a program written against the standard operations works with
+// all of them.
+//
+// The paper's streams are BCPL records whose first components are the
+// procedures implementing the operations; in Go the same design is a small
+// interface. Non-standard operations (set position, flush) are narrower
+// interfaces a program may ask for, "sacrificing compatibility" exactly as
+// the paper notes.
+//
+// The disk-file stream constructor takes the two substrate objects of the
+// paper's example: a zone to acquire working storage from (its page buffer
+// lives in simulated main memory) and the file it covers (which carries its
+// own disk device).
+package stream
+
+import (
+	"errors"
+	"io"
+)
+
+// Item is what streams produce and consume. The Alto's streams carried
+// bytes or words depending on the stream; ours carry bytes, with word
+// helpers layered on top, which is how the byte-granular disk streams
+// worked.
+type Item = byte
+
+// Standard errors.
+var (
+	// ErrEnd reports a Get at end of input. It wraps io.EOF so stdlib
+	// helpers interoperate.
+	ErrEnd = io.EOF
+	// ErrNoInput reports an empty interactive source (keyboard type-ahead):
+	// nothing now, but more may come.
+	ErrNoInput = errors.New("stream: no input available")
+	// ErrReadOnly reports a Put on a stream opened for reading.
+	ErrReadOnly = errors.New("stream: read only")
+	// ErrWriteOnly reports a Get on a stream opened for writing.
+	ErrWriteOnly = errors.New("stream: write only")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("stream: closed")
+)
+
+// Stream is the standard set of operations defined on every stream (§2).
+// Normally only one of Get and Put is defined; the other returns
+// ErrReadOnly/ErrWriteOnly.
+type Stream interface {
+	// Get returns the next item from the stream.
+	Get() (Item, error)
+	// Put appends an item to the stream.
+	Put(Item) error
+	// Reset puts the stream into its standard initial state; the exact
+	// meaning depends on the stream's type.
+	Reset() error
+	// EndOf reports whether the stream is at end of input.
+	EndOf() bool
+	// Close releases the stream's working storage and flushes any state.
+	Close() error
+}
+
+// Positioner is the non-standard random-access operation some streams
+// implement ("read position in a disk file").
+type Positioner interface {
+	// Pos returns the current byte position.
+	Pos() int
+	// Seek sets the byte position.
+	Seek(pos int) error
+	// Len returns the stream's current length in bytes.
+	Len() int
+}
+
+// Flusher is the non-standard operation that forces buffered items out.
+type Flusher interface {
+	Flush() error
+}
+
+// GetWord reads two items as one big-endian word.
+func GetWord(s Stream) (uint16, error) {
+	hi, err := s.Get()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := s.Get()
+	if err != nil {
+		return 0, err
+	}
+	return uint16(hi)<<8 | uint16(lo), nil
+}
+
+// PutWord writes one word as two big-endian items.
+func PutWord(s Stream, w uint16) error {
+	if err := s.Put(byte(w >> 8)); err != nil {
+		return err
+	}
+	return s.Put(byte(w))
+}
+
+// PutString writes every byte of str.
+func PutString(s Stream, str string) error {
+	for i := 0; i < len(str); i++ {
+		if err := s.Put(str[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pump copies items from src to dst until src ends, returning the number of
+// items moved. This is the OS6 idiom for connecting streams.
+func Pump(dst, src Stream) (int, error) {
+	n := 0
+	for {
+		b, err := src.Get()
+		if errors.Is(err, ErrEnd) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := dst.Put(b); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ReadAll drains src into a byte slice.
+func ReadAll(src Stream) ([]byte, error) {
+	var out []byte
+	for {
+		b, err := src.Get()
+		if errors.Is(err, ErrEnd) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b)
+	}
+}
+
+// Reader adapts a Stream to io.Reader.
+type Reader struct{ S Stream }
+
+// Read implements io.Reader.
+func (r Reader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		b, err := r.S.Get()
+		if err != nil {
+			if errors.Is(err, ErrEnd) && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		p[n] = b
+		n++
+	}
+	return n, nil
+}
+
+// Writer adapts a Stream to io.Writer.
+type Writer struct{ S Stream }
+
+// Write implements io.Writer.
+func (w Writer) Write(p []byte) (int, error) {
+	for i, b := range p {
+		if err := w.S.Put(b); err != nil {
+			return i, err
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,382 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/sim"
+	"altoos/internal/zone"
+)
+
+// rig bundles the substrates a disk stream needs.
+type rig struct {
+	fs *file.FS
+	z  *zone.MemZone
+	m  *mem.Memory
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	d, err := disk.NewDrive(disk.Diablo31(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	z, err := zone.New(m, 0x4000, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{fs: fs, z: z, m: m}
+}
+
+func (r *rig) open(t *testing.T, name string, mode Mode) *DiskStream {
+	t.Helper()
+	f, err := r.fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDisk(f, r.z, r.m, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDiskStreamWriteThenRead(t *testing.T) {
+	r := newRig(t)
+	s := r.open(t, "ws.dat", UpdateMode)
+	msg := "An open operating system for a single-user machine.\n"
+	// Write enough to cross several page boundaries.
+	for i := 0; i < 40; i++ {
+		if err := PutString(s, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := r.fs.Open(s.File().FN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewDisk(f, r.z, r.m, ReadMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte(msg), 40)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip: got %d bytes, want %d; first divergence at %d",
+			len(got), len(want), firstDiff(got, want))
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func TestDiskStreamSeekUpdate(t *testing.T) {
+	r := newRig(t)
+	s := r.open(t, "seek.dat", UpdateMode)
+	for i := 0; i < 2000; i++ {
+		if err := s.Put(byte(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Patch bytes in the middle, across a page boundary.
+	if err := s.Seek(510); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(0xEE); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seek(508); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		b, err := s.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := byte(508 + i)
+		if i >= 2 && i < 6 {
+			want = 0xEE
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", 508+i, b, want)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStreamModes(t *testing.T) {
+	r := newRig(t)
+	s := r.open(t, "ro.dat", UpdateMode)
+	if err := PutString(s, "data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, _ := r.fs.Open(s.File().FN())
+	rd, err := NewDisk(f, r.z, r.m, ReadMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Put('x'); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Put on read stream: %v", err)
+	}
+	rd.Close()
+
+	w := r.open(t, "wo.dat", WriteMode)
+	if _, err := w.Get(); !errors.Is(err, ErrWriteOnly) {
+		t.Errorf("Get on write stream: %v", err)
+	}
+	w.Close()
+}
+
+func TestDiskStreamWriteModeTruncates(t *testing.T) {
+	r := newRig(t)
+	s := r.open(t, "tr.dat", UpdateMode)
+	if err := PutString(s, "a long first version of the file"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	f, _ := r.fs.Open(s.File().FN())
+	w, err := NewDisk(f, r.z, r.m, WriteMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PutString(w, "short"); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	g, _ := r.fs.Open(s.File().FN())
+	rd, _ := NewDisk(g, r.z, r.m, ReadMode)
+	got, _ := ReadAll(rd)
+	rd.Close()
+	if string(got) != "short" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDiskStreamResetAndEndOf(t *testing.T) {
+	r := newRig(t)
+	s := r.open(t, "re.dat", UpdateMode)
+	if err := PutString(s, "ab"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.EndOf() {
+		t.Error("not at end after writing")
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if s.EndOf() {
+		t.Error("at end after Reset")
+	}
+	b, err := s.Get()
+	if err != nil || b != 'a' {
+		t.Fatalf("Get after Reset = %c, %v", b, err)
+	}
+	s.Close()
+	if _, err := s.Get(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after Close: %v", err)
+	}
+}
+
+func TestDiskStreamReleasesZoneStorage(t *testing.T) {
+	r := newRig(t)
+	before := r.z.Stats().InUse
+	s := r.open(t, "z.dat", UpdateMode)
+	if r.z.Stats().InUse <= before {
+		t.Error("stream did not allocate from the zone")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.z.Stats().InUse != before {
+		t.Error("stream did not release its buffer")
+	}
+	if err := s.Close(); err != nil {
+		t.Error("double close should be harmless:", err)
+	}
+}
+
+func TestWordHelpers(t *testing.T) {
+	s := NewMem(nil)
+	if err := PutWord(s, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	w, err := GetWord(s)
+	if err != nil || w != 0xBEEF {
+		t.Fatalf("GetWord = %#x, %v", w, err)
+	}
+}
+
+func TestPump(t *testing.T) {
+	src := NewMem([]byte("pump me"))
+	dst := NewMem(nil)
+	n, err := Pump(dst, src)
+	if err != nil || n != 7 {
+		t.Fatalf("Pump = %d, %v", n, err)
+	}
+	if string(dst.Bytes()) != "pump me" {
+		t.Fatalf("dst = %q", dst.Bytes())
+	}
+}
+
+func TestReaderWriterAdapters(t *testing.T) {
+	s := NewMem(nil)
+	if _, err := io.WriteString(Writer{s}, "adapters"); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	got, err := io.ReadAll(Reader{s})
+	if err != nil || string(got) != "adapters" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+}
+
+func TestKeyboardTypeAhead(t *testing.T) {
+	k := NewKeyboard()
+	if _, err := k.Get(); !errors.Is(err, ErrNoInput) {
+		t.Fatalf("empty keyboard: %v", err)
+	}
+	k.TypeAhead("hi")
+	if k.Pending() != 2 {
+		t.Error("pending wrong")
+	}
+	b, err := k.Get()
+	if err != nil || b != 'h' {
+		t.Fatalf("Get = %c, %v", b, err)
+	}
+	if k.EndOf() {
+		t.Error("keyboard claims EndOf")
+	}
+	if err := k.Put('x'); !errors.Is(err, ErrReadOnly) {
+		t.Error("keyboard accepted Put")
+	}
+	k.Reset()
+	if k.Pending() != 0 {
+		t.Error("Reset did not drain")
+	}
+}
+
+func TestDisplay(t *testing.T) {
+	var buf bytes.Buffer
+	d := NewDisplay(&buf)
+	if err := PutString(d, "out"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "out" {
+		t.Fatalf("display wrote %q", buf.String())
+	}
+	if _, err := d.Get(); !errors.Is(err, ErrWriteOnly) {
+		t.Error("display produced input")
+	}
+}
+
+func TestNullStream(t *testing.T) {
+	var n NullStream
+	if err := n.Put('x'); err != nil {
+		t.Error(err)
+	}
+	if _, err := n.Get(); !errors.Is(err, ErrEnd) {
+		t.Error("null stream produced data")
+	}
+	if !n.EndOf() {
+		t.Error("null stream not at end")
+	}
+}
+
+func TestMemStreamSeekBounds(t *testing.T) {
+	s := NewMem([]byte("abc"))
+	if err := s.Seek(3); err != nil {
+		t.Error(err)
+	}
+	if err := s.Seek(4); err == nil {
+		t.Error("seek past end accepted")
+	}
+	if err := s.Seek(-1); err == nil {
+		t.Error("negative seek accepted")
+	}
+}
+
+// Property: any sequence of Put bytes through a disk stream reads back
+// identically, regardless of how it aligns with page boundaries.
+func TestDiskStreamRoundTripProperty(t *testing.T) {
+	r := newRig(t)
+	i := 0
+	f := func(seed uint64, sizeRaw uint16) bool {
+		i++
+		rnd := sim.NewRand(seed)
+		size := int(sizeRaw) % 3000
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte(rnd.Word())
+		}
+		s := r.open(t, fmt.Sprintf("prop-%d.dat", i), UpdateMode)
+		for _, b := range data {
+			if err := s.Put(b); err != nil {
+				return false
+			}
+		}
+		if err := s.Close(); err != nil {
+			return false
+		}
+		fh, err := r.fs.Open(s.File().FN())
+		if err != nil {
+			return false
+		}
+		rd, err := NewDisk(fh, r.z, r.m, ReadMode)
+		if err != nil {
+			return false
+		}
+		got, err := ReadAll(rd)
+		if err != nil {
+			return false
+		}
+		rd.Close()
+		return bytes.Equal(got, data)
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package swap
+
+import (
+	"errors"
+	"fmt"
+
+	"altoos/internal/cpu"
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+)
+
+// Bootstrapping (§4): "A hardware bootstrap button causes the state of the
+// machine to be restored from a disk file whose first page is kept at a
+// fixed location on the disk." Our fixed location is file.BootVDA (sector
+// 0), which Format reserves; the boot file's first data page lives there.
+
+// BootName is the boot file's leader name and root-directory entry.
+const BootName = "SysBoot."
+
+// EnsureBootFile returns the boot file's full name, creating the file (with
+// its first data page at the fixed boot sector) and its root-directory entry
+// if needed.
+func EnsureBootFile(fs *file.FS) (file.FN, error) {
+	root, err := dir.OpenRoot(fs)
+	if err != nil {
+		return file.FN{}, err
+	}
+	if fn, err := root.Lookup(BootName); err == nil {
+		return fn, nil
+	}
+	f, err := fs.CreateBootFile(BootName)
+	if err != nil {
+		return file.FN{}, err
+	}
+	if err := root.Insert(BootName, f.FN()); err != nil {
+		return file.FN{}, err
+	}
+	return f.FN(), nil
+}
+
+// WriteBoot saves the machine state as the boot image: after this, Boot (or
+// the hardware button) brings the machine back to exactly this state.
+// The alternative described in §4 — a linker writing a program image
+// arranged to be a running machine state — is what exec.MakeBootImage does.
+func WriteBoot(fs *file.FS, c *cpu.CPU) (file.FN, error) {
+	fn, err := EnsureBootFile(fs)
+	if err != nil {
+		return file.FN{}, err
+	}
+	if _, err := OutLoad(fs, c, fn); err != nil {
+		return file.FN{}, err
+	}
+	return fn, nil
+}
+
+// Boot simulates the hardware bootstrap button: it finds the boot file by
+// its fixed first-page location — no directory, no descriptor, no leader
+// needed, exactly like the hardware — and restores the machine from it.
+func Boot(fs *file.FS, c *cpu.CPU) error {
+	fn, err := BootFN(fs.Device())
+	if err != nil {
+		return err
+	}
+	return InLoad(fs, c, fn, Message{})
+}
+
+// BootFN reconstructs the boot file's full name from the fixed sector alone:
+// the label of the page at BootVDA carries the absolute name, and its back
+// link is a hint for the leader.
+func BootFN(dev disk.Device) (file.FN, error) {
+	raw, err := disk.ReadAnyLabel(dev, file.BootVDA)
+	if err != nil {
+		return file.FN{}, fmt.Errorf("swap: reading boot sector: %w", err)
+	}
+	if !disk.InUse(raw) {
+		return file.FN{}, errors.New("swap: no boot file installed")
+	}
+	lbl := disk.LabelFromWords(raw)
+	if lbl.PageNum != 1 {
+		return file.FN{}, fmt.Errorf("swap: boot sector holds %s, not a first page", lbl.Name())
+	}
+	return file.FN{FV: lbl.FV(), Leader: lbl.Prev}, nil
+}

@@ -1,0 +1,125 @@
+package swap
+
+// Random access into machine-state files. The paper's debugger "may examine
+// or alter the state of the faulty program by reading or writing portions of
+// the file that was written as a result of the breakpoint" (§4) — these are
+// those portions: registers in the header page, one memory word per word of
+// the image. Each access is a single guarded page read or write; nothing is
+// loaded into the live machine.
+
+import (
+	"fmt"
+
+	"altoos/internal/disk"
+	"altoos/internal/file"
+)
+
+// Regs is the register portion of a saved machine state.
+type Regs struct {
+	AC    [4]uint16
+	PC    uint16
+	Carry bool
+}
+
+// statePageFor maps a memory address to its page and in-page word offset.
+func statePageFor(addr uint16) (disk.Word, int) {
+	return disk.Word(headerPage + 1 + int(addr)/disk.PageWords), int(addr) % disk.PageWords
+}
+
+// ReadStateRegs reads the registers from a state file.
+func ReadStateRegs(fs *file.FS, fn file.FN) (Regs, error) {
+	f, err := fs.Open(fn)
+	if err != nil {
+		return Regs{}, err
+	}
+	var page [disk.PageWords]disk.Word
+	if _, err := f.ReadPage(headerPage, &page); err != nil {
+		return Regs{}, err
+	}
+	if page[0] != stateMagic {
+		return Regs{}, fmt.Errorf("%w: bad magic %#04x", ErrNotState, page[0])
+	}
+	var r Regs
+	for i := range r.AC {
+		r.AC[i] = page[1+i]
+	}
+	r.PC = page[5]
+	r.Carry = page[6] != 0
+	return r, nil
+}
+
+// WriteStateRegs replaces the registers in a state file.
+func WriteStateRegs(fs *file.FS, fn file.FN, r Regs) error {
+	f, err := fs.Open(fn)
+	if err != nil {
+		return err
+	}
+	var page [disk.PageWords]disk.Word
+	if _, err := f.ReadPage(headerPage, &page); err != nil {
+		return err
+	}
+	if page[0] != stateMagic {
+		return fmt.Errorf("%w: bad magic %#04x", ErrNotState, page[0])
+	}
+	for i, v := range r.AC {
+		page[1+i] = v
+	}
+	page[5] = r.PC
+	page[6] = 0
+	if r.Carry {
+		page[6] = 1
+	}
+	return f.WritePage(headerPage, &page, disk.PageBytes)
+}
+
+// ReadStateWord reads one memory word from a saved machine image.
+func ReadStateWord(fs *file.FS, fn file.FN, addr uint16) (uint16, error) {
+	f, err := fs.Open(fn)
+	if err != nil {
+		return 0, err
+	}
+	pn, off := statePageFor(addr)
+	var page [disk.PageWords]disk.Word
+	if _, err := f.ReadPage(pn, &page); err != nil {
+		return 0, err
+	}
+	return page[off], nil
+}
+
+// WriteStateWord alters one memory word in a saved machine image.
+func WriteStateWord(fs *file.FS, fn file.FN, addr, value uint16) error {
+	f, err := fs.Open(fn)
+	if err != nil {
+		return err
+	}
+	pn, off := statePageFor(addr)
+	var page [disk.PageWords]disk.Word
+	if _, err := f.ReadPage(pn, &page); err != nil {
+		return err
+	}
+	page[off] = value
+	return f.WritePage(pn, &page, disk.PageBytes)
+}
+
+// ReadStateBlock reads n consecutive memory words from a saved image,
+// page-efficiently.
+func ReadStateBlock(fs *file.FS, fn file.FN, addr uint16, n int) ([]uint16, error) {
+	f, err := fs.Open(fn)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint16, 0, n)
+	var page [disk.PageWords]disk.Word
+	for n > 0 {
+		pn, off := statePageFor(addr)
+		if _, err := f.ReadPage(pn, &page); err != nil {
+			return nil, err
+		}
+		for ; off < disk.PageWords && n > 0; off++ {
+			out = append(out, page[off])
+			addr++
+			n--
+		}
+	}
+	return out, nil
+}

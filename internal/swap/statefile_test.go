@@ -1,0 +1,146 @@
+package swap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"altoos/internal/mem"
+)
+
+func TestStateFileWordAccess(t *testing.T) {
+	fs, c, root := machine(t)
+	fn := stateFile(t, fs, root, "sf.state")
+	c.Mem.Store(0x1234, 0xBEEF)
+	c.Mem.Store(0x00FF, 0x0001) // page-boundary neighbours
+	c.Mem.Store(0x0100, 0x0002)
+	if err := SaveState(fs, c, fn); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		addr, want uint16
+	}{{0x1234, 0xBEEF}, {0x00FF, 1}, {0x0100, 2}, {0x0000, 0}} {
+		got, err := ReadStateWord(fs, fn, tc.addr)
+		if err != nil {
+			t.Fatalf("ReadStateWord(%#x): %v", tc.addr, err)
+		}
+		if got != tc.want {
+			t.Errorf("word %#x = %#x, want %#x", tc.addr, got, tc.want)
+		}
+	}
+
+	// Alter a word in the file; the live machine must not change, and the
+	// file must hold the new value.
+	if err := WriteStateWord(fs, fn, 0x1234, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mem.Load(0x1234) != 0xBEEF {
+		t.Error("poking the file changed the live machine")
+	}
+	got, _ := ReadStateWord(fs, fn, 0x1234)
+	if got != 0xCAFE {
+		t.Errorf("poked word = %#x", got)
+	}
+	// And a reload sees it.
+	if err := LoadState(fs, c, fn); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mem.Load(0x1234) != 0xCAFE {
+		t.Error("reload did not see the poke")
+	}
+}
+
+func TestStateFileRegAccess(t *testing.T) {
+	fs, c, root := machine(t)
+	fn := stateFile(t, fs, root, "regs.state")
+	c.AC = [4]uint16{10, 20, 30, 40}
+	c.PC = 0x777
+	c.Carry = true
+	if err := SaveState(fs, c, fn); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadStateRegs(fs, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AC != c.AC || r.PC != 0x777 || !r.Carry {
+		t.Fatalf("regs %+v", r)
+	}
+	r.PC = 0x888
+	r.Carry = false
+	if err := WriteStateRegs(fs, fn, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadState(fs, c, fn); err != nil {
+		t.Fatal(err)
+	}
+	if c.PC != 0x888 || c.Carry {
+		t.Fatalf("edited regs not loaded: %v", c)
+	}
+}
+
+func TestStateFileRegAccessRejectsNonState(t *testing.T) {
+	fs, _, root := machine(t)
+	f, err := fs.Create("fake.state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Insert("fake.state", f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStateRegs(fs, f.FN()); err == nil {
+		t.Fatal("read regs from a non-state file")
+	}
+}
+
+func TestStateBlockSpansPages(t *testing.T) {
+	fs, c, root := machine(t)
+	fn := stateFile(t, fs, root, "blk.state")
+	base := uint16(0x00F8) // crosses the page-1/page-2 boundary at 0x0100
+	for i := uint16(0); i < 16; i++ {
+		c.Mem.Store(base+i, 0x4000+i)
+	}
+	if err := SaveState(fs, c, fn); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStateBlock(fs, fn, base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range got {
+		if w != 0x4000+uint16(i) {
+			t.Fatalf("block[%d] = %#x", i, w)
+		}
+	}
+}
+
+func TestStatePageMappingProperty(t *testing.T) {
+	f := func(addr uint16) bool {
+		pn, off := statePageFor(addr)
+		// Invertible and in range.
+		back := (int(pn)-headerPage-1)*256 + off
+		return back == int(addr) && int(pn) >= headerPage+1 && int(pn) <= headerPage+memPages && off < 256
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageRoundTripThroughMemory(t *testing.T) {
+	fs, c, root := machine(t)
+	fn := stateFile(t, fs, root, "msg.state")
+	if err := SaveState(fs, c, fn); err != nil {
+		t.Fatal(err)
+	}
+	var msg Message
+	for i := range msg {
+		msg[i] = uint16(i * 3)
+	}
+	if err := InLoad(fs, c, fn, msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := ReadMessage(c); got != msg {
+		t.Fatalf("message %v", got)
+	}
+	_ = mem.Words // keep the import meaningful if layout constants change
+}

@@ -1,0 +1,240 @@
+package swap
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"altoos/internal/cpu"
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/file"
+	"altoos/internal/mem"
+	"altoos/internal/sim"
+)
+
+// machine builds a formatted FS plus a CPU sharing the clock.
+func machine(t *testing.T) (*file.FS, *cpu.CPU, *dir.Directory) {
+	t.Helper()
+	d, err := disk.NewDrive(disk.Diablo31(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := dir.InitRoot(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(mem.New(), d.Clock(), nil)
+	return fs, c, root
+}
+
+func stateFile(t *testing.T, fs *file.FS, root *dir.Directory, name string) file.FN {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Insert(name, f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	return f.FN()
+}
+
+func TestSaveLoadRoundTripProperty(t *testing.T) {
+	fs, c, root := machine(t)
+	fn := stateFile(t, fs, root, "rt.state")
+	i := 0
+	f := func(seed uint64) bool {
+		i++
+		r := sim.NewRand(seed)
+		for j := 0; j < 200; j++ {
+			c.Mem.Store(r.Word(), r.Word())
+		}
+		c.AC = [4]uint16{r.Word(), r.Word(), r.Word(), r.Word()}
+		c.PC = r.Word()
+		c.Carry = seed%2 == 0
+		sum := c.Mem.Checksum()
+		ac, pc, carry := c.AC, c.PC, c.Carry
+
+		if err := SaveState(fs, c, fn); err != nil {
+			return false
+		}
+		c.Mem.Store(r.Word(), 0xDEAD)
+		c.AC[0] ^= 0xFFFF
+		if err := LoadState(fs, c, fn); err != nil {
+			return false
+		}
+		return c.Mem.Checksum() == sum && c.AC == ac && c.PC == pc && c.Carry == carry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutLoadDoubleReturnSemantics(t *testing.T) {
+	fs, c, root := machine(t)
+	fn := stateFile(t, fs, root, "dr.state")
+	c.AC[0] = 0x1234 // live value, must survive the OutLoad call itself
+	written, err := OutLoad(fs, c, fn)
+	if err != nil || !written {
+		t.Fatalf("OutLoad: %v %v", written, err)
+	}
+	if c.AC[0] != 0x1234 {
+		t.Fatal("OutLoad clobbered the live AC0")
+	}
+	// The *saved* image must carry AC0 = 0: the continuation sees
+	// written=false.
+	if err := InLoad(fs, c, fn, Message{7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if c.AC[0] != 0 {
+		t.Fatalf("restored AC0 = %#x, want 0 (written=false)", c.AC[0])
+	}
+	msg := ReadMessage(c)
+	if msg[0] != 7 || msg[1] != 8 || msg[2] != 9 {
+		t.Fatalf("message not delivered: %v", msg)
+	}
+}
+
+func TestInLoadRejectsNonStateFiles(t *testing.T) {
+	fs, c, root := machine(t)
+	f, err := fs.Create("short.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Insert("short.dat", f.FN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := InLoad(fs, c, f.FN(), Message{}); !errors.Is(err, ErrNotState) {
+		t.Fatalf("got %v, want ErrNotState", err)
+	}
+	// A long file with the wrong magic is also rejected.
+	var page [disk.PageWords]disk.Word
+	page[0] = 0xBAD0
+	for pn := disk.Word(1); pn <= statePages; pn++ {
+		if err := f.WritePage(pn, &page, disk.PageBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := InLoad(fs, c, f.FN(), Message{}); !errors.Is(err, ErrNotState) {
+		t.Fatalf("bad magic: got %v, want ErrNotState", err)
+	}
+}
+
+func TestEmergencyOutLoadCensorsRegisters(t *testing.T) {
+	fs, c, root := machine(t)
+	fn := stateFile(t, fs, root, "emergency.state")
+	c.Mem.Store(0x2000, 0xFACE)
+	c.AC = [4]uint16{1, 2, 3, 4}
+	c.PC = 0x2222
+	c.Carry = true
+	if err := EmergencyOutLoad(fs, c, fn); err != nil {
+		t.Fatal(err)
+	}
+	// The live machine is untouched.
+	if c.AC[1] != 2 || c.PC != 0x2222 || !c.Carry {
+		t.Fatal("emergency save disturbed the live machine")
+	}
+	if err := LoadState(fs, c, fn); err != nil {
+		t.Fatal(err)
+	}
+	// Memory survives; the "most vital state" does not, as on the Alto.
+	if c.Mem.Load(0x2000) != 0xFACE {
+		t.Error("memory lost in emergency save")
+	}
+	if c.AC != [4]uint16{} || c.PC != 0 || c.Carry {
+		t.Errorf("registers should be lost: %v", c)
+	}
+}
+
+func TestBootRoundTripAndFixedSector(t *testing.T) {
+	fs, c, _ := machine(t)
+	c.Mem.Store(0x1000, 0xB007)
+	c.PC = 0x1000
+	fn, err := WriteBoot(fs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The boot file's first data page must be at the fixed sector.
+	f, err := fs.Open(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.PageAddr(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != file.BootVDA {
+		t.Fatalf("boot page at %d, want %d", a, file.BootVDA)
+	}
+	// BootFN reconstructs the full name from the sector alone.
+	got, err := BootFN(fs.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FV != fn.FV {
+		t.Fatalf("BootFN = %v, want %v", got.FV, fn.FV)
+	}
+	// Boot restores the world.
+	c.Mem.Store(0x1000, 0)
+	c.PC = 0
+	if err := Boot(fs, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mem.Load(0x1000) != 0xB007 || c.PC != 0x1000 {
+		t.Fatal("boot did not restore the machine")
+	}
+}
+
+func TestWriteBootReusesTheBootFile(t *testing.T) {
+	fs, c, _ := machine(t)
+	fn1, err := WriteBoot(fs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn2, err := WriteBoot(fs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn1.FV != fn2.FV {
+		t.Fatalf("second WriteBoot made a new file: %v vs %v", fn1.FV, fn2.FV)
+	}
+}
+
+func TestMessageFNPacking(t *testing.T) {
+	f := func(fid uint32, ver, leader uint16) bool {
+		fn := file.FN{FV: disk.FV{FID: disk.FID(fid), Version: ver}, Leader: disk.VDA(leader)}
+		return UnpackFN(PackFN(fn)) == fn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateSurvivesScavenge(t *testing.T) {
+	// A machine state file is just a file: after random unrelated damage
+	// and a scavenge, the world must still boot.
+	fs, c, _ := machine(t)
+	c.Mem.Store(0x0F00, 0x5AFE)
+	c.PC = 0x0F00
+	if _, err := WriteBoot(fs, c); err != nil {
+		t.Fatal(err)
+	}
+	// (Scavenging lives a package up; here we just verify the state file
+	// reads back through a freshly mounted FS, as after a reboot.)
+	fs2, err := file.Mount(fs.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := cpu.New(mem.New(), fs.Device().Clock(), nil)
+	if err := Boot(fs2, c2); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Mem.Load(0x0F00) != 0x5AFE || c2.PC != 0x0F00 {
+		t.Fatal("boot after remount failed")
+	}
+}

@@ -1,0 +1,261 @@
+package zone
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"altoos/internal/mem"
+	"altoos/internal/sim"
+)
+
+func newZone(t *testing.T, size int) (*mem.Memory, *MemZone) {
+	t.Helper()
+	m := mem.New()
+	z, err := New(m, 0x1000, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, z
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	m, z := newZone(t, 1000)
+	a, err := z.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !z.Region().Contains(a) {
+		t.Fatalf("block %#x outside zone %v", a, z.Region())
+	}
+	for i := 0; i < 10; i++ {
+		m.Store(a+mem.Addr(i), mem.Word(i))
+	}
+	if err := z.Free(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocationsDisjoint(t *testing.T) {
+	_, z := newZone(t, 1000)
+	type blk struct {
+		a mem.Addr
+		n int
+	}
+	var blocks []blk
+	for _, n := range []int{5, 17, 1, 40, 8} {
+		a, err := z.Alloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, blk{a, n})
+	}
+	for i, b := range blocks {
+		for j, c := range blocks {
+			if i == j {
+				continue
+			}
+			if int(b.a) < int(c.a)+c.n && int(c.a) < int(b.a)+b.n {
+				t.Fatalf("blocks %d and %d overlap: %#x+%d vs %#x+%d", i, j, b.a, b.n, c.a, c.n)
+			}
+		}
+	}
+}
+
+func TestExhaustionAndRecovery(t *testing.T) {
+	_, z := newZone(t, 100)
+	var addrs []mem.Addr
+	for {
+		a, err := z.Alloc(10)
+		if err != nil {
+			if !errors.Is(err, ErrNoRoom) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		addrs = append(addrs, a)
+	}
+	if len(addrs) == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+	for _, a := range addrs {
+		if err := z.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After freeing everything the original big allocation must fit again.
+	if _, err := z.Alloc(90); err != nil {
+		t.Fatalf("zone did not coalesce after frees: %v", err)
+	}
+}
+
+func TestCoalescingAcrossFreeOrder(t *testing.T) {
+	_, z := newZone(t, 200)
+	a1, _ := z.Alloc(40)
+	a2, _ := z.Alloc(40)
+	a3, _ := z.Alloc(40)
+	// Free middle first, then neighbours: coalescing must still produce one
+	// big block.
+	for _, a := range []mem.Addr{a2, a1, a3} {
+		if err := z.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := z.Alloc(150); err != nil {
+		t.Fatalf("fragmented after out-of-order frees: %v", err)
+	}
+}
+
+func TestFreeRejectsGarbage(t *testing.T) {
+	_, z := newZone(t, 100)
+	a, _ := z.Alloc(10)
+	cases := []mem.Addr{0, 0x1000, a + 1, 0x1000 + 99, 0x5000}
+	for _, bad := range cases {
+		if err := z.Free(bad); !errors.Is(err, ErrBadBlock) {
+			t.Errorf("Free(%#x) = %v, want ErrBadBlock", bad, err)
+		}
+	}
+	if err := z.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Free(a); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("double free = %v, want ErrBadBlock", err)
+	}
+}
+
+func TestNewRejectsBadRegions(t *testing.T) {
+	m := mem.New()
+	if _, err := New(m, 0, 1); !errors.Is(err, ErrBadZone) {
+		t.Error("accepted tiny zone")
+	}
+	if _, err := New(m, 0, 0x8000); !errors.Is(err, ErrBadZone) {
+		t.Error("accepted oversized zone")
+	}
+	if _, err := New(m, 0xFF00, 0x200); !errors.Is(err, ErrBadZone) {
+		t.Error("accepted zone past top of memory")
+	}
+}
+
+func TestTwoZonesShareMemoryIndependently(t *testing.T) {
+	// §5.2: the allocator builds zones over any part of memory. Two zones on
+	// disjoint regions must not interfere.
+	m := mem.New()
+	z1, err := New(m, 0x1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, err := New(m, 0x4000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := z1.Alloc(100)
+	a2, _ := z2.Alloc(100)
+	if !z1.Region().Contains(a1) || !z2.Region().Contains(a2) {
+		t.Fatal("blocks escaped their zones")
+	}
+	if err := z1.Free(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := z2.Free(a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := z1.Free(a2); !errors.Is(err, ErrBadBlock) {
+		t.Error("zone 1 accepted zone 2's block")
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, z := newZone(t, 500)
+	a, _ := z.Alloc(10)
+	st := z.Stats()
+	if st.Allocs != 1 || st.InUse < 10 {
+		t.Errorf("stats after alloc: %+v", st)
+	}
+	if err := z.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	st = z.Stats()
+	if st.Frees != 1 || st.InUse != 0 {
+		t.Errorf("stats after free: %+v", st)
+	}
+	if _, err := z.Alloc(100000); err == nil {
+		t.Fatal("huge alloc succeeded")
+	}
+	if z.Stats().Failures != 1 {
+		t.Error("failure not counted")
+	}
+}
+
+func TestAllocWordsZeroes(t *testing.T) {
+	m, z := newZone(t, 100)
+	a, err := z.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		m.Store(a+mem.Addr(i), 0xFFFF)
+	}
+	if err := z.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := z.AllocWords(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if m.Load(b+mem.Addr(i)) != 0 {
+			t.Fatal("AllocWords did not zero the block")
+		}
+	}
+}
+
+// Property test: a random interleaving of allocations and frees never hands
+// out overlapping blocks, and freeing everything always restores the full
+// region.
+func TestZoneInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		m := mem.New()
+		z, err := New(m, 0x2000, 2000)
+		if err != nil {
+			return false
+		}
+		type blk struct {
+			a mem.Addr
+			n int
+		}
+		var live []blk
+		for step := 0; step < 300; step++ {
+			if len(live) == 0 || r.Bool(3, 5) {
+				n := 1 + r.Intn(60)
+				a, err := z.Alloc(n)
+				if err != nil {
+					continue // exhaustion is legal
+				}
+				for _, b := range live {
+					if int(a) < int(b.a)+b.n && int(b.a) < int(a)+n {
+						return false // overlap
+					}
+				}
+				live = append(live, blk{a, n})
+			} else {
+				i := r.Intn(len(live))
+				if err := z.Free(live[i].a); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for _, b := range live {
+			if err := z.Free(b.a); err != nil {
+				return false
+			}
+		}
+		_, err = z.Alloc(1990)
+		return err == nil
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
