@@ -1,0 +1,30 @@
+# The pre-PR gate. `make check` is what CI (and a careful human) runs:
+# build everything, run the stock vet, run the domain-aware vet, then the
+# tests under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet altovet test race bench fmt
+
+check: build vet altovet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+altovet:
+	$(GO) run ./cmd/altovet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	gofmt -l -w .

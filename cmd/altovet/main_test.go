@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"altoos/internal/vet"
+)
+
+// loadFixture type-checks a fixture package under a virtual import path, so
+// the analyzers' scope rules treat it as living wherever the test says.
+func loadFixture(t *testing.T, dir, virtualPath string) *vet.Package {
+	t.Helper()
+	mod, err := vet.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := mod.LoadDir(filepath.Join("testdata", "src", dir), virtualPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// analyzerByName fails the test rather than returning nil.
+func analyzerByName(t *testing.T, name string) *vet.Analyzer {
+	t.Helper()
+	for _, a := range vet.Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// TestFixtures runs each analyzer over its fixture package and checks every
+// finding against the fixture's // want comments — at least one positive
+// and one negative case per analyzer live in the fixtures.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		dir      string
+		virtual  string
+	}{
+		{"determinism", "determfix", "altoos/internal/determfix"},
+		{"wordwidth", "widthfix", "altoos/internal/widthfix"},
+		{"labelcheck", "labelfix", "altoos/internal/labelfix"},
+		{"errdiscard", "errfix", "altoos/internal/errfix"},
+		{"mutexorder", "lockfix", "altoos/internal/lockfix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			pkg := loadFixture(t, tc.dir, tc.virtual)
+			diags := vet.Run(pkg, []*vet.Analyzer{analyzerByName(t, tc.analyzer)})
+			if len(diags) == 0 {
+				t.Fatalf("fixture %s produced no findings at all", tc.dir)
+			}
+			for _, problem := range vet.CheckWant(pkg, diags) {
+				t.Error(problem)
+			}
+		})
+	}
+}
+
+// TestDeterminismScope loads the determinism fixture under a cmd/ virtual
+// path: entry points are exempt, so the same code must produce no findings.
+func TestDeterminismScope(t *testing.T) {
+	pkg := loadFixture(t, "determfix", "altoos/cmd/determfix")
+	diags := vet.Run(pkg, []*vet.Analyzer{analyzerByName(t, "determinism")})
+	for _, d := range diags {
+		t.Errorf("determinism fired in exempt cmd/ scope: %s", d)
+	}
+}
+
+// TestLabelCheckScope loads the labelcheck fixture as if it were the disk
+// package itself, which is entitled to raw sector access.
+func TestLabelCheckScope(t *testing.T) {
+	pkg := loadFixture(t, "labelfix", "altoos/internal/disk2")
+	// Under a non-exempt path it fires (see TestFixtures); under the real
+	// disk path it must not. Same directory, different virtual location.
+	exempt := loadFixture(t, "labelfix", "altoos/internal/scavenge")
+	if diags := vet.Run(exempt, []*vet.Analyzer{analyzerByName(t, "labelcheck")}); len(diags) != 0 {
+		t.Errorf("labelcheck fired in exempt scavenge scope: %v", diags)
+	}
+	if diags := vet.Run(pkg, []*vet.Analyzer{analyzerByName(t, "labelcheck")}); len(diags) == 0 {
+		t.Error("labelcheck silent outside the exempt packages")
+	}
+}
+
+// TestProductionTreeClean is the gate the Makefile check target automates:
+// the whole module, every analyzer, zero findings.
+func TestProductionTreeClean(t *testing.T) {
+	mod, err := vet.LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := mod.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, d := range vet.Run(pkg, vet.Analyzers()) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestRunExitCodes drives the CLI entry point the way the shell does.
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "labelcheck") {
+		t.Errorf("-list output missing analyzers: %q", out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-run", "nosuch"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown analyzer exited %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Errorf("production tree not clean: exit %d\n%s", code, out.String())
+	}
+}

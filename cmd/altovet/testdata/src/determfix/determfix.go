@@ -1,0 +1,25 @@
+// Package determfix exercises the determinism analyzer. It pretends to live
+// at altoos/internal/determfix, squarely inside the analyzer's scope.
+package determfix
+
+import (
+	"math/rand" // want "import of math/rand breaks replayability"
+	"time"
+
+	"altoos/internal/sim"
+)
+
+// bad reads the host's wall clock and the global PRNG — both make an
+// experiment unrepeatable.
+func bad() int {
+	t := time.Now()              // want "time.Now reads the host wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host wall clock"
+	return t.Nanosecond() + rand.Int()
+}
+
+// good draws time and randomness from the simulation substrate; using
+// time.Duration and the time constants is fine.
+func good(c *sim.Clock, r *sim.Rand) (time.Duration, uint16) {
+	c.Advance(3 * time.Millisecond)
+	return c.Now(), r.Word()
+}

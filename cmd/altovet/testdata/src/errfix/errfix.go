@@ -1,0 +1,41 @@
+// Package errfix exercises the errdiscard analyzer against the storage
+// stack's APIs.
+package errfix
+
+import (
+	"altoos/internal/disk"
+	"altoos/internal/file"
+)
+
+// sloppy drops storage errors three different ways.
+func sloppy(f *file.File, buf *[disk.PageWords]disk.Word) disk.Word {
+	pn, _ := f.LastPage()      // want "LastPage's length discarded; call LastPN"
+	_, _ = f.ReadPage(pn, buf) // want "ReadPage's error discarded"
+	f.Sync()                   // want "result of Sync dropped"
+	_ = f.Sync()               // want "Sync's error discarded"
+	return pn
+}
+
+// careful propagates everything and uses LastPN when the length is not
+// wanted.
+func careful(f *file.File, buf *[disk.PageWords]disk.Word) (disk.Word, error) {
+	pn := f.LastPN()
+	if _, err := f.ReadPage(pn, buf); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return pn, nil
+}
+
+// justified shows the escape hatch: a discard with a recorded reason.
+func justified(f *file.File) disk.Word {
+	pn, _ := f.LastPage() //altovet:allow errdiscard fixture demonstrating a justified discard
+	return pn
+}
+
+// deferred cleanup is accepted; the idiom has no channel for the error.
+func deferred(f *file.File) {
+	defer f.Sync()
+}

@@ -1,0 +1,33 @@
+// Package labelfix exercises the labelcheck analyzer from outside the
+// internal/disk and internal/scavenge packages.
+package labelfix
+
+import "altoos/internal/disk"
+
+// raw writes a sector value without checking the label first — the §3.3
+// violation the analyzer exists to catch.
+func raw(dev disk.Device, addr disk.VDA, v *[disk.PageWords]disk.Word) error {
+	return dev.Do(&disk.Op{Addr: addr, Value: disk.Write, ValueData: v}) // want "label left unchecked"
+}
+
+// blind rewrites a label with no check at all.
+func blind(dev disk.Device, addr disk.VDA, lbl *[disk.LabelWords]disk.Word) error {
+	return dev.Do(&disk.Op{Addr: addr, Label: disk.Write, LabelData: lbl, Value: disk.Write, ValueData: new([disk.PageWords]disk.Word)}) // want "rewritten blindly"
+}
+
+// checked is the disciplined form: the label is verified in passing.
+func checked(dev disk.Device, addr disk.VDA, lbl *[disk.LabelWords]disk.Word, v *[disk.PageWords]disk.Word) error {
+	return dev.Do(&disk.Op{Addr: addr, Label: disk.Check, LabelData: lbl, Value: disk.Write, ValueData: v})
+}
+
+// helper uses the ops layer, which encodes the discipline once.
+func helper(dev disk.Device, addr disk.VDA, lbl disk.Label, v *[disk.PageWords]disk.Word) error {
+	return disk.WriteValue(dev, addr, lbl, v)
+}
+
+// offline pokes at the drive's no-cost inspection hook, which only tools
+// outside internal/ may use.
+func offline(d *disk.Drive, a disk.VDA) bool {
+	_, ok := d.PeekLabel(a) // want "PeekLabel makes no checks"
+	return ok
+}

@@ -1,0 +1,50 @@
+// Package lockfix exercises the mutexorder analyzer: a lock-holding type
+// that calls into the lock-holding disk package.
+package lockfix
+
+import (
+	"sync"
+
+	"altoos/internal/disk"
+)
+
+// Cache is a lock-holding type fronting a disk device.
+type Cache struct {
+	mu  sync.Mutex
+	dev disk.Device
+	n   int
+}
+
+// Bad performs a disk operation while holding its own lock: if the drive's
+// lock ever waited on a cache, this would be half of a deadlock cycle.
+func (c *Cache) Bad(op *disk.Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.dev.Do(op) // want "Cache.Bad calls disk.Do while holding a mutex"
+}
+
+// BadHelper reaches the drive's lock through a package-level helper.
+func (c *Cache) BadHelper(a disk.VDA, l disk.Label, v *[disk.PageWords]disk.Word) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return disk.ReadValue(c.dev, a, l, v) // want "Cache.BadHelper calls disk.ReadValue while holding a mutex"
+}
+
+// Good snapshots under the lock, releases it, then crosses the boundary —
+// the ether.Send pattern.
+func (c *Cache) Good(op *disk.Op) error {
+	c.mu.Lock()
+	dev := c.dev
+	c.n++
+	c.mu.Unlock()
+	return dev.Do(op)
+}
+
+// Pure calls that stay inside unlocked helpers are fine even under the
+// lock.
+func (c *Cache) Stats(fv disk.FV, pn disk.Word) [disk.LabelWords]disk.Word {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return disk.LinkPattern(fv, pn)
+}

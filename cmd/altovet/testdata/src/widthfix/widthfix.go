@@ -1,0 +1,26 @@
+// Package widthfix exercises the wordwidth analyzer.
+package widthfix
+
+// word mirrors the system's 16-bit machine word.
+type word = uint16
+
+// narrowing demonstrates the flagged and accepted conversion shapes.
+func narrowing(a, b int) word {
+	x := word(a * b)            // want "64-bit \\* result converted to 16-bit"
+	y := word((a * b) & 0xFFFF) // masked: truncation is declared
+	z := word(a / b)            // reducing operator: already bounded
+	s := word(a % 97)           // reducing operator
+	c := word(512)              // constants are checked by the compiler
+	u := word(a<<4 + b)         // want "64-bit \\+ result converted to 16-bit"
+	//altovet:allow wordwidth caller guarantees a+b < 65536
+	v := word(a + b)
+	return x + y + z + s + c + u + v
+}
+
+// shifts demonstrates the always-zero shift rule.
+func shifts(s word) word {
+	bad := s << 16 // want "shifting a 16-bit word by 16 bits always yields zero"
+	good := s << 8
+	wide := uint32(s) << 16 // widening first is the correct idiom
+	return bad + good + word(wide>>16)
+}

@@ -30,9 +30,13 @@ func main() {
 			log.Fatal(err)
 		}
 		for j := 0; j < 40; j++ {
-			altoos.PutString(w, fmt.Sprintf("report %d line %d: all absolutes, no lies\n", i, j))
+			if err := altoos.PutString(w, fmt.Sprintf("report %d line %d: all absolutes, no lies\n", i, j)); err != nil {
+				log.Fatal(err)
+			}
 		}
-		w.Close()
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// 1. A wild write with a stale full name: the label check rejects it
@@ -72,9 +76,12 @@ func main() {
 	doomed, _ := sys.OpenByName("report-5.txt")
 	root, _ := sys.Root()
 	rootFile := root.File()
-	lastPN, _ := rootFile.LastPage()
+	lastPN := rootFile.LastPN()
 	for pn := disk.Word(1); pn <= lastPN; pn++ {
-		a, _ := rootFile.PageAddr(pn)
+		a, err := rootFile.PageAddr(pn)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sys.Drive.ZapLabel(a, disk.FreeLabelWords())
 	}
 	sys.Drive.ZapLabel(doomed.FN().Leader, disk.FreeLabelWords())
@@ -104,7 +111,8 @@ func main() {
 	f, _ := sys.OpenByName("report-1.txt")
 	sys.Drive.CrashAfterWrites(1)
 	var page [disk.PageWords]disk.Word
-	lp, _ := f.LastPage()
+	lp := f.LastPN()
+	//altovet:allow errdiscard the simulated power failure makes this write fail by design
 	_ = f.WritePage(lp, &page, disk.PageBytes) // torn by the crash
 	sys.Drive.ClearCrash()
 	rep, err = sys.Scavenge()
@@ -157,7 +165,9 @@ func frag(sys *altoos.System) {
 		}
 	}
 	for _, f := range files {
-		f.Sync()
+		if err := f.Sync(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
@@ -172,7 +182,7 @@ func timeSequentialRead(sys *altoos.System, name string) float64 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lastPN, _ := f.LastPage()
+	lastPN := f.LastPN()
 	start := sys.Clock.Now()
 	var buf [disk.PageWords]disk.Word
 	for pn := disk.Word(1); pn <= lastPN; pn++ {

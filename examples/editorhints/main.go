@@ -115,7 +115,9 @@ func install(sys *altoos.System) []hintRecord {
 			if err := f.WritePage(1, &page, 4); err != nil {
 				log.Fatal(err)
 			}
-			f.Sync()
+			if err := f.Sync(); err != nil {
+				log.Fatal(err)
+			}
 		}
 		a, err := f.PageAddr(1)
 		if err != nil {

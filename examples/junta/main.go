@@ -34,8 +34,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	altoos.PutString(w, "the labels are the law\n")
-	w.Close()
+	if err := altoos.PutString(w, "the labels are the law\n"); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// The coup: keep levels 1..8 (through disk streams), remove
 	// directories, keyboard/display streams, the loader and the system free
@@ -71,7 +75,9 @@ func main() {
 		log.Fatal(err)
 	}
 	body, err := stream.ReadAll(r)
-	r.Close()
+	if cerr := r.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

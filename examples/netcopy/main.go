@@ -35,8 +35,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	altoos.PutString(w, "files are built out of disk pages\n")
-	w.Close()
+	if err := altoos.PutString(w, "files are built out of disk pages\n"); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	sst, err := wire.Attach(1)
 	if err != nil {
@@ -86,8 +90,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	altoos.PutString(local, string(body))
-	local.Close()
+	if err := altoos.PutString(local, string(body)); err != nil {
+		log.Fatal(err)
+	}
+	if err := local.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Edit and store back under a new name.
 	edited := string(body) + "every access checks the page label\n"
@@ -109,8 +117,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	back, _ := altoos.ReadAllStream(r)
-	r.Close()
+	back, err := altoos.ReadAllStream(r)
+	if cerr := r.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("server now holds paper-v2.txt (%d bytes):\n%s", len(back), back)
 
 	pkts, words := wire.Stats()

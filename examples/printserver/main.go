@@ -48,7 +48,9 @@ func main() {
 		if err := altoos.PutString(w, text); err != nil {
 			log.Fatal(err)
 		}
-		w.Close()
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// Both machines share the network and the virtual clock, so wire time,
@@ -82,7 +84,9 @@ func main() {
 			log.Fatal(err)
 		}
 		body, err := altoos.ReadAllStream(r)
-		r.Close()
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -188,7 +192,9 @@ func (p *printServer) print() (int, error) {
 			return printed, err
 		}
 		body, err := altoos.ReadAllStream(r)
-		r.Close()
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return printed, err
 		}

@@ -45,7 +45,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r.Close()
+	if err := r.Close(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("greeting.txt (%d bytes):\n%s", len(body), body)
 
 	// Every file has a full name: the absolute (FID, version) plus a hint

@@ -256,7 +256,9 @@ func (s *System) Scavenge() (*scavenge.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.adopt(fs2)
+	if err := s.adopt(fs2); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -266,15 +268,18 @@ func (s *System) Compact() (*scavenge.CompactReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.adopt(fs2)
+	if err := s.adopt(fs2); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
 // adopt folds a rebuilt FS into the live one without changing identity.
-func (s *System) adopt(fs2 *file.FS) {
-	s.FS.AdoptDescriptor(fs2.Descriptor())
+func (s *System) adopt(fs2 *file.FS) error {
+	err := s.FS.AdoptDescriptor(fs2.Descriptor())
 	s.FS.SetRootDir(fs2.RootDir())
 	s.FS.SetDescriptorFN(fs2.DescriptorFN())
+	return err
 }
 
 // SaveWorld writes the machine state as the boot image, so the next Boot

@@ -196,6 +196,7 @@ func (d *Debugger) Step() (swap.Regs, error) {
 //	q                     quit, leaving the Swatee on the disk
 func (d *Debugger) REPL(in stream.Stream, out stream.Stream) error {
 	printf := func(format string, args ...any) {
+		//altovet:allow errdiscard debugger output is best-effort; Swat must keep responding even if the display stream fails
 		_ = stream.PutString(out, fmt.Sprintf(format, args...))
 	}
 	readLine := func() (string, bool) {

@@ -126,7 +126,7 @@ func (d *Directory) File() *file.File { return d.f }
 func (d *Directory) Load() ([]Entry, error) {
 	var entries []Entry
 	var buf [disk.PageWords]disk.Word
-	lastPN, _ := d.f.LastPage()
+	lastPN := d.f.LastPN()
 	for pn := disk.Word(1); pn <= lastPN; pn++ {
 		n, err := d.f.ReadPage(pn, &buf)
 		if err != nil {
@@ -221,11 +221,13 @@ func (d *Directory) store(entries []Entry) error {
 	// interior, then the file truncated, then the new tail written.
 	n := len(pages)
 	tail := pageTailLen(pages[n-1])
-	lastPN, _ := d.f.LastPage()
+	lastPN := d.f.LastPN()
 	if int(lastPN) > n {
+		pn := disk.Word(0)
 		for i := 0; i < n-1; i++ {
+			pn++
 			pg := pages[i]
-			if err := d.f.WritePage(disk.Word(i+1), &pg, disk.PageBytes); err != nil {
+			if err := d.f.WritePage(pn, &pg, disk.PageBytes); err != nil {
 				return err
 			}
 		}
@@ -237,13 +239,15 @@ func (d *Directory) store(entries []Entry) error {
 			return err
 		}
 	} else {
+		pn := disk.Word(0)
 		for i, p := range pages {
+			pn++
 			length := disk.PageBytes
 			if i == n-1 {
 				length = tail
 			}
 			pg := p
-			if err := d.f.WritePage(disk.Word(i+1), &pg, length); err != nil {
+			if err := d.f.WritePage(pn, &pg, length); err != nil {
 				return err
 			}
 		}

@@ -308,7 +308,9 @@ func (l *Log) Bindings() (map[disk.FV]map[string]file.FN, error) {
 			}
 			apply(r)
 		}
-		s.Close()
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

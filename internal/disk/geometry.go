@@ -141,6 +141,7 @@ func (g Geometry) Locate(a VDA) (cyl, head, sector int) {
 
 // Address converts physical coordinates to a virtual disk address.
 func (g Geometry) Address(cyl, head, sector int) VDA {
+	//altovet:allow wordwidth NSectors = Cylinders*Heads*SectorsPerTrack fits a Word, so any in-range coordinate does too
 	return VDA((cyl*g.Heads+head)*g.SectorsPerTrack + sector)
 }
 

@@ -50,6 +50,7 @@ func NewExecutive(o *OS, c *cpu.CPU) *Executive {
 
 // printf writes to the display stream.
 func (e *Executive) printf(format string, args ...any) {
+	//altovet:allow errdiscard display output is best-effort; a full screen must not wedge the Executive
 	_ = stream.PutString(e.OS.Display, fmt.Sprintf(format, args...))
 }
 
@@ -70,9 +71,11 @@ func (e *Executive) ReadLine() (string, bool) {
 			return "", false
 		}
 		if ch == '\n' || ch == '\r' {
+			//altovet:allow errdiscard keyboard echo is best-effort; input handling must not stall on the display
 			_ = e.OS.Display.Put('\n')
 			return b.String(), true
 		}
+		//altovet:allow errdiscard keyboard echo is best-effort; input handling must not stall on the display
 		_ = e.OS.Display.Put(ch)
 		b.WriteByte(ch)
 	}
@@ -347,7 +350,9 @@ func (e *Executive) Execute(line string) (quit bool, err error) {
 	default:
 		// §5.1: the Executive invokes a program the user has requested.
 		n, err := e.Loader.RunProgram(e.CPU, cmd, e.MaxSteps)
-		e.OS.CloseAll()
+		if cerr := e.OS.CloseAll(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return false, fmt.Errorf("%s: %w", cmd, err)
 		}

@@ -96,12 +96,18 @@ func (o *OS) TakeChain() (string, bool) {
 // Executive closes strays between programs.
 func (o *OS) OpenHandles() int { return len(o.handles) }
 
-// CloseAll closes every open handle (program teardown).
-func (o *OS) CloseAll() {
+// CloseAll closes every open handle (program teardown). Every handle is
+// closed and forgotten even on error; the first close error is returned so
+// a flush failure in a stray stream is not silently lost.
+func (o *OS) CloseAll() error {
+	var first error
 	for h, s := range o.handles {
-		s.Close()
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
 		delete(o.handles, h)
 	}
+	return first
 }
 
 // readString reads a BCPL-style string from memory: first byte is the

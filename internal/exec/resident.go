@@ -84,6 +84,7 @@ func (r *ResidentHints) User() string {
 
 // entryAddr returns the memory address of entry i.
 func (r *ResidentHints) entryAddr(i int) mem.Addr {
+	//altovet:allow wordwidth i < cap and cap*hintEntryWords fits the region, itself within the 16-bit address space
 	return r.region.Start + resEntries + mem.Addr(i*hintEntryWords)
 }
 
@@ -103,6 +104,7 @@ func (r *ResidentHints) Remember(name string, fn file.FN, page1 disk.VDA) {
 			slot = int(h) % r.cap // evict: it is only a hint
 		} else {
 			slot = n
+			//altovet:allow wordwidth n < cap, bounded by the region size, far below 2^16
 			r.m.Store(r.region.Start+resCount, uint16(n+1))
 		}
 	}
@@ -147,6 +149,7 @@ func (r *ResidentHints) Forget(name string) {
 			for w := 0; w < hintEntryWords; w++ {
 				r.m.Store(hole+mem.Addr(w), r.m.Load(last+mem.Addr(w)))
 			}
+			//altovet:allow wordwidth n >= 1 here (the loop found a live entry), so n-1 cannot wrap
 			r.m.Store(r.region.Start+resCount, uint16(n-1))
 			return
 		}

@@ -209,7 +209,7 @@ func E4Compaction() (*Result, error) {
 	// Scavenger rebuild the links, and measure again.
 	rnd := sim.NewRand(4)
 	fv := files[5].FN().FV
-	lastPN, _ := target.LastPage()
+	lastPN := target.LastPN()
 	for pn := disk.Word(0); pn <= lastPN; pn++ {
 		from, err := target.PageAddr(pn)
 		if err != nil {

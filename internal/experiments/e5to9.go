@@ -42,6 +42,7 @@ func E5HintLadder() (*Result, error) {
 	trial := func(n int, prep func(h *file.File, pn disk.Word)) (time.Duration, error) {
 		var total time.Duration
 		for i := 0; i < n; i++ {
+			//altovet:allow wordwidth pages < 2^16, so any page index fits a Word
 			pn := disk.Word(2 + rnd.Intn(pages-2))
 			h, err := r.fs.Open(f.FN())
 			if err != nil {
@@ -61,7 +62,10 @@ func E5HintLadder() (*Result, error) {
 	}
 
 	direct, err := trial(30, func(h *file.File, pn disk.Word) {
-		a, _ := f.PageAddr(pn)
+		a, err := f.PageAddr(pn)
+		if err != nil {
+			return // page unreachable: plant no hint, trial falls back to chasing
+		}
 		h.SetHint(pn, a)
 	})
 	if err != nil {
@@ -96,6 +100,7 @@ func E5HintLadder() (*Result, error) {
 		var total time.Duration
 		const n = 8
 		for i := 0; i < n; i++ {
+			//altovet:allow wordwidth pages < 2^16, so any page index fits a Word
 			pn := disk.Word(2 + rnd.Intn(pages-2))
 			stale := f.FN()
 			stale.Leader = 4500 // wrong
@@ -123,6 +128,7 @@ func E5HintLadder() (*Result, error) {
 		fn, err := dir.ResolveName(r.fs, "ladder.dat")
 		if err == nil {
 			if h, err := r.fs.Open(fn); err == nil {
+				//altovet:allow errdiscard timing probe: the lookup cost is measured whether or not the read succeeds
 				h.ReadPage(3, &buf)
 			}
 		}
@@ -263,6 +269,7 @@ func E8Robustness() (*Result, error) {
 	var junk [disk.PageWords]disk.Word
 	for i := 0; i < wild; i++ {
 		f := files[rnd.Intn(nfiles)]
+		//altovet:allow wordwidth pages < 2^16, so any page index fits a Word
 		a, err := f.PageAddr(disk.Word(1 + rnd.Intn(pages)))
 		if err != nil {
 			return nil, err
@@ -286,6 +293,7 @@ func E8Robustness() (*Result, error) {
 	lies := 0
 	for i := 0; i < 50; i++ {
 		f := files[rnd.Intn(nfiles)]
+		//altovet:allow wordwidth pages < 2^16, so any page index fits a Word
 		if a, err := f.PageAddr(disk.Word(1 + rnd.Intn(pages))); err == nil {
 			if r.fs.Descriptor().Free.Busy(a) {
 				r.fs.Descriptor().Free.SetFree(a)

@@ -92,7 +92,7 @@ func (r *rig) addFile(name string, pages int) (*file.File, error) {
 	var page [disk.PageWords]disk.Word
 	for pn := 1; pn <= pages; pn++ {
 		for i := range page {
-			page[i] = disk.Word(pn*31 + i)
+			page[i] = disk.Word((pn*31 + i) & 0xFFFF) // test-pattern fill: truncation is the point
 		}
 		if err := f.WritePage(disk.Word(pn), &page, disk.PageBytes); err != nil {
 			return nil, err
@@ -109,7 +109,7 @@ func (r *rig) addFile(name string, pages int) (*file.File, error) {
 
 // readSequential reads pages 1..last of f, returning simulated time per page.
 func (r *rig) readSequential(f *file.File) (time.Duration, int, error) {
-	lastPN, _ := f.LastPage()
+	lastPN := f.LastPN()
 	start := r.drive.Clock().Now()
 	var buf [disk.PageWords]disk.Word
 	for pn := disk.Word(1); pn <= lastPN; pn++ {

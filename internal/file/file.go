@@ -39,6 +39,12 @@ func (f *File) Name() string { return f.ldr.Name }
 // LastPage returns the current last page number and its byte count.
 func (f *File) LastPage() (pn disk.Word, length int) { return f.lastPN, f.lastLen }
 
+// LastPN returns the current last page number alone. Callers that do not
+// need the byte count use this rather than discarding it: the length is
+// load-bearing in page-boundary arithmetic, and altovet's errdiscard
+// analyzer treats a blank-discarded LastPage result as a finding.
+func (f *File) LastPN() disk.Word { return f.lastPN }
+
 // Size returns the number of data bytes in the file (pages 1..last).
 func (f *File) Size() int {
 	return (int(f.lastPN)-1)*disk.PageBytes + f.lastLen

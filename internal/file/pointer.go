@@ -35,6 +35,7 @@ func (f *File) PointerTo(pos int) (BytePointer, error) {
 	if pos < 0 || pos >= f.Size() {
 		return BytePointer{}, fmt.Errorf("%w: position %d of %d", ErrBadArg, pos, f.Size())
 	}
+	//altovet:allow wordwidth pos < Size() and page numbers fit a Word on any disk the geometry admits
 	pn := disk.Word(pos/disk.PageBytes + 1)
 	a, err := f.PageAddr(pn)
 	if err != nil {

@@ -184,9 +184,9 @@ func (s *Server) feedInbound(pkt ether.Packet) error {
 		return err
 	}
 	if seq != s.recv.seq {
-		s.recv.s.Close()
+		cerr := s.recv.s.Close()
 		s.recv = nil
-		return fmt.Errorf("%w: got %d", ErrSequence, seq)
+		return errors.Join(fmt.Errorf("%w: got %d", ErrSequence, seq), cerr)
 	}
 	s.recv.seq++
 	for _, b := range data {

@@ -61,6 +61,7 @@ func (t *spillTable) add(p pageInfo) error {
 // finishRuns flushes the final partial window. After the sweep, the whole
 // disk is fair game for borrowing.
 func (t *spillTable) finishRuns() error {
+	//altovet:allow wordwidth free.Len() is NSectors, which fits a Word by construction
 	t.lastSeen = disk.VDA(t.s.free.Len() - 1)
 	if len(t.buf) > 0 {
 		return t.flushRun()

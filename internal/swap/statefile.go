@@ -23,6 +23,7 @@ type Regs struct {
 
 // statePageFor maps a memory address to its page and in-page word offset.
 func statePageFor(addr uint16) (disk.Word, int) {
+	//altovet:allow wordwidth addr/PageWords <= 255, so the page number stays far below 2^16
 	return disk.Word(headerPage + 1 + int(addr)/disk.PageWords), int(addr) % disk.PageWords
 }
 

@@ -88,7 +88,9 @@ func saveTo(f *file.File, c *cpu.CPU) error {
 		return err
 	}
 	for p := 0; p < memPages; p++ {
+		//altovet:allow wordwidth p < memPages = 256, so p*PageWords < 2^16
 		c.Mem.LoadBlock(uint16(p*disk.PageWords), page[:])
+		//altovet:allow wordwidth headerPage+1+p <= 257, far below 2^16
 		if err := f.WritePage(disk.Word(headerPage+1+p), &page, disk.PageBytes); err != nil {
 			return err
 		}
@@ -100,7 +102,7 @@ func saveTo(f *file.File, c *cpu.CPU) error {
 func ensureSize(f *file.File) error {
 	var zero [disk.PageWords]disk.Word
 	for {
-		lastPN, _ := f.LastPage()
+		lastPN := f.LastPN()
 		if int(lastPN) > statePages {
 			return nil
 		}
@@ -116,7 +118,7 @@ func LoadState(fs *file.FS, c *cpu.CPU, fn file.FN) error {
 	if err != nil {
 		return fmt.Errorf("swap: opening state file: %w", err)
 	}
-	lastPN, _ := f.LastPage()
+	lastPN := f.LastPN()
 	if int(lastPN) < statePages {
 		return fmt.Errorf("%w: %v has only %d pages", ErrNotState, fn.FV, lastPN)
 	}
@@ -128,9 +130,11 @@ func LoadState(fs *file.FS, c *cpu.CPU, fn file.FN) error {
 		return fmt.Errorf("%w: bad magic %#04x", ErrNotState, page[0])
 	}
 	for p := 0; p < memPages; p++ {
+		//altovet:allow wordwidth headerPage+1+p <= 257, far below 2^16
 		if _, err := f.ReadPage(disk.Word(headerPage+1+p), &page); err != nil {
 			return err
 		}
+		//altovet:allow wordwidth p < memPages = 256, so p*PageWords < 2^16
 		c.Mem.StoreBlock(uint16(p*disk.PageWords), page[:])
 	}
 	// Registers last, from the header we read first.

@@ -1,0 +1,83 @@
+package vet
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//altovet:allow <analyzer> <reason>
+//
+// The comment suppresses that analyzer's findings on its own line and on the
+// line immediately below it (so it can trail the flagged statement or sit
+// above it). The reason is mandatory: an allow records a human judgement —
+// "the error is provably impossible", "the demo tears this page on purpose"
+// — and a judgement without a justification is worthless to the next reader.
+const allowPrefix = "//altovet:allow"
+
+type allowKey struct {
+	file string
+	line int
+}
+
+type allows struct {
+	byAnalyzer map[string]map[allowKey]bool
+}
+
+func (a allows) allowed(d Diagnostic) bool {
+	lines := a.byAnalyzer[d.Analyzer]
+	if lines == nil {
+		return false
+	}
+	return lines[allowKey{d.Pos.Filename, d.Pos.Line}]
+}
+
+// collectAllows scans a package's comments for allow directives. Malformed
+// directives are returned as diagnostics of the pseudo-analyzer "allow" so
+// that a typo cannot silently disable checking.
+func collectAllows(pkg *Package) (allows, []Diagnostic) {
+	valid := analyzerNames()
+	out := allows{byAnalyzer: map[string]map[allowKey]bool{}}
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{
+			Pos:      pkg.module.Fset.Position(pos),
+			Analyzer: "allow",
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "allow directive names no analyzer")
+					continue
+				}
+				name := fields[0]
+				if !valid[name] {
+					report(c.Pos(), "allow directive names unknown analyzer "+name)
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "allow directive for "+name+" gives no reason")
+					continue
+				}
+				pos := pkg.module.Fset.Position(c.Pos())
+				lines := out.byAnalyzer[name]
+				if lines == nil {
+					lines = map[allowKey]bool{}
+					out.byAnalyzer[name] = lines
+				}
+				lines[allowKey{pos.Filename, pos.Line}] = true
+				lines[allowKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return out, bad
+}

@@ -1,0 +1,75 @@
+package vet
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// DeterminismAnalyzer enforces the reproduction's replayability invariant:
+// inside internal/ (except internal/sim itself), simulated time comes from
+// sim.Clock and randomness from sim.Rand. Wall-clock reads and the global
+// math/rand state would make experiment results depend on the host machine,
+// which is exactly what the sim substrate exists to prevent — the paper's
+// quantitative claims are statements about modelled hardware, not about
+// whatever laptop runs the tests.
+//
+// cmd/ and examples/ are exempt for now: they are entry points that may
+// legitimately talk to the host (and a sweep found them clean anyway); the
+// scope can be widened once the analyzer has bedded in.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock time and math/rand outside internal/sim; use sim.Clock/sim.Rand",
+	Run:  runDeterminism,
+}
+
+// bannedTimeFuncs are the package time functions that read or wait on the
+// host's wall clock. time.Duration and the time constants remain fine — the
+// simulation measures itself in time.Duration.
+var bannedTimeFuncs = map[string]string{
+	"Now":       "read the simulated clock with sim.Clock.Now",
+	"Sleep":     "advance the simulated clock with sim.Clock.Advance",
+	"After":     "model the delay on the simulated clock",
+	"AfterFunc": "model the delay on the simulated clock",
+	"Tick":      "model the interval on the simulated clock",
+	"NewTimer":  "model the timer on the simulated clock",
+	"NewTicker": "model the ticker on the simulated clock",
+	"Since":     "use sim.Watch and Stopwatch.Elapsed",
+	"Until":     "use sim.Clock arithmetic",
+}
+
+func runDeterminism(pass *Pass) {
+	rel := pass.relPath()
+	if rel == "internal/sim" ||
+		strings.HasPrefix(rel, "cmd/") ||
+		strings.HasPrefix(rel, "examples/") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Report(imp.Pos(),
+					"import of %s breaks replayability; use a seeded sim.Rand", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if fix, banned := bannedTimeFuncs[obj.Name()]; banned {
+				pass.Report(sel.Pos(),
+					"time.%s reads the host wall clock; %s", obj.Name(), fix)
+			}
+			return true
+		})
+	}
+}

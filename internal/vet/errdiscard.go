@@ -1,0 +1,162 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDiscardAnalyzer enforces error etiquette on the storage stack. Every
+// error the disk, file, dir, stream and swap layers (and the altoos facade
+// over them) return traces back to a label check, a full disk, or a torn
+// write — precisely the conditions the paper's recovery machinery exists to
+// surface. Dropping one with `_` converts detected damage back into silent
+// damage.
+//
+// Flagged shapes, when the callee lives in a storage package:
+//
+//   - `v, _ := f.ReadPage(...)`  — a blank identifier swallowing an
+//     error-typed result;
+//   - `_ = f.Sync()`             — a whole error assigned to blank;
+//   - `f.Sync()`                 — an expression statement dropping a call
+//     whose results include an error;
+//   - `pn, _ := f.LastPage()`    — special case: LastPage returns no error,
+//     but its second result is the last page's byte length, which is
+//     load-bearing in page-boundary arithmetic. Callers that want only the
+//     page number call LastPN.
+//
+// Deferred calls (`defer s.Close()`) are accepted: the deferred-cleanup
+// idiom has no good channel for the error, and the stream layer's Close
+// flushes are each preceded by checked writes. A justified discard takes
+// `//altovet:allow errdiscard <reason>`.
+var ErrDiscardAnalyzer = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "flag _-discarded errors (and LastPage lengths) from the storage stack",
+	Run:  runErrDiscard,
+}
+
+// storagePackages are the callee packages whose errors must not be dropped,
+// relative to the module path ("" is the altoos facade itself).
+var storagePackages = []string{
+	"",
+	"internal/disk",
+	"internal/file",
+	"internal/dir",
+	"internal/stream",
+	"internal/swap",
+}
+
+func runErrDiscard(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				checkAssignDiscard(pass, s)
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call)
+				}
+			case *ast.FuncLit:
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// storageCallee returns the called function if it belongs to a storage
+// package (and is not the caller's own package — a layer may manage its own
+// errors internally however it likes; it is the *clients* of the API whose
+// etiquette is enforced... except that intra-package drops of another
+// function's error are just as damaging, so same-package calls are included
+// after all).
+func storageCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	for _, rel := range storagePackages {
+		full := pass.Module.Path
+		if rel != "" {
+			full += "/" + rel
+		}
+		if path == full {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isLastPage reports whether fn is (*file.File).LastPage.
+func isLastPage(pass *Pass, fn *types.Func) bool {
+	return fn.Name() == "LastPage" &&
+		fn.Pkg().Path() == pass.Module.Path+"/internal/file"
+}
+
+// checkAssignDiscard flags blank identifiers absorbing storage errors in
+// `x, _ := call(...)` and `_ = call(...)` forms.
+func checkAssignDiscard(pass *Pass, s *ast.AssignStmt) {
+	// Only the single-call multi-assign and 1:1 forms matter; parallel
+	// assignment of several calls cannot mix a call across positions.
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := storageCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	results := sig.Results()
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if i >= results.Len() {
+			continue
+		}
+		rt := results.At(i).Type()
+		switch {
+		case isErrorType(rt):
+			pass.Report(id.Pos(),
+				"%s's error discarded; storage errors surface label-check failures and must be propagated (or annotate //altovet:allow errdiscard <why it cannot fail>)",
+				fn.Name())
+		case isLastPage(pass, fn) && i == 1:
+			pass.Report(id.Pos(),
+				"LastPage's length discarded; call LastPN when only the page number is wanted")
+		}
+	}
+}
+
+// checkDroppedCall flags expression statements that drop a storage call
+// returning an error.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr) {
+	fn := storageCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			pass.Report(call.Pos(),
+				"result of %s dropped, including its error; storage errors must be checked", fn.Name())
+			return
+		}
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,118 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// LabelCheckAnalyzer enforces the paper's §3.3 discipline mechanically:
+// every disk transfer gives the page's full name and checks the label on the
+// way past, so that "a single error cannot cause unbounded damage". The disk
+// and scavenge packages are the only layers entitled to touch sectors
+// without a label check — the drive because it implements the check, the
+// Scavenger because reading unknown labels is its whole job.
+//
+// Everywhere else, a disk.Op composite literal must set Label: disk.Check.
+// An op that reads or writes a value part with the label action left None
+// (or, worse, rewrites the label blindly with Write) is a raw sector access
+// that bypasses the protection, and is exactly the kind of code the paper
+// says turns one bad hint into unbounded damage. Such code belongs behind
+// the label-verifying helpers in internal/disk (ReadValue, WriteValue,
+// Allocate, Free) or needs its own explicit Check.
+//
+// The drive's offline inspection hooks (PeekLabel) are likewise off limits
+// to the operating system proper: they charge no simulated time and make no
+// checks, so internal/ packages outside disk and scavenge must not call
+// them. cmd/ tools and examples may — they play the role of an operator
+// examining a pack offline.
+var LabelCheckAnalyzer = &Analyzer{
+	Name: "labelcheck",
+	Doc:  "require Label: disk.Check on disk.Op literals outside internal/disk and internal/scavenge",
+	Run:  runLabelCheck,
+}
+
+func runLabelCheck(pass *Pass) {
+	rel := pass.relPath()
+	if rel == "internal/disk" || rel == "internal/scavenge" {
+		return
+	}
+	diskPath := pass.Module.Path + "/internal/disk"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CompositeLit:
+				checkOpLiteral(pass, diskPath, e)
+			case *ast.CallExpr:
+				checkPeek(pass, diskPath, rel, e)
+			}
+			return true
+		})
+	}
+}
+
+// checkOpLiteral verifies a disk.Op literal carries a label check.
+func checkOpLiteral(pass *Pass, diskPath string, lit *ast.CompositeLit) {
+	named := namedOf(pass.TypeOf(lit))
+	if named == nil || named.Obj().Name() != "Op" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != diskPath {
+		return
+	}
+	// Field -> action constant value; disk's Action constants are iota-
+	// ordered None, Read, Check, Write.
+	const actionCheck, actionWrite = 2, 3
+	actions := map[string]int64{}
+	touched := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional Op literals don't occur in this codebase; treat one
+			// as unverifiable and flag it.
+			pass.Report(lit.Pos(), "positional disk.Op literal cannot be verified; use field keys and set Label: disk.Check")
+			return
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Header", "Label", "Value":
+			tv := pass.Info.Types[kv.Value]
+			if tv.Value == nil {
+				pass.Report(kv.Pos(), "disk.Op %s action is not a constant; altovet cannot verify the label discipline", key.Name)
+				return
+			}
+			v, _ := constant.Int64Val(constant.ToInt(tv.Value))
+			actions[key.Name] = v
+			if v != 0 {
+				touched = true
+			}
+		}
+	}
+	if !touched {
+		return // an empty op does nothing; the drive will reject it
+	}
+	if actions["Label"] != actionCheck {
+		what := "left unchecked"
+		if actions["Label"] == actionWrite {
+			what = "rewritten blindly"
+		}
+		pass.Report(lit.Pos(),
+			"disk.Op outside internal/disk with the label %s; every transfer must check the page label (set Label: disk.Check or use the disk ops layer)", what)
+	}
+}
+
+// checkPeek flags offline drive inspection from the operating system proper.
+func checkPeek(pass *Pass, diskPath, rel string, call *ast.CallExpr) {
+	if !strings.HasPrefix(rel, "internal/") {
+		return // cmd/ tools, examples and the facade act as the operator
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != diskPath {
+		return
+	}
+	if fn.Name() == "PeekLabel" {
+		pass.Report(call.Pos(),
+			"PeekLabel makes no checks and charges no simulated time; the OS proper must pay for label-checked access")
+	}
+}

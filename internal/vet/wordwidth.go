@@ -1,0 +1,114 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// WordWidthAnalyzer guards the 16-bit word discipline. Everything the
+// modelled machine stores — disk words, memory words, page numbers, disk
+// addresses — is a uint16 under some name, and Go will happily truncate a
+// wider value into one without a word of protest. Two shapes are flagged:
+//
+//  1. Narrowing a wider *arithmetic* expression straight into a 16-bit type:
+//     Word(a*b), Word(x+y), Word(n<<k). The arithmetic happens at the wide
+//     width and the conversion silently drops bits. Masking the expression
+//     (`Word((a*b) & 0xFFFF)`) states that truncation is intended; reducing
+//     operators (>>, /, %, &) at the top level are accepted as already
+//     documenting a bounded result.
+//
+//  2. Shifting a 16-bit value by 16 or more bits — the result is always
+//     zero, so the code cannot mean what it says.
+//
+// Converting a plain wider value (identifier, field, call result) is not
+// flagged: `Word(fid)` next to `Word(fid >> 16)` is the idiom for splitting
+// a 32-bit quantity into machine words, and the conversion itself is the
+// documentation. The danger this analyzer hunts is arithmetic whose result
+// can exceed 16 bits vanishing into a cast mid-expression.
+var WordWidthAnalyzer = &Analyzer{
+	Name: "wordwidth",
+	Doc:  "flag silent truncation of wide arithmetic into 16-bit words and always-zero shifts",
+	Run:  runWordWidth,
+}
+
+// riskyOps are the top-level operators whose result can exceed the operand
+// range: the sum/difference/product/left-shift shapes.
+var riskyOps = map[token.Token]bool{
+	token.ADD: true,
+	token.SUB: true,
+	token.MUL: true,
+	token.SHL: true,
+}
+
+func runWordWidth(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkNarrowing(pass, e)
+			case *ast.BinaryExpr:
+				checkShiftOut(pass, e)
+			}
+			return true
+		})
+	}
+}
+
+// checkNarrowing flags conversions T(expr) where T is 16 bits wide, expr is
+// wider, and expr's top level is risky arithmetic.
+func checkNarrowing(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if !isUint16(tv.Type) {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	argTV := pass.Info.Types[arg]
+	if argTV.Value != nil {
+		return // constants out of range are compile errors already
+	}
+	w := intWidth(argTV.Type)
+	if w <= 16 {
+		return
+	}
+	bin, ok := arg.(*ast.BinaryExpr)
+	if !ok || !riskyOps[bin.Op] {
+		return
+	}
+	pass.Report(call.Pos(),
+		"%d-bit %s result converted to 16-bit %s may silently truncate; mask with & 0xFFFF or annotate //altovet:allow wordwidth <bound>",
+		w, bin.Op, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+}
+
+// checkShiftOut flags shifts of 16-bit values by constant amounts >= 16.
+func checkShiftOut(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.SHL && bin.Op != token.SHR {
+		return
+	}
+	xt := pass.TypeOf(bin.X)
+	if xt == nil || !isUint16(xt) {
+		return
+	}
+	// The shifted operand must be a typed 16-bit value, not an untyped
+	// constant that merely defaults that way in context.
+	if tv := pass.Info.Types[ast.Unparen(bin.X)]; tv.Value != nil {
+		return
+	}
+	shift := pass.Info.Types[ast.Unparen(bin.Y)]
+	if shift.Value == nil {
+		return
+	}
+	amt, ok := constant.Uint64Val(constant.ToInt(shift.Value))
+	if !ok || amt < 16 {
+		return
+	}
+	pass.Report(bin.Pos(),
+		"shifting a 16-bit word by %d bits always yields zero", amt)
+}

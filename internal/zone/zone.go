@@ -87,6 +87,7 @@ func New(m *mem.Memory, base mem.Addr, size int) (*MemZone, error) {
 
 // Region returns the memory region the zone manages.
 func (z *MemZone) Region() mem.Region {
+	//altovet:allow wordwidth base+size is validated against the 16-bit address space at construction
 	return mem.Region{Start: z.base, End: mem.Addr(int(z.base) + z.size)}
 }
 
@@ -121,6 +122,7 @@ func (z *MemZone) FreeWords() int {
 func (z *MemZone) walk(f func(a mem.Addr, size int, used bool)) {
 	off := 0
 	for off < z.size {
+		//altovet:allow wordwidth off < size and base+size fits the 16-bit address space
 		a := mem.Addr(int(z.base) + off)
 		h := z.m.Load(a)
 		size := int(h & sizeMask)
@@ -144,6 +146,7 @@ func (z *MemZone) Alloc(n int) (mem.Addr, error) {
 	need := n + hdrWords
 	off := 0
 	for off < z.size {
+		//altovet:allow wordwidth off < size and base+size fits the 16-bit address space
 		a := mem.Addr(int(z.base) + off)
 		h := z.m.Load(a)
 		size := int(h & sizeMask)
@@ -156,6 +159,7 @@ func (z *MemZone) Alloc(n int) (mem.Addr, error) {
 			if size >= need {
 				rest := size - need
 				if rest >= minSplit {
+					//altovet:allow wordwidth need <= size of this block, so a+need stays inside the zone
 					z.m.Store(mem.Addr(int(a)+need), mem.Word(rest))
 					size = need
 				}
@@ -179,6 +183,7 @@ func (z *MemZone) coalesceAt(a mem.Addr, size int) int {
 		if nextOff >= z.size {
 			break
 		}
+		//altovet:allow wordwidth nextOff < size and base+size fits the 16-bit address space
 		na := mem.Addr(int(z.base) + nextOff)
 		nh := z.m.Load(na)
 		if nh&allocBit != 0 || nh&sizeMask == 0 {
