@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet altovet test race bench fmt
+.PHONY: check build vet altovet test race bench trace-check fmt
 
-check: build vet altovet race
+check: build vet altovet trace-check race
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# trace-check guards the observability contract: the tracing driver builds,
+# and two runs of the same experiment export byte-identical traces.
+trace-check:
+	$(GO) build -o /dev/null ./cmd/altotrace
+	$(GO) test -run TestTracesAreByteIdentical ./cmd/altotrace
+
+# bench runs every experiment benchmark once and keeps the raw output as a
+# dated snapshot, so regressions in the simulated quantities are diffable.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench . -benchtime 1x -benchmem . | tee BENCH_$$(date +%Y-%m-%d).json
 
 fmt:
 	gofmt -l -w .

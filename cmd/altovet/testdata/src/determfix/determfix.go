@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"altoos/internal/sim"
+	"altoos/internal/trace"
 )
 
 // bad reads the host's wall clock and the global PRNG — both make an
@@ -22,4 +23,23 @@ func bad() int {
 func good(c *sim.Clock, r *sim.Rand) (time.Duration, uint16) {
 	c.Advance(3 * time.Millisecond)
 	return c.Now(), r.Word()
+}
+
+// badTracing stamps flight-recorder events off the host clock — the exact
+// shape the tracing determinism contract forbids: the trace would differ on
+// every run.
+func badTracing(rec *trace.Recorder) {
+	start := time.Now() // want "time.Now reads the host wall clock"
+	rec.Emit(0, trace.KindDiskOp, "op", 0, 0)
+	rec.EmitSpan(0, time.Since(start), trace.KindSeek, "", 0, 0) // want "time.Since reads the host wall clock"
+}
+
+// goodTracing stamps events exclusively off the simulated clock, so two runs
+// of the same workload record byte-identical traces.
+func goodTracing(rec *trace.Recorder, c *sim.Clock) {
+	start := c.Now()
+	c.Advance(2 * time.Millisecond)
+	rec.EmitSpan(start, c.Now()-start, trace.KindSeek, "", 0, 0)
+	sp := rec.Begin(c, trace.KindScavPhase, "sweep", 0, 0)
+	sp.End()
 }

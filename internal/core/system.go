@@ -27,6 +27,7 @@ import (
 	"altoos/internal/sim"
 	"altoos/internal/stream"
 	"altoos/internal/swap"
+	"altoos/internal/trace"
 	"altoos/internal/zone"
 )
 
@@ -42,6 +43,10 @@ type Config struct {
 	// Drive, if non-nil, is used instead of creating a fresh one — attach
 	// to an existing pack (it will be mounted, not formatted).
 	Drive *disk.Drive
+	// TraceEvents, when nonzero, turns the flight recorder on with a ring
+	// of that many events (negative: trace.DefaultEvents). Zero leaves
+	// tracing off: every hook sees a nil recorder and pays one branch.
+	TraceEvents int
 }
 
 // System is the whole machine plus its resident operating system.
@@ -58,6 +63,10 @@ type System struct {
 	Loader   *exec.Loader
 	Keyboard *stream.Keyboard
 	Debugger *debug.Debugger
+	// Trace is the system's flight recorder; nil unless Config.TraceEvents
+	// asked for one. The drive carries it to every layer of the storage
+	// stack (trace.Of on any Device reaches it).
+	Trace *trace.Recorder
 }
 
 // New builds a machine. With cfg.Drive nil, a fresh pack is formatted; with
@@ -74,10 +83,16 @@ func New(cfg Config) (*System, error) {
 	}
 
 	s := &System{Clock: sim.NewClock()}
+	if cfg.TraceEvents != 0 {
+		s.Trace = trace.New(cfg.TraceEvents)
+	}
 	var err error
 	if cfg.Drive != nil {
 		s.Drive = cfg.Drive
 		s.Clock = cfg.Drive.Clock()
+		if s.Trace != nil {
+			s.Drive.SetRecorder(s.Trace)
+		}
 		s.FS, err = file.Mount(s.Drive)
 		if err != nil {
 			// The paper's answer to an unreadable disk: scavenge it.
@@ -90,6 +105,9 @@ func New(cfg Config) (*System, error) {
 		s.Drive, err = disk.NewDrive(g, cfg.Pack, s.Clock)
 		if err != nil {
 			return nil, err
+		}
+		if s.Trace != nil {
+			s.Drive.SetRecorder(s.Trace)
 		}
 		s.FS, err = file.Format(s.Drive)
 		if err != nil {
@@ -121,6 +139,7 @@ func New(cfg Config) (*System, error) {
 	s.Loader = &exec.Loader{OS: s.OS}
 	s.Exec = exec.NewExecutive(s.OS, s.CPU)
 	s.Debugger = debug.New(s.OS, s.CPU)
+	s.Debugger.Trace = s.Trace
 	// "debug" drops into the Swat REPL on the standard streams — installed
 	// as an extension command, the way any user package would add itself.
 	s.Exec.InstallCommand("debug", func(e *exec.Executive, args []string) error {
@@ -196,6 +215,7 @@ func (s *System) rebuildZone() error {
 	if err != nil {
 		return err
 	}
+	z.SetTrace(s.Trace, s.Clock)
 	s.Zone = z
 	return nil
 }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"altoos/internal/stream"
+	"altoos/internal/trace"
+)
+
+// TestSystemTracing covers the Config.TraceEvents wiring: the system owns
+// one recorder, the drive, zone and stream layers all emit into it, and the
+// Swat REPL's stats command reaches the same recorder.
+func TestSystemTracing(t *testing.T) {
+	var out bytes.Buffer
+	s, err := New(Config{Display: &out, TraceEvents: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trace == nil {
+		t.Fatal("TraceEvents != 0 but the system owns no recorder")
+	}
+	w, err := s.CreateStream("traced.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.PutString(w, "observed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if s.Trace.Len() == 0 {
+		t.Fatal("no events recorded for a traced file lifecycle")
+	}
+	for _, counter := range []string{"disk.ops", "stream.open", "stream.close"} {
+		if s.Trace.Counter(counter) == 0 {
+			t.Errorf("counter %s not incremented", counter)
+		}
+	}
+	var sawKind [2]bool
+	for _, ev := range s.Trace.Events() {
+		switch ev.Kind {
+		case trace.KindDiskOp:
+			sawKind[0] = true
+		case trace.KindStreamOpen:
+			sawKind[1] = true
+		}
+	}
+	if !sawKind[0] || !sawKind[1] {
+		t.Errorf("missing event kinds: disk op %v, stream open %v", sawKind[0], sawKind[1])
+	}
+	if s.Debugger.Trace != s.Trace {
+		t.Error("the debugger's stats command is not wired to the system recorder")
+	}
+}
+
+// TestSystemTracingOff pins the default: zero TraceEvents means no recorder
+// and the whole stack runs with nil hooks.
+func TestSystemTracingOff(t *testing.T) {
+	s, _ := newSys(t)
+	if s.Trace != nil {
+		t.Fatal("tracing should be off by default")
+	}
+	if s.Drive.TraceRecorder() != nil {
+		t.Fatal("drive has a recorder with tracing off")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"altoos/internal/file"
 	"altoos/internal/stream"
 	"altoos/internal/swap"
+	"altoos/internal/trace"
 )
 
 // breakInstr is the trap patched over a broken-into instruction.
@@ -40,6 +41,10 @@ var ErrNoSwatee = errors.New("debug: no Swatee on the disk")
 type Debugger struct {
 	OS  *exec.OS
 	CPU *cpu.CPU
+
+	// Trace is the machine's flight recorder, for the REPL's stats command.
+	// Nil (tracing off) is fine; stats then reports an empty snapshot.
+	Trace *trace.Recorder
 
 	// breakpoints maps address -> displaced original instruction.
 	breakpoints map[uint16]uint16
@@ -193,6 +198,7 @@ func (d *Debugger) Step() (swap.Regs, error) {
 //	b <addr>              plant a breakpoint in the Swatee
 //	s                     single-step one instruction
 //	g                     resume the Swatee
+//	stats                 print the flight recorder's metrics snapshot
 //	q                     quit, leaving the Swatee on the disk
 func (d *Debugger) REPL(in stream.Stream, out stream.Stream) error {
 	printf := func(format string, args ...any) {
@@ -366,8 +372,12 @@ func (d *Debugger) REPL(in stream.Stream, out stream.Stream) error {
 			if d.OS.TookBreakpoint() {
 				printf("[breakpoint]\n")
 			}
+		case "stats":
+			// The broken-into machine's own observability: whatever the
+			// flight recorder has aggregated so far, rendered as text.
+			printf("%s", d.Trace.Snapshot().Text())
 		default:
-			printf("?commands: r, e <a> [n], d <a> <v>, pc <a>, ac <i> <v>, b <a>, s, g, q\n")
+			printf("?commands: r, e <a> [n], d <a> <v>, pc <a>, ac <i> <v>, b <a>, s, g, stats, q\n")
 		}
 	}
 }

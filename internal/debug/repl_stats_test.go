@@ -1,0 +1,34 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"altoos/internal/trace"
+)
+
+// TestREPLStats exercises the stats command: with a recorder attached the
+// snapshot's counters come out, and with tracing off (nil recorder, the
+// default) the command still answers with the empty snapshot instead of
+// crashing Swat.
+func TestREPLStats(t *testing.T) {
+	w := newWorld(t)
+	rec := trace.New(256)
+	rec.Add("disk.ops", 42)
+	rec.Observe("disk.op.revs", 1.5)
+	w.dbg.Trace = rec
+	out := replSession(t, w, "stats\nq\n")
+	for _, want := range []string{"events", "disk.ops", "42", "disk.op.revs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLStatsWithoutRecorder(t *testing.T) {
+	w := newWorld(t)
+	out := replSession(t, w, "stats\nq\n")
+	if !strings.Contains(out, "events") {
+		t.Fatalf("stats with tracing off should print the empty snapshot:\n%s", out)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"altoos/internal/sim"
+	"altoos/internal/trace"
 )
 
 // Action selects what a disk operation does to one part of a sector.
@@ -136,12 +137,29 @@ func (s Stats) Revolutions(g Geometry) float64 {
 	return float64(s.Busy) / float64(g.RevTime)
 }
 
-// sector is the in-memory image of one disk sector.
+// sector is the in-memory image of one disk sector. vcrc is a checksum of
+// the value words, maintained by every disciplined write (format, Write
+// actions, image load) and deliberately left stale by the fault injectors:
+// a mismatch found on a later read means damage happened outside the
+// label-checked write path. It is bookkeeping for the flight recorder only
+// — detection never changes an operation's outcome.
 type sector struct {
 	header [HeaderWords]Word
 	label  [LabelWords]Word
 	value  [PageWords]Word
+	vcrc   Word
 	bad    bool // fault injection: unrecoverable
+}
+
+// valueCRC folds the value words into one checksum word (rotate-and-xor,
+// order-sensitive so transposed words are caught too).
+func valueCRC(v []Word) Word {
+	var c Word
+	for _, w := range v {
+		c = c<<1 | c>>15
+		c ^= w
+	}
+	return c
 }
 
 // Drive is the standard disk object: a simulated moving-head drive holding
@@ -155,6 +173,11 @@ type Drive struct {
 	sectors []sector
 	curCyl  int
 	stats   Stats
+
+	// rec is the system's flight recorder; nil means tracing is off and
+	// every emission site pays one branch. The recorder is a lock-order
+	// leaf, so emitting under d.mu is safe.
+	rec *trace.Recorder
 
 	// crashAfterWrites, when >= 0, counts down on each write action; when it
 	// reaches zero the drive behaves as if power failed: the write and all
@@ -205,8 +228,25 @@ func NewDrive(g Geometry, pack Word, clock *sim.Clock) (*Drive, error) {
 		for j := range d.sectors[i].value {
 			d.sectors[i].value[j] = 0xFFFF
 		}
+		d.sectors[i].vcrc = valueCRC(d.sectors[i].value[:])
 	}
 	return d, nil
+}
+
+// SetRecorder attaches a flight recorder to the drive (nil detaches). Every
+// layer holding a Device reaches the recorder through TraceRecorder, so the
+// drive is the distribution point for tracing across the storage stack.
+func (d *Drive) SetRecorder(r *trace.Recorder) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rec = r
+}
+
+// TraceRecorder implements trace.Source.
+func (d *Drive) TraceRecorder() *trace.Recorder {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rec
 }
 
 // Geometry implements Device.
@@ -274,6 +314,16 @@ func (d *Drive) Do(op *Op) error {
 	defer d.mu.Unlock()
 
 	d.stats.Ops++
+	start := d.clock.Now()
+	err := d.do(op)
+	if d.rec != nil {
+		d.traceOp(op, start, err)
+	}
+	return err
+}
+
+// do performs the operation proper. d.mu is held.
+func (d *Drive) do(op *Op) error {
 	if int(op.Addr) >= len(d.sectors) {
 		return fmt.Errorf("%w: %d (disk has %d sectors)", ErrAddress, op.Addr, len(d.sectors))
 	}
@@ -292,6 +342,39 @@ func (d *Drive) Do(op *Op) error {
 		return err
 	}
 	return d.doPart(op.Addr, PartValue, op.Value, s.value[:], slice256(op.ValueData))
+}
+
+// Outcome codes carried in a KindDiskOp event's second argument.
+const (
+	opOK int64 = iota
+	opCheckFail
+	opBadSector
+	opCrashed
+	opError
+)
+
+// traceOp emits the operation-level span and failure events. d.mu is held
+// and d.rec is known non-nil.
+func (d *Drive) traceOp(op *Op, start time.Duration, err error) {
+	now := d.clock.Now()
+	outcome := opOK
+	switch {
+	case err == nil:
+	case IsCheck(err):
+		outcome = opCheckFail
+	case errors.Is(err, ErrBadSector):
+		outcome = opBadSector
+		d.rec.Emit(now, trace.KindBadSector, "", int64(op.Addr), outcome)
+		d.rec.Add("disk.bad_sector", 1)
+	case errors.Is(err, ErrCrashed):
+		outcome = opCrashed
+	default:
+		outcome = opError
+	}
+	name := op.Header.String() + "/" + op.Label.String() + "/" + op.Value.String()
+	d.rec.EmitSpan(start, now-start, trace.KindDiskOp, name, int64(op.Addr), outcome)
+	d.rec.Add("disk.ops", 1)
+	d.rec.Observe("disk.op.revs", float64(now-start)/float64(d.geom.RevTime))
 }
 
 func slice2(p *[HeaderWords]Word) []Word {
@@ -323,6 +406,9 @@ func (d *Drive) doPart(addr VDA, part Part, a Action, dst, mem []Word) error {
 	case Read:
 		d.stats.Reads++
 		copy(mem, dst)
+		if part == PartValue && d.rec != nil {
+			d.checkValueCRC(addr, dst)
+		}
 		return nil
 	case Check:
 		d.stats.Checks++
@@ -333,16 +419,31 @@ func (d *Drive) doPart(addr VDA, part Part, a Action, dst, mem []Word) error {
 			}
 			if mem[i] != dst[i] {
 				d.stats.CheckFail++
+				if d.rec != nil {
+					d.rec.Emit(d.clock.Now(), trace.KindCheckFail, part.String(), int64(addr), int64(i))
+					d.rec.Add("disk.check.fail", 1)
+				}
 				return &CheckError{Addr: addr, Part: part, WordIdx: i, Expected: mem[i], OnDisk: dst[i]}
 			}
+		}
+		if part == PartValue && d.rec != nil {
+			d.checkValueCRC(addr, dst)
 		}
 		return nil
 	case Write:
 		if d.crashed {
+			if d.rec != nil {
+				d.rec.Emit(d.clock.Now(), trace.KindCrashWrite, part.String(), int64(addr), opCrashed)
+				d.rec.Add("disk.write.crashed", 1)
+			}
 			return ErrCrashed
 		}
 		if d.crashAfterWrites == 0 {
 			d.crashed = true
+			if d.rec != nil {
+				d.rec.Emit(d.clock.Now(), trace.KindCrashWrite, part.String(), int64(addr), opCrashed)
+				d.rec.Add("disk.write.crashed", 1)
+			}
 			return ErrCrashed
 		}
 		if d.crashAfterWrites > 0 {
@@ -350,6 +451,9 @@ func (d *Drive) doPart(addr VDA, part Part, a Action, dst, mem []Word) error {
 		}
 		d.stats.Writes++
 		copy(dst, mem)
+		if part == PartValue {
+			d.sectors[addr].vcrc = valueCRC(dst)
+		}
 		return nil
 	}
 	return fmt.Errorf("%w: action %d", ErrBadOp, a)
@@ -368,9 +472,14 @@ func (d *Drive) advanceTo(addr VDA) {
 	start := d.clock.Now()
 	t := start
 	if cyl != d.curCyl {
+		from := d.curCyl
 		t += g.SeekTime(cyl - d.curCyl)
 		d.curCyl = cyl
 		d.stats.Seeks++
+		if d.rec != nil {
+			d.rec.EmitSpan(start, t-start, trace.KindSeek, "", int64(from), int64(cyl))
+			d.rec.Add("disk.seeks", 1)
+		}
 	}
 	// Rotational position is a global property of the spindle: the slot that
 	// is under the heads at time t.
@@ -382,9 +491,25 @@ func (d *Drive) advanceTo(addr VDA) {
 	if wait < 0 {
 		wait += rev
 	}
+	if d.rec != nil && wait > 0 {
+		d.rec.EmitSpan(t, wait, trace.KindRotate, "", int64(sect), int64(addr))
+	}
 	t += wait + st // wait for the slot, then transfer the sector
 	d.clock.Advance(t - start)
 	d.stats.Busy += t - start
+}
+
+// checkValueCRC compares the sector's stored checksum with one recomputed
+// from the value just read. A mismatch means the value changed outside the
+// disciplined write path — a fault injector, modelling media decay or a wild
+// write — and is reported to the recorder only; the read itself still
+// succeeds, exactly as on the real hardware, where such damage surfaces
+// later as inconsistency. d.mu is held and d.rec is known non-nil.
+func (d *Drive) checkValueCRC(addr VDA, dst []Word) {
+	if valueCRC(dst) != d.sectors[addr].vcrc {
+		d.rec.Emit(d.clock.Now(), trace.KindCRCMismatch, "value", int64(addr), opError)
+		d.rec.Add("disk.crc.mismatch", 1)
+	}
 }
 
 // peek returns a copy of the raw sector for tools, tests and the fault

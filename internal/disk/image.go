@@ -129,6 +129,9 @@ func LoadImage(r io.Reader, clock *sim.Clock) (*Drive, error) {
 			return nil, fmt.Errorf("%w: sector %d: %v", ErrImage, i, err)
 		}
 		s.bad = b != 0
+		// Loading an image is a disciplined path: the checksum reflects the
+		// value as loaded, so only post-load damage can trip it.
+		s.vcrc = valueCRC(s.value[:])
 	}
 	return d, nil
 }

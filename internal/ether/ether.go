@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"altoos/internal/sim"
+	"altoos/internal/trace"
 )
 
 // Word is the unit of packet payloads, as everywhere in the system.
@@ -64,6 +65,28 @@ type Network struct {
 	stations map[Addr]*Station
 	sent     int64
 	words    int64
+
+	// rec is the attached flight recorder (nil: tracing off). busyUntil is
+	// the simulated time the wire frees up; a send that begins earlier is
+	// recorded as a collision. The probe is bookkeeping only — the medium
+	// still delivers every packet, it just becomes visible in the trace
+	// that two stations contended for the wire.
+	rec       *trace.Recorder
+	busyUntil time.Duration
+}
+
+// SetRecorder attaches a flight recorder to the medium (nil detaches).
+func (n *Network) SetRecorder(r *trace.Recorder) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rec = r
+}
+
+// TraceRecorder implements trace.Source.
+func (n *Network) TraceRecorder() *trace.Recorder {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rec
 }
 
 // New creates a network advancing clock (nil for a private clock).
@@ -132,6 +155,21 @@ func (s *Station) Send(p Packet) error {
 	}
 	n.sent++
 	n.words += int64(len(p.Payload) + HeaderWords)
+	wireWords := len(p.Payload) + HeaderWords
+	dur := time.Duration(wireWords) * WireTime
+	rec := n.rec
+	if rec != nil {
+		start := n.clock.Now()
+		if start < n.busyUntil {
+			rec.Emit(start, trace.KindEtherCollision, "", int64(p.Dst), int64(s.addr))
+			rec.Add("ether.collision", 1)
+		}
+		if end := start + dur; end > n.busyUntil {
+			n.busyUntil = end
+		}
+		rec.EmitSpan(start, dur, trace.KindEtherSend, "", int64(p.Dst), int64(wireWords))
+		rec.Add("ether.send", 1)
+	}
 	// Copy the payload: the wire serializes, it does not alias.
 	cp := p
 	cp.Payload = append([]Word(nil), p.Payload...)
@@ -146,17 +184,22 @@ func (s *Station) Send(p Packet) error {
 	}
 	n.mu.Unlock()
 
-	n.clock.Advance(time.Duration(len(p.Payload)+HeaderWords) * WireTime)
+	n.clock.Advance(dur)
 	for _, st := range dsts {
 		st.mu.Lock()
 		st.in = append(st.in, cp)
+		depth := len(st.in)
 		st.mu.Unlock()
+		rec.Observe("ether.queue.depth", float64(depth))
 	}
 	return nil
 }
 
 // Recv polls the input queue, returning the oldest packet if any.
 func (s *Station) Recv() (Packet, bool) {
+	// Snapshot the recorder before taking s.mu: the network lock never
+	// nests inside a station lock.
+	rec := s.net.TraceRecorder()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.in) == 0 {
@@ -164,6 +207,10 @@ func (s *Station) Recv() (Packet, bool) {
 	}
 	p := s.in[0]
 	s.in = s.in[1:]
+	if rec != nil {
+		rec.Emit(s.net.clock.Now(), trace.KindEtherRecv, "", int64(p.Src), int64(len(p.Payload)+HeaderWords))
+		rec.Add("ether.recv", 1)
+	}
 	return p, true
 }
 

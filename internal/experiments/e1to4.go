@@ -9,18 +9,21 @@ import (
 	"altoos/internal/file"
 	"altoos/internal/scavenge"
 	"altoos/internal/sim"
+	"altoos/internal/trace"
 )
 
 // E1RawTransfer — §2: each drive "can transfer 64k words in about one
 // second". A 256-page consecutively allocated file is read sequentially and
 // the achieved word rate compared with the claim.
-func E1RawTransfer() (*Result, error) {
+func E1RawTransfer() (*Result, error) { return e1RawTransfer(nil) }
+
+func e1RawTransfer(rec *trace.Recorder) (*Result, error) {
 	res := &Result{
 		ID:    "E1",
 		Title: "raw sequential transfer",
 		Claim: "the disk can transfer 64K words in about one second (§2)",
 	}
-	r, err := newRig(disk.Diablo31())
+	r, err := newRig(disk.Diablo31(), rec)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +50,9 @@ func E1RawTransfer() (*Result, error) {
 // E2AllocFreeCost — §3.3: the label discipline "costs a disk revolution each
 // time a page is allocated or freed", while "on any other write the label is
 // checked, at no cost in time". Averages over random sectors.
-func E2AllocFreeCost() (*Result, error) {
+func E2AllocFreeCost() (*Result, error) { return e2AllocFreeCost(nil) }
+
+func e2AllocFreeCost(rec *trace.Recorder) (*Result, error) {
 	res := &Result{
 		ID:    "E2",
 		Title: "allocation and free cost in revolutions",
@@ -58,6 +63,7 @@ func E2AllocFreeCost() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.SetRecorder(rec)
 	rnd := sim.NewRand(2)
 	const n = 400
 	addrs := make([]disk.VDA, 0, n)
@@ -116,14 +122,16 @@ func E2AllocFreeCost() (*Result, error) {
 
 // E3Scavenge — §3.5: scavenging "takes about a minute for a 2.5 megabyte
 // disk". Populates disks of both geometries to ~60% and scavenges.
-func E3Scavenge() (*Result, error) {
+func E3Scavenge() (*Result, error) { return e3Scavenge(nil) }
+
+func e3Scavenge(rec *trace.Recorder) (*Result, error) {
 	res := &Result{
 		ID:    "E3",
 		Title: "scavenge time by disk size",
 		Claim: "scavenging takes about a minute for a 2.5 megabyte disk (§3.5)",
 	}
 	for _, g := range []disk.Geometry{disk.Diablo31(), disk.Trident()} {
-		r, err := newRig(g)
+		r, err := newRig(g, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -151,13 +159,15 @@ func E3Scavenge() (*Result, error) {
 // E4Compaction — §3.5: consecutive layout "typically increases the speed
 // with which the files can be read sequentially by an order of magnitude
 // over what is possible if the pages have become scattered".
-func E4Compaction() (*Result, error) {
+func E4Compaction() (*Result, error) { return e4Compaction(nil) }
+
+func e4Compaction(rec *trace.Recorder) (*Result, error) {
 	res := &Result{
 		ID:    "E4",
 		Title: "sequential read speedup from the compacting scavenger",
 		Claim: "compaction speeds sequential reads by an order of magnitude (§3.5)",
 	}
-	r, err := newRig(disk.Diablo31())
+	r, err := newRig(disk.Diablo31(), rec)
 	if err != nil {
 		return nil, err
 	}

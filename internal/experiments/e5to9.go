@@ -13,17 +13,20 @@ import (
 	"altoos/internal/scavenge"
 	"altoos/internal/sim"
 	"altoos/internal/swap"
+	"altoos/internal/trace"
 )
 
 // E5HintLadder — §3.6: the cost of each level of the hint recovery ladder,
 // from a correct direct hint down to running the Scavenger.
-func E5HintLadder() (*Result, error) {
+func E5HintLadder() (*Result, error) { return e5HintLadder(nil) }
+
+func e5HintLadder(rec *trace.Recorder) (*Result, error) {
 	res := &Result{
 		ID:    "E5",
 		Title: "cost of each hint-ladder level",
 		Claim: "a correct hint reaches a page in one access; each recovery level costs more, ending at the Scavenger (§3.6)",
 	}
-	r, err := newRig(disk.Diablo31())
+	r, err := newRig(disk.Diablo31(), rec)
 	if err != nil {
 		return nil, err
 	}
@@ -156,13 +159,15 @@ func E5HintLadder() (*Result, error) {
 
 // E6WorldSwap — §4.1: OutLoad and InLoad each take "about a second"; a
 // coroutine transfer is an OutLoad plus an InLoad.
-func E6WorldSwap() (*Result, error) {
+func E6WorldSwap() (*Result, error) { return e6WorldSwap(nil) }
+
+func e6WorldSwap(rec *trace.Recorder) (*Result, error) {
 	res := &Result{
 		ID:    "E6",
 		Title: "world-swap (OutLoad/InLoad) timing",
 		Claim: "OutLoad and InLoad each require about a second (§4.1)",
 	}
-	r, err := newRig(disk.Diablo31())
+	r, err := newRig(disk.Diablo31(), rec)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +217,11 @@ func E6WorldSwap() (*Result, error) {
 
 // E7Junta — §5.2: the level table, and the memory a program gains by
 // removing levels it does not need.
-func E7Junta() (*Result, error) {
+func E7Junta() (*Result, error) { return e7Junta(nil) }
+
+// e7Junta takes the recorder for signature uniformity only: the experiment
+// never touches a disk, so there is nothing to trace.
+func e7Junta(_ *trace.Recorder) (*Result, error) {
 	res := &Result{
 		ID:    "E7",
 		Title: "memory reclaimed per Junta level",
@@ -242,13 +251,15 @@ func E7Junta() (*Result, error) {
 // of complaints about lost information is negligible". Wild writes must all
 // be rejected; map lies must cost retries only; random damage must lose only
 // what it directly destroyed.
-func E8Robustness() (*Result, error) {
+func E8Robustness() (*Result, error) { return e8Robustness(nil) }
+
+func e8Robustness(rec *trace.Recorder) (*Result, error) {
 	res := &Result{
 		ID:    "E8",
 		Title: "fault injection: label checks and the Scavenger",
 		Claim: "label checking makes accidental overwriting quite unlikely; lost information is negligible (§3.3, §6)",
 	}
-	r, err := newRig(disk.Diablo31())
+	r, err := newRig(disk.Diablo31(), rec)
 	if err != nil {
 		return nil, err
 	}
@@ -361,13 +372,15 @@ func E8Robustness() (*Result, error) {
 // E9InstalledHints — §3.6/§4: installed hints survive world swaps and give
 // warm starts at full disk speed; a failed hint means reinstalling, never
 // damage.
-func E9InstalledHints() (*Result, error) {
+func E9InstalledHints() (*Result, error) { return e9InstalledHints(nil) }
+
+func e9InstalledHints(tr *trace.Recorder) (*Result, error) {
 	res := &Result{
 		ID:    "E9",
 		Title: "installed-program hints: warm start vs reinstallation",
 		Claim: "an installed program starts up and reaches its auxiliary files at maximum disk speed; a failed hint forces reinstallation (§3.6)",
 	}
-	r, err := newRig(disk.Diablo31())
+	r, err := newRig(disk.Diablo31(), tr)
 	if err != nil {
 		return nil, err
 	}

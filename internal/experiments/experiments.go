@@ -19,6 +19,7 @@ import (
 	"altoos/internal/disk"
 	"altoos/internal/file"
 	"altoos/internal/sim"
+	"altoos/internal/trace"
 )
 
 // Row is one line of an experiment's table.
@@ -66,11 +67,12 @@ type rig struct {
 	root  *dir.Directory
 }
 
-func newRig(g disk.Geometry) (*rig, error) {
+func newRig(g disk.Geometry, rec *trace.Recorder) (*rig, error) {
 	d, err := disk.NewDrive(g, 1, nil)
 	if err != nil {
 		return nil, err
 	}
+	d.SetRecorder(rec)
 	fs, err := file.Format(d)
 	if err != nil {
 		return nil, err
@@ -127,3 +129,45 @@ func ms(d time.Duration) float64 { return float64(d) / 1e6 }
 func secs(d time.Duration) float64 { return d.Seconds() }
 
 var _ = sim.NewRand // keep the import set stable across experiment files
+
+// Runner names one experiment and its recorder-threading entry point, for
+// drivers (cmd/altotrace) that run experiments by id with tracing on.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(rec *trace.Recorder) (*Result, error)
+}
+
+// registry lists every experiment in order. The Run functions are the
+// unexported recorder-taking variants the public E1..E9 wrappers call.
+var registry = []Runner{
+	{"e1", "raw sequential transfer", e1RawTransfer},
+	{"e2", "allocation and free cost", e2AllocFreeCost},
+	{"e3", "scavenge time by disk size", e3Scavenge},
+	{"e4", "compaction speedup", e4Compaction},
+	{"e5", "hint-ladder costs", e5HintLadder},
+	{"e6", "world-swap timing", e6WorldSwap},
+	{"e7", "Junta memory reclaim", e7Junta},
+	{"e8", "fault injection", e8Robustness},
+	{"e9", "installed hints", e9InstalledHints},
+}
+
+// IDs lists the experiment ids Run accepts, in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Run executes the experiment with the given id (case-insensitive), with
+// every drive it builds emitting into rec (nil: tracing off).
+func Run(id string, rec *trace.Recorder) (*Result, error) {
+	for _, r := range registry {
+		if strings.EqualFold(r.ID, id) {
+			return r.Run(rec)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}

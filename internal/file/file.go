@@ -3,6 +3,7 @@ package file
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"altoos/internal/disk"
 )
@@ -29,6 +30,11 @@ type File struct {
 
 // FN returns the file's full name.
 func (f *File) FN() FN { return f.fn }
+
+// Device returns the disk object the file lives on. Layers built above file
+// handles (streams, the swapper) reach shared per-device state — notably the
+// flight recorder — through it.
+func (f *File) Device() disk.Device { return f.fs.dev }
 
 // Leader returns the cached leader contents.
 func (f *File) Leader() Leader { return f.ldr }
@@ -369,26 +375,39 @@ func snapshotOp(op *disk.Op) func(*disk.Op) {
 // hint whose label still verifies. Hints for every k-th page — or any other
 // set the program planted — shorten the chase, as §3.6 describes.
 func (f *File) locateByLinks(pn disk.Word) (disk.VDA, error) {
-	// Choose the verified starting point closest to pn.
+	// Choose the verified starting point closest to pn. Candidates are
+	// probed in distance order (ties to the lower page number) so the probe
+	// sequence — and with it the disk traffic — is deterministic: map
+	// iteration order must never reach the disk.
 	type start struct {
 		pn disk.Word
 		a  disk.VDA
 	}
-	var best *start
-	bestDist := 1 << 30
-	for hpn, ha := range f.hints {
+	cands := make([]disk.Word, 0, len(f.hints))
+	for hpn := range f.hints {
+		cands = append(cands, hpn)
+	}
+	dist := func(hpn disk.Word) int {
 		d := int(pn) - int(hpn)
 		if d < 0 {
 			d = -d
 		}
-		if d < bestDist {
-			if _, err := disk.ReadLabel(f.fs.dev, ha, f.fn.FV, hpn); err == nil {
-				best = &start{hpn, ha}
-				bestDist = d
-			} else {
-				delete(f.hints, hpn)
-			}
+		return d
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if di, dj := dist(cands[i]), dist(cands[j]); di != dj {
+			return di < dj
 		}
+		return cands[i] < cands[j]
+	})
+	var best *start
+	for _, hpn := range cands {
+		ha := f.hints[hpn]
+		if _, err := disk.ReadLabel(f.fs.dev, ha, f.fn.FV, hpn); err == nil {
+			best = &start{hpn, ha}
+			break
+		}
+		delete(f.hints, hpn)
 	}
 	if best == nil {
 		// No surviving hints at all; try the full-name leader address.

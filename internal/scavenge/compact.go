@@ -42,7 +42,10 @@ func Compact(dev disk.Device) (*file.FS, *CompactReport, error) {
 
 	// Learn the current layout from the labels.
 	s := newScavenger(dev)
-	if err := s.sweep(s.keepInMemory); err != nil {
+	sp := s.phase("compact-sweep")
+	err := s.sweep(s.keepInMemory)
+	sp.End()
+	if err != nil {
 		return nil, nil, err
 	}
 
@@ -170,6 +173,7 @@ func Compact(dev disk.Device) (*file.FS, *CompactReport, error) {
 		return nil
 	}
 
+	sp = s.phase("compact-permute")
 	for i := 0; i < n; i++ {
 		want := target[i]
 		if want == nil {
@@ -183,15 +187,22 @@ func Compact(dev disk.Device) (*file.FS, *CompactReport, error) {
 		if squatter, ok := cur[dst]; ok {
 			spare := freeNow()
 			if spare == disk.NilVDA {
+				sp.End()
 				return nil, nil, fmt.Errorf("scavenge: no spare sector during compaction")
 			}
 			if err := move(squatter, spare); err != nil {
+				sp.End()
 				return nil, nil, fmt.Errorf("scavenge: evacuating %d: %w", dst, err)
 			}
 		}
 		if err := move(want, dst); err != nil {
+			sp.End()
 			return nil, nil, fmt.Errorf("scavenge: moving page to %d: %w", dst, err)
 		}
+	}
+	sp.End()
+	if s.rec != nil {
+		s.rec.Add("compact.pages.moved", int64(rep.PagesMoved))
 	}
 
 	// Links, leaders, the allocation map and directory address hints are all

@@ -36,6 +36,7 @@ import (
 	"altoos/internal/disk"
 	"altoos/internal/file"
 	"altoos/internal/sim"
+	"altoos/internal/trace"
 )
 
 // Report describes everything one scavenging pass found and repaired.
@@ -111,6 +112,7 @@ type scavenger struct {
 	sums     map[disk.FV]*summary
 	leaders  map[disk.FV]file.Leader
 	reserved map[disk.VDA]bool // spill sectors: not allocatable while in use
+	rec      *trace.Recorder   // the device's flight recorder; nil = off
 }
 
 func newScavenger(dev disk.Device) *scavenger {
@@ -121,7 +123,27 @@ func newScavenger(dev disk.Device) *scavenger {
 		sums:     map[disk.FV]*summary{},
 		leaders:  map[disk.FV]file.Leader{},
 		reserved: map[disk.VDA]bool{},
+		rec:      trace.Of(dev),
 	}
+}
+
+// phase opens a span covering one pass of the scavenger, named so the trace
+// shows where the paper's "about a minute" actually goes.
+func (s *scavenger) phase(name string) trace.Span {
+	return s.rec.Begin(s.dev.Clock(), trace.KindScavPhase, name, 0, 0)
+}
+
+// traceReport publishes the pass's headline numbers as counters.
+func (s *scavenger) traceReport(rep *Report) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Add("scavenge.runs", 1)
+	s.rec.Add("scavenge.files", int64(rep.FilesFound))
+	s.rec.Add("scavenge.links.repaired", int64(rep.LinksRepaired))
+	s.rec.Add("scavenge.leaders.repaired", int64(rep.LeadersRepaired))
+	s.rec.Add("scavenge.pages.freed", int64(rep.PagesFreed))
+	s.rec.Add("scavenge.orphans.adopted", int64(rep.OrphansAdopted))
 }
 
 // Run scavenges the device with the whole table in memory and returns a
@@ -131,10 +153,16 @@ func Run(dev disk.Device) (*file.FS, *Report, error) {
 	s := newScavenger(dev)
 	watch := sim.Watch(dev.Clock())
 
-	if err := s.sweep(s.keepInMemory); err != nil {
+	sp := s.phase("sweep")
+	err := s.sweep(s.keepInMemory)
+	sp.End()
+	if err != nil {
 		return nil, nil, err
 	}
-	if err := s.fixFiles(); err != nil {
+	sp = s.phase("fix-files")
+	err = s.fixFiles()
+	sp.End()
+	if err != nil {
 		return nil, nil, err
 	}
 	fs, rep, err := s.finish()
@@ -142,6 +170,7 @@ func Run(dev disk.Device) (*file.FS, *Report, error) {
 		return nil, nil, err
 	}
 	rep.Elapsed = watch.Elapsed()
+	s.traceReport(rep)
 	return fs, rep, nil
 }
 
@@ -157,17 +186,24 @@ func RunLowMemory(dev disk.Device, window int) (*file.FS, *Report, error) {
 	watch := sim.Watch(dev.Clock())
 
 	spill := newSpillTable(s, window)
-	if err := s.sweep(spill.add); err != nil {
+	sp := s.phase("sweep")
+	err := s.sweep(spill.add)
+	sp.End()
+	if err != nil {
 		return nil, nil, err
 	}
+	sp = s.phase("spill-sort")
 	if err := spill.finishRuns(); err != nil {
+		sp.End()
 		return nil, nil, err
 	}
 	// Stream the externally sorted table, one file group at a time, through
 	// the same repairs the in-memory driver uses.
-	if err := spill.mergeGroups(func(fv disk.FV, pages []*pageInfo) error {
+	err = spill.mergeGroups(func(fv disk.FV, pages []*pageInfo) error {
 		return s.fixOneGroup(fv, pages)
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		return nil, nil, err
 	}
 	spill.release()
@@ -178,27 +214,36 @@ func RunLowMemory(dev disk.Device, window int) (*file.FS, *Report, error) {
 		return nil, nil, err
 	}
 	rep.Elapsed = watch.Elapsed()
+	s.traceReport(rep)
 	return fs, rep, nil
 }
 
 // finish runs the shared passes after per-file repair: system structures,
 // leader refresh, directories, descriptor flush.
 func (s *scavenger) finish() (*file.FS, *Report, error) {
+	sp := s.phase("rebuild-system")
 	fs, root, err := s.rebuildSystem()
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	// Recompute every leader's hint fields (last page, consecutive flag)
 	// from the absolutes: "when it is complete, all hints have been
 	// recomputed from absolutes".
+	sp = s.phase("refresh-leaders")
 	for _, fv := range s.order {
 		if _, ok := s.sums[fv]; ok {
 			if _, err := s.leaderOf(fv); err != nil {
+				sp.End()
 				return nil, nil, err
 			}
 		}
 	}
-	if err := s.fixDirectories(fs, root); err != nil {
+	sp.End()
+	sp = s.phase("fix-directories")
+	err = s.fixDirectories(fs, root)
+	sp.End()
+	if err != nil {
 		return nil, nil, err
 	}
 	if err := fs.Flush(); err != nil {

@@ -7,6 +7,7 @@ import (
 	"altoos/internal/disk"
 	"altoos/internal/file"
 	"altoos/internal/mem"
+	"altoos/internal/trace"
 	"altoos/internal/zone"
 )
 
@@ -63,6 +64,11 @@ func NewDisk(f *file.File, z zone.Zone, m *mem.Memory, mode Mode) (*DiskStream, 
 			z.Free(a)
 			return nil, err
 		}
+	}
+	dev := f.Device()
+	if rec := trace.Of(dev); rec != nil {
+		rec.Emit(dev.Clock().Now(), trace.KindStreamOpen, f.Name(), int64(f.FN().FV.FID), int64(mode))
+		rec.Add("stream.open", 1)
 	}
 	return s, nil
 }
@@ -247,6 +253,11 @@ func (s *DiskStream) Close() error {
 	syncErr := s.f.Sync()
 	freeErr := s.z.Free(s.buf)
 	s.closed = true
+	dev := s.f.Device()
+	if rec := trace.Of(dev); rec != nil {
+		rec.Emit(dev.Clock().Now(), trace.KindStreamClose, s.f.Name(), int64(s.f.FN().FV.FID), int64(s.mode))
+		rec.Add("stream.close", 1)
+	}
 	if flushErr != nil {
 		return flushErr
 	}

@@ -27,6 +27,7 @@ import (
 	"altoos/internal/cpu"
 	"altoos/internal/disk"
 	"altoos/internal/file"
+	"altoos/internal/trace"
 )
 
 // MsgWords is the size of the message vector ("about 20 words", §4.1).
@@ -70,6 +71,10 @@ func SaveState(fs *file.FS, c *cpu.CPU, fn file.FN) error {
 }
 
 func saveTo(f *file.File, c *cpu.CPU) error {
+	dev := f.Device()
+	sp := trace.Of(dev).Begin(dev.Clock(), trace.KindSwapOut, f.Name(), int64(f.FN().FV.FID), statePages)
+	defer sp.End()
+	trace.Of(dev).Add("swap.outload", 1)
 	// Installation: grow the file once so every later save is pure
 	// streaming writes.
 	if err := ensureSize(f); err != nil {
@@ -122,6 +127,10 @@ func LoadState(fs *file.FS, c *cpu.CPU, fn file.FN) error {
 	if int(lastPN) < statePages {
 		return fmt.Errorf("%w: %v has only %d pages", ErrNotState, fn.FV, lastPN)
 	}
+	dev := f.Device()
+	sp := trace.Of(dev).Begin(dev.Clock(), trace.KindSwapIn, f.Name(), int64(fn.FV.FID), statePages)
+	defer sp.End()
+	trace.Of(dev).Add("swap.inload", 1)
 	var page [disk.PageWords]disk.Word
 	if _, err := f.ReadPage(headerPage, &page); err != nil {
 		return err

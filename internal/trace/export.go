@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Exporters. Two formats:
+//
+//   - Chrome trace_event JSON (WriteChromeTrace): load the file in
+//     chrome://tracing (or https://ui.perfetto.dev) to see the storage
+//     stack on a timeline, one lane per subsystem, in simulated time.
+//   - A metrics snapshot (Snapshot + WriteText/WriteJSON): counters and
+//     histograms, sorted by name.
+//
+// Both are deterministic: events go out in recorded order, names in sorted
+// order, and every number formats the same way on every run. Byte-identical
+// output for identical workloads is part of the package contract.
+
+// chromeEvent is one trace_event entry. Field order fixes the JSON shape;
+// args is a map, which encoding/json marshals with sorted keys.
+type chromeEvent struct {
+	Name  string           `json:"name"`
+	Cat   string           `json:"cat"`
+	Ph    string           `json:"ph"`
+	Ts    float64          `json:"ts"`
+	Dur   *float64         `json:"dur,omitempty"`
+	Pid   int              `json:"pid"`
+	Tid   int              `json:"tid"`
+	Scope string           `json:"s,omitempty"`
+	Args  map[string]int64 `json:"args,omitempty"`
+}
+
+// lanes maps a category to its thread id, so each subsystem renders as one
+// named lane. Order here is display order in the viewer.
+var lanes = []string{"disk", "scavenge", "zone", "stream", "swap", "ether"}
+
+func laneOf(cat string) int {
+	for i, c := range lanes {
+		if c == cat {
+			return i + 1
+		}
+	}
+	return len(lanes) + 1
+}
+
+// usec converts simulated time to trace_event microseconds.
+func usec(d time.Duration) float64 { return float64(d) / 1e3 }
+
+// WriteChromeTrace writes the ring's events as a Chrome trace_event JSON
+// document, one event per line.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	writeEv := func(ev chromeEvent, last bool) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		sep := ",\n"
+		if last {
+			sep = "\n"
+		}
+		_, err = io.WriteString(bw, sep)
+		return err
+	}
+
+	events := r.Events() // nil receiver yields an empty trace
+	// Name the lanes first, so the viewer shows subsystems, not numbers.
+	for i, cat := range lanes {
+		// thread_name metadata wants a string arg; emit it by hand since
+		// chromeEvent.Args is numeric.
+		b := fmt.Sprintf(`{"name":"thread_name","cat":"__metadata","ph":"M","ts":0,"pid":1,"tid":%d,"args":{"name":%q}}`,
+			i+1, cat)
+		sep := ",\n"
+		if len(events) == 0 && i == len(lanes)-1 {
+			sep = "\n"
+		}
+		if _, err := io.WriteString(bw, b+sep); err != nil {
+			return err
+		}
+	}
+	for i, ev := range events {
+		a0n, a1n := ev.Kind.ArgNames()
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Kind.Category(),
+			Ts:   usec(ev.T),
+			Pid:  1,
+			Tid:  laneOf(ev.Kind.Category()),
+			Args: map[string]int64{a0n: ev.A0, a1n: ev.A1},
+		}
+		if ce.Name == "" {
+			ce.Name = ev.Kind.String()
+		}
+		if ev.Dur > 0 {
+			d := usec(ev.Dur)
+			ce.Ph, ce.Dur = "X", &d
+		} else {
+			ce.Ph, ce.Scope = "i", "t"
+		}
+		if err := writeEv(ce, i == len(events)-1); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// CounterSnap is one counter in a metrics snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketSnap is one non-empty histogram bucket: Count samples with
+// value < Lt (and >= the previous bucket's bound).
+type BucketSnap struct {
+	Lt    float64 `json:"lt"`
+	Count int64   `json:"count"`
+}
+
+// HistSnap is one histogram in a metrics snapshot.
+type HistSnap struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Mean returns the histogram's average sample.
+func (h HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Metrics is a point-in-time copy of the recorder's aggregates.
+type Metrics struct {
+	Events     int64         `json:"events"`
+	Dropped    int64         `json:"dropped"`
+	Counters   []CounterSnap `json:"counters"`
+	Histograms []HistSnap    `json:"histograms"`
+}
+
+// Snapshot copies the counters and histograms, sorted by name. A nil
+// recorder yields the zero Metrics.
+func (r *Recorder) Snapshot() Metrics {
+	var m Metrics
+	if r == nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.Events = r.emitted
+	m.Dropped = r.dropped
+	for name, v := range r.counters {
+		m.Counters = append(m.Counters, CounterSnap{Name: name, Value: v})
+	}
+	sort.Slice(m.Counters, func(i, j int) bool { return m.Counters[i].Name < m.Counters[j].Name })
+	for name, h := range r.hists {
+		hs := HistSnap{Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		for i, c := range h.buckets {
+			if c > 0 {
+				hs.Buckets = append(hs.Buckets, BucketSnap{Lt: float64(int64(1) << i), Count: c})
+			}
+		}
+		m.Histograms = append(m.Histograms, hs)
+	}
+	sort.Slice(m.Histograms, func(i, j int) bool { return m.Histograms[i].Name < m.Histograms[j].Name })
+	return m
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (m Metrics) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// WriteText writes the snapshot as aligned name/value lines for terminals
+// (and the Swat REPL's stats command).
+func (m Metrics) WriteText(w io.Writer) error {
+	width := len("events")
+	for _, c := range m.Counters {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, h := range m.Histograms {
+		if len(h.Name) > width {
+			width = len(h.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s %d (%d dropped)\n", width, "events", m.Events, m.Dropped); err != nil {
+		return err
+	}
+	for _, c := range m.Counters {
+		if _, err := fmt.Fprintf(w, "%-*s %d\n", width, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range m.Histograms {
+		if _, err := fmt.Fprintf(w, "%-*s n=%d mean=%.2f min=%.2f max=%.2f\n",
+			width, h.Name, h.Count, h.Mean(), h.Min, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text renders the snapshot as a string.
+func (m Metrics) Text() string {
+	var b strings.Builder
+	//altovet:allow errdiscard strings.Builder writes cannot fail
+	_ = m.WriteText(&b)
+	return b.String()
+}

@@ -1,0 +1,370 @@
+// Package trace is the flight recorder for the simulated machine: a
+// zero-dependency, deterministic event-tracing and metrics layer timed
+// exclusively off sim.Clock. The disk, scavenger, zones, streams, swapper
+// and network emit typed events into a fixed-capacity ring buffer, and
+// exporters turn the recording into a Chrome trace_event file (for
+// chrome://tracing) or a compact metrics snapshot.
+//
+// The paper explains the system almost entirely through timing arguments —
+// label checks cost "one more revolution", scavenging "takes about a
+// minute", OutLoad "about a second" — and the recorder makes those costs
+// visible per layer instead of only as a final benchmark number.
+//
+// Determinism contract: every event is stamped with *simulated* time (the
+// virtual clock the hardware models advance), never the host's wall clock,
+// and the exporters iterate in recorded or sorted order only. Two runs of
+// the same workload therefore produce byte-identical traces; a trace diff
+// is a behaviour diff. cmd/altotrace asserts this property as a test.
+//
+// A nil *Recorder is a valid no-op recorder: every method checks the
+// receiver, so instrumented hot paths pay one branch when tracing is off.
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"altoos/internal/sim"
+)
+
+// Kind is the type of one recorded event. The taxonomy covers the whole
+// storage stack, lowest layer first.
+type Kind uint8
+
+const (
+	// KindSeek is a disk arm movement (span; args: from and to cylinder).
+	KindSeek Kind = iota
+	// KindRotate is a rotational-latency wait for a sector slot (span).
+	KindRotate
+	// KindDiskOp is one whole sector operation, seek and rotation included
+	// (span; args: virtual disk address and outcome code).
+	KindDiskOp
+	// KindCheckFail is a label-check mismatch — the expected outcome when a
+	// hint proves stale (instant; args: address and failing word index).
+	KindCheckFail
+	// KindBadSector is an operation hitting an unrecoverable sector.
+	KindBadSector
+	// KindCrashWrite is a write suppressed by the simulated power failure.
+	KindCrashWrite
+	// KindCRCMismatch reports that a value read found the sector's recorded
+	// checksum stale: damage happened outside the disciplined write path.
+	KindCRCMismatch
+	// KindScavPhase is one phase of a scavenging or compaction pass (span).
+	KindScavPhase
+	// KindZoneAlloc is a free-storage allocation (args: address, words).
+	KindZoneAlloc
+	// KindZoneFree is a free-storage release (args: address, words).
+	KindZoneFree
+	// KindStreamOpen is a disk-stream open (name: leader name; args: FID).
+	KindStreamOpen
+	// KindStreamClose is a disk-stream close.
+	KindStreamClose
+	// KindSwapOut is a machine state written to a file — OutLoad and its
+	// relatives (span; args: FID).
+	KindSwapOut
+	// KindSwapIn is a machine state restored from a file — InLoad, Boot,
+	// the debugger's Resume (span; args: FID).
+	KindSwapIn
+	// KindEtherSend is a packet serialized onto the wire (span; args:
+	// destination, words).
+	KindEtherSend
+	// KindEtherCollision is a send started while the medium was busy.
+	KindEtherCollision
+	// KindEtherRecv is a packet taken off a station's input queue.
+	KindEtherRecv
+
+	numKinds
+)
+
+// kindInfo fixes each kind's display name, category lane and argument
+// names. The table is what keeps the exporters deterministic: nothing about
+// an event's presentation is computed from runtime state.
+var kindInfo = [numKinds]struct {
+	name, cat, a0, a1 string
+}{
+	KindSeek:           {"seek", "disk", "from_cyl", "to_cyl"},
+	KindRotate:         {"rotate", "disk", "slot", "vda"},
+	KindDiskOp:         {"op", "disk", "vda", "outcome"},
+	KindCheckFail:      {"check-fail", "disk", "vda", "word"},
+	KindBadSector:      {"bad-sector", "disk", "vda", "outcome"},
+	KindCrashWrite:     {"crash-write", "disk", "vda", "outcome"},
+	KindCRCMismatch:    {"crc-mismatch", "disk", "vda", "outcome"},
+	KindScavPhase:      {"phase", "scavenge", "a0", "a1"},
+	KindZoneAlloc:      {"alloc", "zone", "addr", "words"},
+	KindZoneFree:       {"free", "zone", "addr", "words"},
+	KindStreamOpen:     {"open", "stream", "fid", "mode"},
+	KindStreamClose:    {"close", "stream", "fid", "mode"},
+	KindSwapOut:        {"save-state", "swap", "fid", "pages"},
+	KindSwapIn:         {"load-state", "swap", "fid", "pages"},
+	KindEtherSend:      {"send", "ether", "dst", "words"},
+	KindEtherCollision: {"collision", "ether", "dst", "src"},
+	KindEtherRecv:      {"recv", "ether", "src", "words"},
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindInfo) {
+		return kindInfo[k].name
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Category returns the subsystem lane the kind belongs to.
+func (k Kind) Category() string {
+	if int(k) < len(kindInfo) {
+		return kindInfo[k].cat
+	}
+	return "?"
+}
+
+// ArgNames returns the display names of the event's two numeric arguments.
+func (k Kind) ArgNames() (a0, a1 string) {
+	if int(k) < len(kindInfo) {
+		return kindInfo[k].a0, kindInfo[k].a1
+	}
+	return "a0", "a1"
+}
+
+// Event is one recorded occurrence. T is simulated time; Dur is zero for
+// instants and positive for spans. Name carries kind-specific detail (the
+// operation shape, a phase or file name); A0/A1 carry numeric detail whose
+// meaning the kind's ArgNames declare.
+type Event struct {
+	T    time.Duration
+	Dur  time.Duration
+	Kind Kind
+	Name string
+	A0   int64
+	A1   int64
+}
+
+// DefaultEvents is the ring capacity used when New is given none.
+const DefaultEvents = 1 << 16
+
+// Recorder is the flight recorder: a bounded ring of events plus named
+// counters and histograms. It is safe for concurrent use and never calls
+// out of the package while holding its lock, so any subsystem may emit
+// while holding its own lock (it is a leaf in the lock order, like
+// sim.Clock).
+type Recorder struct {
+	mu       sync.Mutex
+	ring     []Event
+	next     int // insertion index
+	full     bool
+	emitted  int64
+	dropped  int64
+	counters map[string]int64
+	hists    map[string]*histogram
+}
+
+// New creates a recorder holding up to capacity events (DefaultEvents if
+// capacity is not positive). Counters and histograms are unbounded; only
+// the event ring evicts, oldest first.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultEvents
+	}
+	return &Recorder{
+		ring:     make([]Event, 0, capacity),
+		counters: map[string]int64{},
+		hists:    map[string]*histogram{},
+	}
+}
+
+// record appends one event, evicting the oldest when full.
+func (r *Recorder) record(ev Event) {
+	r.mu.Lock()
+	r.emitted++
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[r.next] = ev
+		r.next = (r.next + 1) % cap(r.ring)
+		r.full = true
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Emit records an instant event at the given simulated time.
+func (r *Recorder) Emit(now time.Duration, k Kind, name string, a0, a1 int64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{T: now, Kind: k, Name: name, A0: a0, A1: a1})
+}
+
+// EmitSpan records a completed interval [start, start+dur).
+func (r *Recorder) EmitSpan(start, dur time.Duration, k Kind, name string, a0, a1 int64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{T: start, Dur: dur, Kind: k, Name: name, A0: a0, A1: a1})
+}
+
+// Span is an open interval begun on a clock; End closes and records it.
+// The zero Span (and any Span begun on a nil Recorder) is a no-op.
+type Span struct {
+	r      *Recorder
+	c      *sim.Clock
+	k      Kind
+	name   string
+	a0, a1 int64
+	start  time.Duration
+}
+
+// Begin opens a span at c's current simulated time. The span is recorded
+// only when End (or EndWith) is called, as one complete event.
+func (r *Recorder) Begin(c *sim.Clock, k Kind, name string, a0, a1 int64) Span {
+	if r == nil || c == nil {
+		return Span{}
+	}
+	return Span{r: r, c: c, k: k, name: name, a0: a0, a1: a1, start: c.Now()}
+}
+
+// End closes the span at its clock's current time and records it.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.EmitSpan(s.start, s.c.Now()-s.start, s.k, s.name, s.a0, s.a1)
+}
+
+// EndWith closes the span, overriding its numeric arguments — for results
+// that are only known when the work completes.
+func (s Span) EndWith(a0, a1 int64) {
+	if s.r == nil {
+		return
+	}
+	s.r.EmitSpan(s.start, s.c.Now()-s.start, s.k, s.name, a0, a1)
+}
+
+// Add bumps a named counter.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Counter reads a named counter (zero if never bumped).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Observe adds one sample to a named histogram.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &histogram{min: v, max: v}
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// Len reports the number of events currently held in the ring.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.ring))
+	if r.full {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring...)
+	}
+	return out
+}
+
+// Reset clears the ring, counters and histograms — used between benchmark
+// iterations, like sim.Clock.Reset.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring = r.ring[:0]
+	r.next = 0
+	r.full = false
+	r.emitted = 0
+	r.dropped = 0
+	r.counters = map[string]int64{}
+	r.hists = map[string]*histogram{}
+	r.mu.Unlock()
+}
+
+// Source is implemented by objects that carry a flight recorder. The disk
+// drive is the canonical source: every layer that holds a Device — the
+// file system, the Scavenger, the swapper — reaches the system's recorder
+// through it without any new plumbing in their interfaces.
+type Source interface {
+	TraceRecorder() *Recorder
+}
+
+// Of returns the recorder carried by v, or nil (the no-op recorder) when v
+// is nil or carries none.
+func Of(v any) *Recorder {
+	if s, ok := v.(Source); ok {
+		return s.TraceRecorder()
+	}
+	return nil
+}
+
+// histogram is a deterministic log2-bucketed histogram: sample v lands in
+// bucket bits.Len64(v) (bucket 0 holds v < 1). Power-of-two buckets keep
+// the export small and the math exact for the quantities observed here —
+// revolutions, queue depths, words.
+const histBuckets = 33
+
+type histogram struct {
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [histBuckets]int64
+}
+
+func (h *histogram) observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	idx := 0
+	if v >= 1 {
+		idx = bits.Len64(uint64(v))
+		if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.buckets[idx]++
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"altoos/internal/sim"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Emit(time.Second, KindDiskOp, "op", 1, 2)
+	r.EmitSpan(0, time.Second, KindSeek, "seek", 0, 1)
+	r.Add("c", 1)
+	r.Observe("h", 3)
+	r.Reset()
+	sp := r.Begin(sim.NewClock(), KindScavPhase, "sweep", 0, 0)
+	sp.End()
+	sp.EndWith(1, 2)
+	if r.Len() != 0 || r.Counter("c") != 0 || r.Events() != nil {
+		t.Fatal("nil recorder recorded something")
+	}
+	m := r.Snapshot()
+	if m.Events != 0 || len(m.Counters) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", m)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty trace is not valid JSON: %s", buf.String())
+	}
+}
+
+func TestSpanPairing(t *testing.T) {
+	c := sim.NewClock()
+	r := New(16)
+	c.Advance(10 * time.Millisecond)
+	sp := r.Begin(c, KindScavPhase, "sweep", 0, 0)
+	c.Advance(30 * time.Millisecond)
+	sp.EndWith(7, 8)
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.T != 10*time.Millisecond || ev.Dur != 30*time.Millisecond {
+		t.Errorf("span [%v +%v], want [10ms +30ms]", ev.T, ev.Dur)
+	}
+	if ev.A0 != 7 || ev.A1 != 8 {
+		t.Errorf("EndWith args %d,%d not recorded", ev.A0, ev.A1)
+	}
+}
+
+func TestRingEvictsOldestAndCountsDropped(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(time.Duration(i), KindZoneAlloc, "", int64(i), 0)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.A0 != want {
+			t.Errorf("event %d is A0=%d, want %d (oldest-first order)", i, ev.A0, want)
+		}
+	}
+	if m := r.Snapshot(); m.Events != 10 || m.Dropped != 6 {
+		t.Errorf("emitted/dropped = %d/%d, want 10/6", m.Events, m.Dropped)
+	}
+}
+
+func TestCountersAndHistograms(t *testing.T) {
+	r := New(4)
+	r.Add("disk.check.fail", 2)
+	r.Add("disk.check.fail", 3)
+	r.Add("zone.alloc", 1)
+	for _, v := range []float64{0.5, 1, 2, 3, 1000} {
+		r.Observe("disk.op.revs", v)
+	}
+	if got := r.Counter("disk.check.fail"); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	m := r.Snapshot()
+	if len(m.Counters) != 2 || m.Counters[0].Name != "disk.check.fail" {
+		t.Errorf("counters not sorted by name: %+v", m.Counters)
+	}
+	if len(m.Histograms) != 1 {
+		t.Fatalf("got %d histograms", len(m.Histograms))
+	}
+	h := m.Histograms[0]
+	if h.Count != 5 || h.Min != 0.5 || h.Max != 1000 {
+		t.Errorf("hist n=%d min=%v max=%v", h.Count, h.Min, h.Max)
+	}
+	if want := (0.5 + 1 + 2 + 3 + 1000) / 5; h.Mean() != want {
+		t.Errorf("mean = %v, want %v", h.Mean(), want)
+	}
+	var total int64
+	for _, b := range h.Buckets {
+		total += b.Count
+	}
+	if total != 5 {
+		t.Errorf("bucket counts sum to %d, want 5", total)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	r := New(16)
+	r.EmitSpan(40*time.Millisecond, 5*time.Millisecond, KindDiskOp, "check/read", 123, 0)
+	r.Emit(45*time.Millisecond, KindCheckFail, "label", 123, 2)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 6 lane-name metadata events + 2 real ones.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("got %d trace events, want 8", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[6]
+	if span["ph"] != "X" || span["ts"].(float64) != 40000 || span["dur"].(float64) != 5000 {
+		t.Errorf("span event wrong: %v", span)
+	}
+	inst := doc.TraceEvents[7]
+	if inst["ph"] != "i" || inst["cat"] != "disk" {
+		t.Errorf("instant event wrong: %v", inst)
+	}
+}
+
+// TestExportDeterminism is the package-level contract: identical emission
+// sequences yield byte-identical exports (cmd/altotrace asserts the same
+// end-to-end over whole experiments).
+func TestExportDeterminism(t *testing.T) {
+	build := func() *Recorder {
+		r := New(64)
+		for i := 0; i < 40; i++ {
+			r.Emit(time.Duration(i)*time.Millisecond, Kind(i%int(numKinds)), "e", int64(i), int64(i*i))
+			r.Add("counter.a", int64(i))
+			r.Add("counter.b", 1)
+			r.Observe("hist", float64(i))
+		}
+		return r
+	}
+	var t1, t2, m1, m2 bytes.Buffer
+	a, b := build(), build()
+	if err := a.WriteChromeTrace(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteChromeTrace(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Error("identical recordings exported different trace bytes")
+	}
+	if err := a.Snapshot().WriteJSON(&m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteJSON(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Error("identical recordings exported different metrics bytes")
+	}
+}
+
+func TestMetricsText(t *testing.T) {
+	r := New(4)
+	r.Add("zone.alloc", 3)
+	r.Observe("ether.queue.depth", 2)
+	text := r.Snapshot().Text()
+	for _, want := range []string{"events", "zone.alloc", "3", "ether.queue.depth", "n=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text snapshot missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New(4)
+	r.Emit(0, KindZoneAlloc, "", 0, 0)
+	r.Add("c", 1)
+	r.Observe("h", 1)
+	r.Reset()
+	if r.Len() != 0 || r.Counter("c") != 0 {
+		t.Error("Reset left state behind")
+	}
+	if m := r.Snapshot(); m.Events != 0 || len(m.Histograms) != 0 {
+		t.Errorf("Reset left aggregates: %+v", m)
+	}
+}
+
+func TestKindStringsTotal(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if k.Category() == "?" {
+			t.Errorf("kind %v has no category", k)
+		}
+		a0, a1 := k.ArgNames()
+		if a0 == "" || a1 == "" {
+			t.Errorf("kind %v has unnamed args", k)
+		}
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 
 	"altoos/internal/mem"
+	"altoos/internal/sim"
+	"altoos/internal/trace"
 )
 
 // Zone is the abstract free-storage object: anything that can allocate and
@@ -58,6 +60,35 @@ type MemZone struct {
 	base  mem.Addr
 	size  int // words
 	stats Stats
+
+	// rec/clk stamp alloc/free events when a flight recorder is attached;
+	// both nil when tracing is off. A zone is single-threaded like the
+	// machine it models, so no lock guards them.
+	rec *trace.Recorder
+	clk *sim.Clock
+}
+
+// SetTrace attaches a flight recorder and the clock that stamps its events
+// (both nil to detach). core.System calls this when it builds the system
+// free-storage zone.
+func (z *MemZone) SetTrace(r *trace.Recorder, c *sim.Clock) {
+	z.rec = r
+	z.clk = c
+}
+
+// emit records one zone event plus the occupancy sample that makes
+// fragmentation visible over time.
+func (z *MemZone) emit(k trace.Kind, a mem.Addr, words int) {
+	if z.rec == nil || z.clk == nil {
+		return
+	}
+	z.rec.Emit(z.clk.Now(), k, "", int64(a), int64(words))
+	if k == trace.KindZoneAlloc {
+		z.rec.Add("zone.alloc", 1)
+	} else {
+		z.rec.Add("zone.free", 1)
+	}
+	z.rec.Observe("zone.inuse.words", float64(z.stats.InUse))
 }
 
 // Stats describes a zone's activity and occupancy.
@@ -166,12 +197,16 @@ func (z *MemZone) Alloc(n int) (mem.Addr, error) {
 				z.m.Store(a, mem.Word(size)|allocBit)
 				z.stats.Allocs++
 				z.stats.InUse += size
+				z.emit(trace.KindZoneAlloc, a+hdrWords, size)
 				return a + hdrWords, nil
 			}
 		}
 		off += size
 	}
 	z.stats.Failures++
+	if z.rec != nil {
+		z.rec.Add("zone.alloc.fail", 1)
+	}
 	return 0, fmt.Errorf("%w: %d words (largest free %d)", ErrNoRoom, n, z.Avail())
 }
 
@@ -217,6 +252,7 @@ func (z *MemZone) Free(a mem.Addr) error {
 	z.m.Store(hdr, mem.Word(size)) // clear alloc bit
 	z.stats.Frees++
 	z.stats.InUse -= size
+	z.emit(trace.KindZoneFree, a, size)
 	return nil
 }
 
