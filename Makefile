@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet altovet test race bench trace-check fmt
+.PHONY: check build vet altovet test race bench bench-diff trace-check fmt
 
-check: build vet altovet trace-check race
+check: build vet altovet trace-check race bench-diff
 
 build:
 	$(GO) build ./...
@@ -30,9 +30,18 @@ trace-check:
 	$(GO) test -run TestTracesAreByteIdentical ./cmd/altotrace
 
 # bench runs every experiment benchmark once and keeps the raw output as a
-# dated snapshot, so regressions in the simulated quantities are diffable.
+# timestamped snapshot, so regressions in the simulated quantities are
+# diffable. (Timestamp, not just date: a same-day rerun must not overwrite
+# the snapshot it would be compared against.)
 bench:
-	$(GO) test -bench . -benchtime 1x -benchmem . | tee BENCH_$$(date +%Y-%m-%d).json
+	$(GO) test -bench . -benchtime 1x -benchmem . | tee BENCH_$$(date +%Y-%m-%d_%H%M%S).json
+
+# bench-diff compares the two latest snapshots and fails on any regression
+# in a simulated-time metric; host-dependent costs (ns/op, allocs/op) are
+# ignored. With fewer than two snapshots there is nothing to compare and it
+# passes.
+bench-diff:
+	$(GO) run ./cmd/benchdiff
 
 fmt:
 	gofmt -l -w .

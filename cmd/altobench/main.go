@@ -5,14 +5,24 @@
 //
 // Usage:
 //
+//	altobench [-cpuprofile file] [-memprofile file] [ids...]
+//
 //	altobench           run all experiments
 //	altobench E3 E6     run a subset by id
+//
+// The profile flags capture host-side pprof profiles of the experiment run:
+// the simulated quantities never depend on the host, but the wall-clock cost
+// of producing them does, and the profiles are how the storage hot path is
+// kept allocation-free (see DESIGN.md, "Chained transfers").
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"altoos/internal/experiments"
@@ -20,6 +30,22 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to `file`")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	funcs := map[string]func() (*experiments.Result, error){
 		"E1": experiments.E1RawTransfer,
 		"E2": experiments.E2AllocFreeCost,
@@ -33,7 +59,7 @@ func main() {
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 
-	want := os.Args[1:]
+	want := flag.Args()
 	if len(want) == 0 {
 		want = order
 	}
@@ -51,5 +77,17 @@ func main() {
 			log.Fatalf("%s: %v", id, err)
 		}
 		fmt.Println(res.Table())
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // flush accounting so the profile shows live + total allocation
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
 	}
 }

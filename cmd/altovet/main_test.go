@@ -46,6 +46,7 @@ func TestFixtures(t *testing.T) {
 		virtual  string
 	}{
 		{"determinism", "determfix", "altoos/internal/determfix"},
+		{"determinism", "schedfix", "altoos/internal/disk"},
 		{"wordwidth", "widthfix", "altoos/internal/widthfix"},
 		{"labelcheck", "labelfix", "altoos/internal/labelfix"},
 		{"errdiscard", "errfix", "altoos/internal/errfix"},
@@ -72,6 +73,22 @@ func TestDeterminismScope(t *testing.T) {
 	diags := vet.Run(pkg, []*vet.Analyzer{analyzerByName(t, "determinism")})
 	for _, d := range diags {
 		t.Errorf("determinism fired in exempt cmd/ scope: %s", d)
+	}
+}
+
+// TestMapRangeScope loads the scheduler fixture outside internal/disk: the
+// map-iteration rule is scoped to the disk layer, so only the wall-clock
+// finding survives the move.
+func TestMapRangeScope(t *testing.T) {
+	pkg := loadFixture(t, "schedfix", "altoos/internal/file")
+	diags := vet.Run(pkg, []*vet.Analyzer{analyzerByName(t, "determinism")})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "map iteration") {
+			t.Errorf("map-range rule fired outside internal/disk: %s", d)
+		}
+	}
+	if len(diags) != 1 {
+		t.Errorf("got %d findings outside internal/disk, want only the time.Now one: %v", len(diags), diags)
 	}
 }
 

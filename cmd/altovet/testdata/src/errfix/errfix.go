@@ -39,3 +39,18 @@ func justified(f *file.File) disk.Word {
 func deferred(f *file.File) {
 	defer f.Sync()
 }
+
+// sloppyChain drops chain results: a []error carries one outcome per
+// operation, and every way of losing it is a finding.
+func sloppyChain(d *disk.Drive, ops []disk.Op) {
+	d.DoChain(ops, disk.Ordered)             // want "result of DoChain dropped"
+	_ = d.DoChain(ops, disk.FreeOrder)       // want "DoChain's chain errors discarded"
+	disk.DoChainOn(d, ops, disk.Ordered)     // want "result of DoChainOn dropped"
+	_ = disk.DoChainOn(d, ops, disk.Ordered) // want "DoChainOn's chain errors discarded"
+}
+
+// carefulChain examines the per-operation outcomes.
+func carefulChain(d *disk.Drive, ops []disk.Op) error {
+	errs := d.DoChain(ops, disk.FreeOrder)
+	return disk.FirstChainError(errs)
+}

@@ -1,0 +1,41 @@
+// Package schedfix exercises the determinism analyzer's disk-layer rules.
+// The fixture is loaded under the virtual path altoos/internal/disk, where
+// the rotational scheduler lives: there, beyond the usual wall-clock ban,
+// map iteration order is a finding, because the scheduler's transfer order
+// must replay byte-identically and Go randomizes map ranges.
+package schedfix
+
+import (
+	"sort"
+	"time"
+)
+
+type op struct {
+	addr uint16
+}
+
+// badSchedule derives a transfer order from a map range and a wall-clock
+// read — both make two runs of the same workload schedule differently.
+func badSchedule(pending map[uint16]op) []op {
+	var out []op
+	for _, o := range pending { // want "map iteration order is randomized"
+		out = append(out, o)
+	}
+	deadline := time.Now() // want "time.Now reads the host wall clock"
+	_ = deadline
+	return out
+}
+
+// goodSchedule orders transfers by disk address alone: deterministic input,
+// deterministic sort, no clock but the simulated one (not needed here).
+func goodSchedule(pending []op) []op {
+	sort.Slice(pending, func(i, j int) bool { return pending[i].addr < pending[j].addr })
+	return pending
+}
+
+// goodLookup shows the boundary of the rule: indexing a map is fine — only
+// iteration order is randomized, and a keyed lookup has no order at all.
+func goodLookup(hints map[uint16]op, k uint16) (op, bool) {
+	o, ok := hints[k]
+	return o, ok
+}

@@ -150,17 +150,17 @@ func (d *Directory) Load() ([]Entry, error) {
 			if nameLen > 2*(length-entryFixed) {
 				return entries, fmt.Errorf("%w: name length %d in %d-word entry", ErrFormat, nameLen, length)
 			}
-			name := make([]byte, nameLen)
+			var nb [maxName + 2]byte // stack scratch: one allocation per name, not two
 			for j := 0; j < nameLen; j++ {
 				w := buf[i+entryFixed+j/2]
 				if j%2 == 0 {
-					name[j] = byte(w >> 8)
+					nb[j] = byte(w >> 8)
 				} else {
-					name[j] = byte(w)
+					nb[j] = byte(w)
 				}
 			}
 			entries = append(entries, Entry{
-				Name: string(name),
+				Name: string(nb[:nameLen]),
 				FN: file.FN{
 					FV: disk.FV{
 						FID:     disk.FID(buf[i+1])<<16 | disk.FID(buf[i+2]),
@@ -198,21 +198,7 @@ func (d *Directory) store(entries []Entry) error {
 			used = disk.PageWords // the pad consumes the rest of the page
 			flush()
 		}
-		cur[used] = disk.Word(length)
-		cur[used+1] = disk.Word(e.FN.FV.FID >> 16)
-		cur[used+2] = disk.Word(e.FN.FV.FID)
-		cur[used+3] = e.FN.FV.Version
-		cur[used+4] = disk.Word(e.FN.Leader)
-		cur[used+5] = disk.Word(len(e.Name))
-		for j := 0; j < len(e.Name); j++ {
-			w := &cur[used+entryFixed+j/2]
-			if j%2 == 0 {
-				*w |= disk.Word(e.Name[j]) << 8
-			} else {
-				*w |= disk.Word(e.Name[j])
-			}
-		}
-		used += length
+		used = putEntry(&cur, used, e)
 	}
 	flush()
 
@@ -253,6 +239,47 @@ func (d *Directory) store(entries []Entry) error {
 		}
 	}
 	return d.f.Sync()
+}
+
+// putEntry serializes one entry into the page at word offset used, which the
+// caller has verified it fits at, and returns the offset after it. Both store
+// and the appending Insert go through it, so their layouts are identical.
+func putEntry(cur *[disk.PageWords]disk.Word, used int, e Entry) int {
+	length := entryFixed + (len(e.Name)+1)/2
+	cur[used] = disk.Word(length)
+	cur[used+1] = disk.Word(e.FN.FV.FID >> 16)
+	cur[used+2] = disk.Word(e.FN.FV.FID)
+	cur[used+3] = e.FN.FV.Version
+	cur[used+4] = disk.Word(e.FN.Leader)
+	cur[used+5] = disk.Word(len(e.Name))
+	for j := 0; j < len(e.Name); j++ {
+		w := &cur[used+entryFixed+j/2]
+		if j%2 == 0 {
+			*w |= disk.Word(e.Name[j]) << 8
+		} else {
+			*w |= disk.Word(e.Name[j])
+		}
+	}
+	return used + length
+}
+
+// entryNameIs compares the name of the entry at word offset i against name
+// without decoding it into a buffer.
+func entryNameIs(buf *[disk.PageWords]disk.Word, i int, name string) bool {
+	if int(buf[i+5]) != len(name) {
+		return false
+	}
+	for j := 0; j < len(name); j++ {
+		w := buf[i+entryFixed+j/2]
+		b := byte(w)
+		if j%2 == 0 {
+			b = byte(w >> 8)
+		}
+		if b != name[j] {
+			return false
+		}
+	}
+	return true
 }
 
 // pageTailLen returns the byte length store would assign the final page.
@@ -302,18 +329,84 @@ func (d *Directory) LookupFV(fv disk.FV) (file.FN, error) {
 }
 
 // Insert binds name to fn. The name must not already be present.
+//
+// Insert appends: it scans the existing pages once (checking for the name in
+// passing) and rewrites only the final page — plus one fresh page when the
+// entry does not fit — rather than re-serializing the whole directory. The
+// layout it produces is exactly the one store would.
 func (d *Directory) Insert(name string, fn file.FN) error {
-	entries, err := d.Load()
-	if err != nil {
-		return err
+	if len(name) > maxName {
+		return fmt.Errorf("%w: name %q too long", file.ErrBadArg, name)
 	}
-	for _, e := range entries {
-		if e.Name == name {
-			return fmt.Errorf("%w: %q", ErrExists, name)
+	length := entryFixed + (len(name)+1)/2
+	lastPN := d.f.LastPN()
+	var buf [disk.PageWords]disk.Word
+	endPN, endAt := disk.Word(0), 0
+scan:
+	for pn := disk.Word(1); pn <= lastPN; pn++ {
+		buf = [disk.PageWords]disk.Word{}
+		n, err := d.f.ReadPage(pn, &buf)
+		if err != nil {
+			return err
+		}
+		words := (n + 1) / 2
+		i := 0
+		for i < words {
+			switch buf[i] {
+			case endMark:
+				endPN, endAt = pn, i
+				break scan
+			case padMark:
+				continue scan
+			}
+			l := int(buf[i])
+			if l < entryFixed+1 || i+l > words {
+				break scan // malformed: let the slow path report it
+			}
+			if entryNameIs(&buf, i, name) {
+				return fmt.Errorf("%w: %q", ErrExists, name)
+			}
+			i += l
 		}
 	}
-	entries = append(entries, Entry{Name: name, FN: fn})
-	return d.store(entries)
+	if endPN == 0 || endPN != lastPN {
+		// No end mark where the appending fast path expects one (a damaged
+		// or oddly shaped directory): fall back to the full rewrite, which
+		// also normalizes the layout.
+		entries, err := d.Load()
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.Name == name {
+				return fmt.Errorf("%w: %q", ErrExists, name)
+			}
+		}
+		entries = append(entries, Entry{Name: name, FN: fn})
+		return d.store(entries)
+	}
+
+	e := Entry{Name: name, FN: fn}
+	if endAt+length+1 > disk.PageWords { // +1 for the end mark
+		// Pad the tail page to a full interior page, then start a new tail.
+		buf[endAt] = padMark
+		if err := d.f.WritePage(endPN, &buf, disk.PageBytes); err != nil {
+			return err
+		}
+		buf = [disk.PageWords]disk.Word{}
+		used := putEntry(&buf, 0, e)
+		buf[used] = endMark
+		if err := d.f.WritePage(endPN+1, &buf, pageTailLen(buf)); err != nil {
+			return err
+		}
+	} else {
+		used := putEntry(&buf, endAt, e)
+		buf[used] = endMark
+		if err := d.f.WritePage(endPN, &buf, pageTailLen(buf)); err != nil {
+			return err
+		}
+	}
+	return d.f.Sync()
 }
 
 // Update rebinds name to fn (or inserts it if absent) — used to refresh a

@@ -1,0 +1,219 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"altoos/internal/sim"
+	"altoos/internal/trace"
+)
+
+// readOps builds a chain of plain label reads for addrs, backed by lbls.
+func readOps(addrs []VDA, lbls [][LabelWords]Word) []Op {
+	ops := make([]Op, len(addrs))
+	for i, a := range addrs {
+		ops[i] = Op{Addr: a, Label: Read, LabelData: &lbls[i]}
+	}
+	return ops
+}
+
+func TestChainOrderedPreservesOrderAndAborts(t *testing.T) {
+	d := newTestDrive(t)
+	var v [PageWords]Word
+	fill(&v, 0x100)
+	if err := Allocate(d, 3, testLabel(1), &v); err != nil {
+		t.Fatal(err)
+	}
+
+	// Op 0 succeeds, op 1's check fails (sector 5 is free, not testLabel),
+	// op 2 must never run: its write would claim sector 7.
+	pat0 := freeLabelWords
+	pat1 := testLabel(9).Words()
+	lbl2 := testLabel(2).Words()
+	ops := []Op{
+		{Addr: 4, Label: Check, LabelData: &pat0},
+		{Addr: 5, Label: Check, LabelData: &pat1},
+		{Addr: 7, Label: Write, LabelData: &lbl2, Value: Write, ValueData: &v},
+	}
+	errs := d.DoChain(ops, Ordered)
+	if errs == nil {
+		t.Fatal("expected errors from chain with failing check")
+	}
+	if errs[0] != nil {
+		t.Errorf("op 0: %v, want success", errs[0])
+	}
+	if !IsCheck(errs[1]) {
+		t.Errorf("op 1: %v, want check failure", errs[1])
+	}
+	if !errors.Is(errs[2], ErrChainAborted) {
+		t.Errorf("op 2: %v, want ErrChainAborted", errs[2])
+	}
+	if got, _ := d.PeekLabel(7); !IsFreeLabel(got) {
+		t.Error("aborted op 2 wrote its label anyway")
+	}
+	if err := FirstChainError(errs); !IsCheck(err) {
+		t.Errorf("FirstChainError = %v, want the check failure", err)
+	}
+}
+
+func TestChainFreeOrderRunsEveryOpAndMapsErrors(t *testing.T) {
+	d := newTestDrive(t)
+	// Scattered reads plus one failing check; free order must execute all
+	// of them and report the failure at the failing op's (post-reorder)
+	// position.
+	addrs := []VDA{90, 7, 55, 20}
+	lbls := make([][LabelWords]Word, len(addrs))
+	ops := readOps(addrs, lbls)
+	bad := testLabel(3).Words()
+	ops = append(ops, Op{Addr: 33, Label: Check, LabelData: &bad})
+
+	errs := d.DoChain(ops, FreeOrder)
+	if errs == nil {
+		t.Fatal("expected errors from chain with failing check")
+	}
+	for i := range ops {
+		if ops[i].Addr == 33 {
+			if !IsCheck(errs[i]) {
+				t.Errorf("op at addr 33: %v, want check failure", errs[i])
+			}
+		} else if errs[i] != nil {
+			t.Errorf("op at addr %d: %v, want success (free order must not abort)", ops[i].Addr, errs[i])
+		}
+	}
+}
+
+func TestChainFreeOrderSchedulerIsDeterministic(t *testing.T) {
+	run := func() ([]VDA, time.Duration) {
+		d := newTestDrive(t)
+		d.Clock().Advance(7 * time.Millisecond) // mid-rotation arrival
+		addrs := make([]VDA, 0, 36)
+		for i := 0; i < 36; i++ {
+			addrs = append(addrs, VDA((i*17+5)%120)) // scrambled, with repeats across tracks
+		}
+		lbls := make([][LabelWords]Word, len(addrs))
+		ops := readOps(addrs, lbls)
+		start := d.Clock().Now()
+		if errs := d.DoChain(ops, FreeOrder); errs != nil {
+			t.Fatalf("chain failed: %v", FirstChainError(errs))
+		}
+		order := make([]VDA, len(ops))
+		for i := range ops {
+			order[i] = ops[i].Addr
+		}
+		return order, d.Clock().Now() - start
+	}
+	o1, t1 := run()
+	o2, t2 := run()
+	if t1 != t2 {
+		t.Errorf("elapsed differs between identical runs: %v vs %v", t1, t2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("schedule differs at %d: %d vs %d", i, o1[i], o2[i])
+		}
+	}
+	// The elevator visits tracks in ascending order; within a track the
+	// slots are a rotation of ascending order (at most one wrap point),
+	// chosen by the arrival phase.
+	g := Diablo31()
+	spt := g.SectorsPerTrack
+	for i := 1; i < len(o1); i++ {
+		prevTrack, curTrack := int(o1[i-1])/spt, int(o1[i])/spt
+		if curTrack < prevTrack {
+			t.Fatalf("schedule visits track %d after track %d: %v", curTrack, prevTrack, o1)
+		}
+	}
+	for i, j := 0, 0; i < len(o1); i = j {
+		track := int(o1[i]) / spt
+		for j = i; j < len(o1) && int(o1[j])/spt == track; j++ {
+		}
+		wraps := 0
+		for k := i + 1; k < j; k++ {
+			if o1[k] < o1[k-1] {
+				wraps++
+			}
+		}
+		if wraps > 1 {
+			t.Fatalf("track %d run is not a single rotation of slot order: %v", track, o1[i:j])
+		}
+	}
+}
+
+func TestChainFreeOrderBeatsOrderedOnScatteredBatch(t *testing.T) {
+	elapsed := func(mode ChainMode) time.Duration {
+		d := newTestDrive(t)
+		// Slots visited in reverse order on one track: worst case for
+		// in-order service, one revolution when sorted.
+		addrs := make([]VDA, 0, 12)
+		for s := 11; s >= 0; s-- {
+			addrs = append(addrs, VDA(s))
+		}
+		lbls := make([][LabelWords]Word, len(addrs))
+		ops := readOps(addrs, lbls)
+		start := d.Clock().Now()
+		if errs := d.DoChain(ops, mode); errs != nil {
+			t.Fatalf("chain failed: %v", FirstChainError(errs))
+		}
+		return d.Clock().Now() - start
+	}
+	ordered := elapsed(Ordered)
+	free := elapsed(FreeOrder)
+	if free >= ordered {
+		t.Errorf("free order (%v) not faster than ordered (%v) on reversed batch", free, ordered)
+	}
+	g := Diablo31()
+	if want := 12 * g.SectorTime(); free != want {
+		t.Errorf("free-order reversed track took %v, want one pass = %v", free, want)
+	}
+}
+
+func TestChainTraceEvents(t *testing.T) {
+	d := newTestDrive(t)
+	rec := trace.New(256)
+	d.SetRecorder(rec)
+	lbls := make([][LabelWords]Word, 3)
+	ops := readOps([]VDA{1, 2, 3}, lbls)
+	if errs := d.DoChain(ops, Ordered); errs != nil {
+		t.Fatalf("chain failed: %v", FirstChainError(errs))
+	}
+	if n := countKind(rec, trace.KindDiskChain); n != 1 {
+		t.Errorf("KindDiskChain events = %d, want 1", n)
+	}
+	if n := countKind(rec, trace.KindDiskOp); n != 3 {
+		t.Errorf("KindDiskOp events = %d, want 3", n)
+	}
+	if c := rec.Counter("disk.chains"); c != 1 {
+		t.Errorf("disk.chains counter = %d, want 1", c)
+	}
+	if got := d.Stats().Chains; got != 1 {
+		t.Errorf("Stats.Chains = %d, want 1", got)
+	}
+}
+
+func TestDoChainOnFallsBackForPlainDevices(t *testing.T) {
+	d := newTestDrive(t)
+	dev := plainDevice{d} // hides DoChain
+	pat := testLabel(9).Words()
+	var lbl [LabelWords]Word
+	ops := []Op{
+		{Addr: 5, Label: Check, LabelData: &pat},
+		{Addr: 6, Label: Read, LabelData: &lbl},
+	}
+	errs := DoChainOn(dev, ops, Ordered)
+	if errs == nil {
+		t.Fatal("expected errors")
+	}
+	if !IsCheck(errs[0]) || !errors.Is(errs[1], ErrChainAborted) {
+		t.Errorf("fallback semantics differ: %v", errs)
+	}
+}
+
+// plainDevice wraps a Drive exposing only the four Device methods, the way
+// a custom §5.2 device would look to the standard packages.
+type plainDevice struct{ d *Drive }
+
+func (p plainDevice) Do(op *Op) error    { return p.d.Do(op) }
+func (p plainDevice) Geometry() Geometry { return p.d.Geometry() }
+func (p plainDevice) Pack() Word         { return p.d.Pack() }
+func (p plainDevice) Clock() *sim.Clock  { return p.d.Clock() }

@@ -115,6 +115,9 @@ var (
 // IsCheck reports whether err is a check failure, the expected outcome when
 // a hint proves stale.
 func IsCheck(err error) bool {
+	if err == nil {
+		return false // fast path: keeps the no-error case allocation-free
+	}
 	var ce *CheckError
 	return errors.As(err, &ce)
 }
@@ -124,6 +127,7 @@ func IsCheck(err error) bool {
 // allocation and freeing.
 type Stats struct {
 	Ops       int64
+	Chains    int64
 	Seeks     int64
 	Reads     int64
 	Writes    int64
@@ -138,8 +142,9 @@ func (s Stats) Revolutions(g Geometry) float64 {
 }
 
 // sector is the in-memory image of one disk sector. vcrc is a checksum of
-// the value words, maintained by every disciplined write (format, Write
-// actions, image load) and deliberately left stale by the fault injectors:
+// the value words, computed lazily when a flight recorder first attaches
+// (Drive.vcrcValid) and from then on maintained by every disciplined write
+// (Write actions, image load) and deliberately left stale by the fault injectors:
 // a mismatch found on a later read means damage happened outside the
 // label-checked write path. It is bookkeeping for the flight recorder only
 // — detection never changes an operation's outcome.
@@ -178,6 +183,12 @@ type Drive struct {
 	// every emission site pays one branch. The recorder is a lock-order
 	// leaf, so emitting under d.mu is safe.
 	rec *trace.Recorder
+
+	// vcrcValid reports that every sector's vcrc matches its value (minus
+	// deliberate fault-injector staleness). The checksums exist only for
+	// the flight recorder, so they are computed lazily when a recorder is
+	// first attached; an untraced run never pays for them.
+	vcrcValid bool
 
 	// crashAfterWrites, when >= 0, counts down on each write action; when it
 	// reaches zero the drive behaves as if power failed: the write and all
@@ -225,10 +236,7 @@ func NewDrive(g Geometry, pack Word, clock *sim.Clock) (*Drive, error) {
 	for i := range d.sectors {
 		d.sectors[i].header = Header{Pack: pack, Addr: VDA(i)}.Words()
 		d.sectors[i].label = freeLabelWords
-		for j := range d.sectors[i].value {
-			d.sectors[i].value[j] = 0xFFFF
-		}
-		d.sectors[i].vcrc = valueCRC(d.sectors[i].value[:])
+		d.sectors[i].value = onesValue // block copy: this loop is format time
 	}
 	return d, nil
 }
@@ -240,6 +248,14 @@ func (d *Drive) SetRecorder(r *trace.Recorder) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.rec = r
+	if r != nil && !d.vcrcValid {
+		// First attachment: bring every checksum up to date with the pack
+		// as it stands, so later mismatches mean post-attachment damage.
+		for i := range d.sectors {
+			d.sectors[i].vcrc = valueCRC(d.sectors[i].value[:])
+		}
+		d.vcrcValid = true
+	}
 }
 
 // TraceRecorder implements trace.Source.
@@ -371,10 +387,32 @@ func (d *Drive) traceOp(op *Op, start time.Duration, err error) {
 	default:
 		outcome = opError
 	}
-	name := op.Header.String() + "/" + op.Label.String() + "/" + op.Value.String()
-	d.rec.EmitSpan(start, now-start, trace.KindDiskOp, name, int64(op.Addr), outcome)
+	d.rec.EmitSpan(start, now-start, trace.KindDiskOp, opName(op), int64(op.Addr), outcome)
 	d.rec.Add("disk.ops", 1)
 	d.rec.Observe("disk.op.revs", float64(now-start)/float64(d.geom.RevTime))
+}
+
+// opNames precomputes the "header/label/value" action triple for every
+// operation shape, so tracing an op does not build a string per sector.
+// Index: 16*header + 4*label + value; validate has already rejected any
+// action above Write.
+var opNames = func() (t [64]string) {
+	for h := None; h <= Write; h++ {
+		for l := None; l <= Write; l++ {
+			for v := None; v <= Write; v++ {
+				t[16*uint8(h)+4*uint8(l)+uint8(v)] = h.String() + "/" + l.String() + "/" + v.String()
+			}
+		}
+	}
+	return t
+}()
+
+func opName(op *Op) string {
+	i := 16*uint8(op.Header) + 4*uint8(op.Label) + uint8(op.Value)
+	if int(i) < len(opNames) {
+		return opNames[i]
+	}
+	return "?"
 }
 
 func slice2(p *[HeaderWords]Word) []Word {
@@ -451,7 +489,7 @@ func (d *Drive) doPart(addr VDA, part Part, a Action, dst, mem []Word) error {
 		}
 		d.stats.Writes++
 		copy(dst, mem)
-		if part == PartValue {
+		if part == PartValue && d.vcrcValid {
 			d.sectors[addr].vcrc = valueCRC(dst)
 		}
 		return nil

@@ -133,6 +133,7 @@ func LoadImage(r io.Reader, clock *sim.Clock) (*Drive, error) {
 		// value as loaded, so only post-load damage can trip it.
 		s.vcrc = valueCRC(s.value[:])
 	}
+	d.vcrcValid = true
 	return d, nil
 }
 

@@ -108,6 +108,16 @@ func Allocate(dev Device, addr VDA, newLabel Label, v *[PageWords]Word) error {
 	})
 }
 
+// onesValue is the all-ones value pattern written into a freed page. Write
+// actions only read the caller's buffer, so one shared read-only copy
+// serves every Free.
+var onesValue = func() (v [PageWords]Word) {
+	for i := range v {
+		v[i] = 0xFFFF
+	}
+	return v
+}()
+
 // Free releases the page named by expect: its full name must be given, the
 // check is that the label is the right one, and then ones are written into
 // label and value (§3.3). One revolution.
@@ -117,16 +127,12 @@ func Free(dev Device, addr VDA, expect Label) error {
 		return err
 	}
 	lbl := freeLabelWords
-	var ones [PageWords]Word
-	for i := range ones {
-		ones[i] = 0xFFFF
-	}
 	return dev.Do(&Op{
 		Addr:      addr,
 		Label:     Write,
 		LabelData: &lbl,
 		Value:     Write,
-		ValueData: &ones,
+		ValueData: &onesValue,
 	})
 }
 
@@ -148,4 +154,44 @@ func Relabel(dev Device, addr VDA, expect, newLabel Label, v *[PageWords]Word) e
 		Value:     Write,
 		ValueData: v,
 	})
+}
+
+// OpScratch holds reusable operation and pattern storage for the chained
+// forms of the helpers above. The storage layer's hot paths keep one
+// OpScratch per long-lived handle (a file handle, a scavenger) and reuse it
+// for every allocate/free/relabel, so the steady state allocates nothing;
+// the package-level helpers remain for one-shot callers. An OpScratch is
+// not safe for concurrent use — neither is the single-user machine.
+type OpScratch struct {
+	ops [2]Op
+	pat [LabelWords]Word
+	lbl [LabelWords]Word
+}
+
+// Allocate is the chained form of Allocate: check-free then write, issued
+// as one two-operation ordered chain. Same single revolution.
+func (s *OpScratch) Allocate(dev Device, addr VDA, newLabel Label, v *[PageWords]Word) error {
+	s.pat = freeLabelWords
+	s.lbl = newLabel.Words()
+	s.ops[0] = Op{Addr: addr, Label: Check, LabelData: &s.pat}
+	s.ops[1] = Op{Addr: addr, Label: Write, LabelData: &s.lbl, Value: Write, ValueData: v}
+	return FirstChainError(DoChainOn(dev, s.ops[:], Ordered))
+}
+
+// Free is the chained form of Free.
+func (s *OpScratch) Free(dev Device, addr VDA, expect Label) error {
+	s.pat = checkWords(expect)
+	s.lbl = freeLabelWords
+	s.ops[0] = Op{Addr: addr, Label: Check, LabelData: &s.pat}
+	s.ops[1] = Op{Addr: addr, Label: Write, LabelData: &s.lbl, Value: Write, ValueData: &onesValue}
+	return FirstChainError(DoChainOn(dev, s.ops[:], Ordered))
+}
+
+// Relabel is the chained form of Relabel.
+func (s *OpScratch) Relabel(dev Device, addr VDA, expect, newLabel Label, v *[PageWords]Word) error {
+	s.pat = checkWords(expect)
+	s.lbl = newLabel.Words()
+	s.ops[0] = Op{Addr: addr, Label: Check, LabelData: &s.pat}
+	s.ops[1] = Op{Addr: addr, Label: Write, LabelData: &s.lbl, Value: Write, ValueData: v}
+	return FirstChainError(DoChainOn(dev, s.ops[:], Ordered))
 }

@@ -26,7 +26,27 @@ type File struct {
 	lastLen int       // bytes in the last page (< PageBytes)
 	dirty   bool      // leader needs rewriting
 	deleted bool
+
+	// sc holds the handle's reusable disk-op storage. A handle is not safe
+	// for concurrent use, so one set suffices, and the page fast path then
+	// allocates nothing in steady state.
+	sc fileScratch
 }
+
+// fileScratch is reusable operation, pattern and value storage for a
+// handle's disk traffic. Recovery paths (directory resolution, scavenging)
+// run through their own freshly opened handles, so the scratch is never
+// re-entered while an access is in flight.
+type fileScratch struct {
+	op  disk.Op
+	pat [disk.LabelWords]disk.Word
+	val [disk.PageWords]disk.Word
+	dsk disk.OpScratch
+}
+
+// zeroPage is the shared all-zero value written into freshly allocated
+// pages. Write actions only read the caller's buffer.
+var zeroPage [disk.PageWords]disk.Word
 
 // FN returns the file's full name.
 func (f *File) FN() FN { return f.fn }
@@ -123,8 +143,8 @@ func (fs *FS) create(fv disk.FV, name string, leaderAt, p1At disk.VDA) (*File, e
 	// Leader first, so data pages can be placed consecutively after it —
 	// the layout the compacting scavenger also produces. A crash between
 	// the two allocations leaves a leader-only fragment for the Scavenger.
-	var ldrVal [disk.PageWords]disk.Word
-	if err := f.ldr.Encode(&ldrVal); err != nil {
+	ldrVal := &f.sc.val
+	if err := f.ldr.Encode(ldrVal); err != nil {
 		return nil, err
 	}
 	ldrLbl := disk.Label{FID: fv.FID, Version: fv.Version, PageNum: 0, Length: disk.PageBytes, Next: disk.NilVDA, Prev: disk.NilVDA}
@@ -135,7 +155,7 @@ func (fs *FS) create(fv disk.FV, name string, leaderAt, p1At disk.VDA) (*File, e
 		fs.desc.Free.SetFree(leaderAt)
 		fs.mu.Unlock()
 	}
-	l, err := fs.allocPage(leaderAt, ldrLbl, &ldrVal)
+	l, err := fs.allocPage(leaderAt, ldrLbl, ldrVal, &f.sc.dsk)
 	if err != nil {
 		return nil, fmt.Errorf("file: creating %q leader: %w", name, err)
 	}
@@ -145,7 +165,6 @@ func (fs *FS) create(fv disk.FV, name string, leaderAt, p1At disk.VDA) (*File, e
 	f.fn.Leader = l
 	f.hints[0] = l
 
-	var empty [disk.PageWords]disk.Word
 	p1lbl := disk.Label{FID: fv.FID, Version: fv.Version, PageNum: 1, Length: 0, Next: disk.NilVDA, Prev: l}
 	p1try := l + 1
 	if p1At != disk.NilVDA {
@@ -156,7 +175,7 @@ func (fs *FS) create(fv disk.FV, name string, leaderAt, p1At disk.VDA) (*File, e
 		fs.mu.Unlock()
 		p1try = p1At
 	}
-	p1, err := fs.allocPage(p1try, p1lbl, &empty)
+	p1, err := fs.allocPage(p1try, p1lbl, &zeroPage, &f.sc.dsk)
 	if err != nil {
 		return nil, fmt.Errorf("file: creating %q: %w", name, err)
 	}
@@ -170,12 +189,12 @@ func (fs *FS) create(fv disk.FV, name string, leaderAt, p1At disk.VDA) (*File, e
 	// land right after its leader).
 	f.ldr.MaybeConsecutive = p1 == l+1
 	f.ldr.LastAddr = p1
-	if err := f.ldr.Encode(&ldrVal); err != nil {
+	if err := f.ldr.Encode(ldrVal); err != nil {
 		return nil, err
 	}
 	linked := ldrLbl
 	linked.Next = p1
-	if err := disk.Relabel(fs.dev, l, ldrLbl, linked, &ldrVal); err != nil {
+	if err := f.sc.dsk.Relabel(fs.dev, l, ldrLbl, linked, ldrVal); err != nil {
 		return nil, fmt.Errorf("file: linking %q: %w", name, err)
 	}
 	return f, nil
@@ -194,14 +213,14 @@ func (fs *FS) Open(fn FN) (*File, error) {
 
 // loadLeader reads page 0 and the last-page label, priming the caches.
 func (f *File) loadLeader() error {
-	pat := disk.LinkPattern(f.fn.FV, 0)
-	var v [disk.PageWords]disk.Word
-	addr, err := f.access(0, &disk.Op{Label: disk.Check, LabelData: &pat, Value: disk.Read, ValueData: &v})
+	f.sc.pat = disk.LinkPattern(f.fn.FV, 0)
+	f.sc.op = disk.Op{Label: disk.Check, LabelData: &f.sc.pat, Value: disk.Read, ValueData: &f.sc.val}
+	addr, err := f.access(0, &f.sc.op)
 	if err != nil {
 		return err
 	}
 	f.fn.Leader = addr
-	ldr, err := DecodeLeader(&v)
+	ldr, err := DecodeLeader(&f.sc.val)
 	if err != nil {
 		return err
 	}
@@ -259,8 +278,10 @@ func (f *File) access(pn disk.Word, op *disk.Op) (disk.VDA, error) {
 		return 0, fmt.Errorf("%w: file %v deleted", ErrBadArg, f.fn.FV)
 	}
 	// Keep a pristine copy: checks mutate buffers (wildcards fill in), so
-	// each retry needs the original patterns.
-	restore := snapshotOp(op)
+	// each retry needs the original patterns. The snapshot is a value on
+	// this frame — the hot path must not allocate.
+	var snap opSnapshot
+	snap.save(op)
 
 	// Level 1: direct hint.
 	if a, ok := f.hints[pn]; ok {
@@ -276,7 +297,7 @@ func (f *File) access(pn disk.Word, op *disk.Op) (disk.VDA, error) {
 			return 0, err
 		}
 		delete(f.hints, pn)
-		restore(op)
+		snap.restore(op)
 	}
 
 	// Level 2: follow links from the nearest surviving hint.
@@ -288,7 +309,7 @@ func (f *File) access(pn disk.Word, op *disk.Op) (disk.VDA, error) {
 		} else if !recoverable(err) {
 			return 0, err
 		}
-		restore(op)
+		snap.restore(op)
 	}
 
 	// Level 3: directory lookup of the FV.
@@ -307,7 +328,7 @@ func (f *File) access(pn disk.Word, op *disk.Op) (disk.VDA, error) {
 				} else if !recoverable(err) {
 					return 0, err
 				}
-				restore(op)
+				snap.restore(op)
 			}
 		}
 	}
@@ -343,31 +364,37 @@ func recoverable(err error) bool {
 	return disk.IsCheck(err) || errors.Is(err, disk.ErrBadSector) || errors.Is(err, disk.ErrAddress)
 }
 
-// snapshotOp captures the op's buffers so a retry can restore them after a
-// check mutated the wildcards.
-func snapshotOp(op *disk.Op) func(*disk.Op) {
-	var hdr [disk.HeaderWords]disk.Word
-	var lbl [disk.LabelWords]disk.Word
-	var val [disk.PageWords]disk.Word
+// opSnapshot captures an op's buffer contents so a retry can restore them
+// after a check mutated the wildcards. It is a plain value so callers keep
+// it on their own stack frame; the old closure form heap-allocated a full
+// page per access.
+type opSnapshot struct {
+	hdr [disk.HeaderWords]disk.Word
+	lbl [disk.LabelWords]disk.Word
+	val [disk.PageWords]disk.Word
+}
+
+func (s *opSnapshot) save(op *disk.Op) {
 	if op.HeaderData != nil {
-		hdr = *op.HeaderData
+		s.hdr = *op.HeaderData
 	}
 	if op.LabelData != nil {
-		lbl = *op.LabelData
+		s.lbl = *op.LabelData
 	}
 	if op.ValueData != nil {
-		val = *op.ValueData
+		s.val = *op.ValueData
 	}
-	return func(o *disk.Op) {
-		if o.HeaderData != nil {
-			*o.HeaderData = hdr
-		}
-		if o.LabelData != nil {
-			*o.LabelData = lbl
-		}
-		if o.ValueData != nil {
-			*o.ValueData = val
-		}
+}
+
+func (s *opSnapshot) restore(op *disk.Op) {
+	if op.HeaderData != nil {
+		*op.HeaderData = s.hdr
+	}
+	if op.LabelData != nil {
+		*op.LabelData = s.lbl
+	}
+	if op.ValueData != nil {
+		*op.ValueData = s.val
 	}
 }
 
@@ -448,12 +475,12 @@ func (f *File) ReadPage(pn disk.Word, buf *[disk.PageWords]disk.Word) (int, erro
 	if pn < 1 || pn > f.lastPN {
 		return 0, fmt.Errorf("%w: page %d of %d", ErrBadArg, pn, f.lastPN)
 	}
-	pat := disk.LinkPattern(f.fn.FV, pn)
-	op := &disk.Op{Label: disk.Check, LabelData: &pat, Value: disk.Read, ValueData: buf}
-	if _, err := f.access(pn, op); err != nil {
+	f.sc.pat = disk.LinkPattern(f.fn.FV, pn)
+	f.sc.op = disk.Op{Label: disk.Check, LabelData: &f.sc.pat, Value: disk.Read, ValueData: buf}
+	if _, err := f.access(pn, &f.sc.op); err != nil {
 		return 0, err
 	}
-	lbl := disk.LabelFromWords(pat)
+	lbl := disk.LabelFromWords(f.sc.pat)
 	// Keep neighbour hints fresh from the links just read.
 	if lbl.Next != disk.NilVDA {
 		f.hints[pn+1] = lbl.Next
@@ -486,12 +513,12 @@ func (f *File) WritePage(pn disk.Word, buf *[disk.PageWords]disk.Word, length in
 
 	if pn < f.lastPN {
 		// Plain data write: label checked in passing, no extra revolution.
-		pat := disk.LinkPattern(f.fn.FV, pn)
-		pat[4] = disk.PageBytes // interior pages are exactly full
-		op := &disk.Op{Label: disk.Check, LabelData: &pat, Value: disk.Write, ValueData: buf}
-		_, err := f.access(pn, op)
+		f.sc.pat = disk.LinkPattern(f.fn.FV, pn)
+		f.sc.pat[4] = disk.PageBytes // interior pages are exactly full
+		f.sc.op = disk.Op{Label: disk.Check, LabelData: &f.sc.pat, Value: disk.Write, ValueData: buf}
+		_, err := f.access(pn, &f.sc.op)
 		if err == nil {
-			f.harvestLinks(pn, pat)
+			f.harvestLinks(pn, f.sc.pat)
 		}
 		return err
 	}
@@ -499,11 +526,11 @@ func (f *File) WritePage(pn disk.Word, buf *[disk.PageWords]disk.Word, length in
 	// Last page.
 	if length < disk.PageBytes {
 		if length == f.lastLen {
-			pat := disk.LinkPattern(f.fn.FV, pn)
-			op := &disk.Op{Label: disk.Check, LabelData: &pat, Value: disk.Write, ValueData: buf}
-			_, err := f.access(pn, op)
+			f.sc.pat = disk.LinkPattern(f.fn.FV, pn)
+			f.sc.op = disk.Op{Label: disk.Check, LabelData: &f.sc.pat, Value: disk.Write, ValueData: buf}
+			_, err := f.access(pn, &f.sc.op)
 			if err == nil {
-				f.harvestLinks(pn, pat)
+				f.harvestLinks(pn, f.sc.pat)
 			}
 			return err
 		}
@@ -515,7 +542,7 @@ func (f *File) WritePage(pn disk.Word, buf *[disk.PageWords]disk.Word, length in
 		}
 		newLbl := old
 		newLbl.Length = disk.Word(length)
-		if err := disk.Relabel(f.fs.dev, addr, old, newLbl, buf); err != nil {
+		if err := f.sc.dsk.Relabel(f.fs.dev, addr, old, newLbl, buf); err != nil {
 			return err
 		}
 		f.lastLen = length
@@ -528,13 +555,12 @@ func (f *File) WritePage(pn disk.Word, buf *[disk.PageWords]disk.Word, length in
 	if err != nil {
 		return err
 	}
-	var empty [disk.PageWords]disk.Word
 	newLbl := disk.Label{
 		FID: f.fn.FV.FID, Version: f.fn.FV.Version,
 		PageNum: pn + 1, Length: 0, Next: disk.NilVDA, Prev: addr,
 	}
 	// Prefer the next consecutive sector, the compacting scavenger's layout.
-	next, err := f.fs.allocPage(addr+1, newLbl, &empty)
+	next, err := f.fs.allocPage(addr+1, newLbl, &zeroPage, &f.sc.dsk)
 	if err != nil {
 		return err
 	}
@@ -544,7 +570,7 @@ func (f *File) WritePage(pn disk.Word, buf *[disk.PageWords]disk.Word, length in
 	full := old
 	full.Length = disk.PageBytes
 	full.Next = next
-	if err := disk.Relabel(f.fs.dev, addr, old, full, buf); err != nil {
+	if err := f.sc.dsk.Relabel(f.fs.dev, addr, old, full, buf); err != nil {
 		return err
 	}
 	f.hints[pn+1] = next
@@ -568,13 +594,13 @@ func (f *File) harvestLinks(pn disk.Word, pat [disk.LabelWords]disk.Word) {
 // verifiedLabel returns the address and current label of page pn, located
 // through the ladder.
 func (f *File) verifiedLabel(pn disk.Word) (disk.VDA, disk.Label, error) {
-	pat := disk.LinkPattern(f.fn.FV, pn)
-	op := &disk.Op{Label: disk.Check, LabelData: &pat}
-	addr, err := f.access(pn, op)
+	f.sc.pat = disk.LinkPattern(f.fn.FV, pn)
+	f.sc.op = disk.Op{Label: disk.Check, LabelData: &f.sc.pat}
+	addr, err := f.access(pn, &f.sc.op)
 	if err != nil {
 		return 0, disk.Label{}, err
 	}
-	return addr, disk.LabelFromWords(pat), nil
+	return addr, disk.LabelFromWords(f.sc.pat), nil
 }
 
 // Truncate cuts the file back so that page newLast (>= 1) is the last page
@@ -589,7 +615,7 @@ func (f *File) Truncate(newLast disk.Word, newLen int) error {
 		if err != nil {
 			return err
 		}
-		if err := f.fs.freePage(addr, lbl); err != nil {
+		if err := f.fs.freePage(addr, lbl, &f.sc.dsk); err != nil {
 			return err
 		}
 		delete(f.hints, pn)
@@ -600,16 +626,15 @@ func (f *File) Truncate(newLast disk.Word, newLen int) error {
 		return err
 	}
 	if lbl.Next != disk.NilVDA || int(lbl.Length) != newLen {
-		var v [disk.PageWords]disk.Word
-		pat := disk.LinkPattern(f.fn.FV, newLast)
-		rop := &disk.Op{Label: disk.Check, LabelData: &pat, Value: disk.Read, ValueData: &v}
-		if _, err := f.access(newLast, rop); err != nil {
+		f.sc.pat = disk.LinkPattern(f.fn.FV, newLast)
+		f.sc.op = disk.Op{Label: disk.Check, LabelData: &f.sc.pat, Value: disk.Read, ValueData: &f.sc.val}
+		if _, err := f.access(newLast, &f.sc.op); err != nil {
 			return err
 		}
 		newLbl := lbl
 		newLbl.Next = disk.NilVDA
 		newLbl.Length = disk.Word(newLen)
-		if err := disk.Relabel(f.fs.dev, addr, lbl, newLbl, &v); err != nil {
+		if err := f.sc.dsk.Relabel(f.fs.dev, addr, lbl, newLbl, &f.sc.val); err != nil {
 			return err
 		}
 	}
@@ -630,7 +655,7 @@ func (f *File) Delete() error {
 		if err != nil {
 			return err
 		}
-		if err := f.fs.freePage(addr, lbl); err != nil {
+		if err := f.fs.freePage(addr, lbl, &f.sc.dsk); err != nil {
 			return err
 		}
 		delete(f.hints, pn)
@@ -642,7 +667,7 @@ func (f *File) Delete() error {
 	if err != nil {
 		return err
 	}
-	if err := f.fs.freePage(addr, lbl); err != nil {
+	if err := f.fs.freePage(addr, lbl, &f.sc.dsk); err != nil {
 		return err
 	}
 	f.deleted = true
@@ -656,13 +681,12 @@ func (f *File) Sync() error {
 	if !f.dirty || f.deleted {
 		return nil
 	}
-	var v [disk.PageWords]disk.Word
-	if err := f.ldr.Encode(&v); err != nil {
+	if err := f.ldr.Encode(&f.sc.val); err != nil {
 		return err
 	}
-	pat := disk.LinkPattern(f.fn.FV, 0)
-	op := &disk.Op{Label: disk.Check, LabelData: &pat, Value: disk.Write, ValueData: &v}
-	if _, err := f.access(0, op); err != nil {
+	f.sc.pat = disk.LinkPattern(f.fn.FV, 0)
+	f.sc.op = disk.Op{Label: disk.Check, LabelData: &f.sc.pat, Value: disk.Write, ValueData: &f.sc.val}
+	if _, err := f.access(0, &f.sc.op); err != nil {
 		return err
 	}
 	f.dirty = false

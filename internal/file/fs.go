@@ -269,8 +269,9 @@ func (fs *FS) allocSerial(directory bool) disk.FV {
 // prefers the page at try (for consecutive allocation); on any label-check
 // surprise — the map said free, the label says otherwise — it marks the page
 // busy and tries elsewhere, exactly the §3.3 discipline. Returns the chosen
-// address.
-func (fs *FS) allocPage(try disk.VDA, lbl disk.Label, v *[disk.PageWords]disk.Word) (disk.VDA, error) {
+// address. sc is the calling handle's scratch; the disk traffic goes
+// through it so the steady-state path allocates nothing.
+func (fs *FS) allocPage(try disk.VDA, lbl disk.Label, v *[disk.PageWords]disk.Word, sc *disk.OpScratch) (disk.VDA, error) {
 	for {
 		fs.mu.Lock()
 		var a disk.VDA
@@ -287,7 +288,7 @@ func (fs *FS) allocPage(try disk.VDA, lbl disk.Label, v *[disk.PageWords]disk.Wo
 		fs.rover = disk.VDA((int(a) + 1) % fs.desc.Free.Len())
 		fs.mu.Unlock()
 
-		err := disk.Allocate(fs.dev, a, lbl, v)
+		err := sc.Allocate(fs.dev, a, lbl, v)
 		switch {
 		case err == nil:
 			fs.mu.Lock()
@@ -310,8 +311,8 @@ func (fs *FS) allocPage(try disk.VDA, lbl disk.Label, v *[disk.PageWords]disk.Wo
 }
 
 // freePage releases the page and clears its map bit.
-func (fs *FS) freePage(a disk.VDA, expect disk.Label) error {
-	if err := disk.Free(fs.dev, a, expect); err != nil {
+func (fs *FS) freePage(a disk.VDA, expect disk.Label, sc *disk.OpScratch) error {
+	if err := sc.Free(fs.dev, a, expect); err != nil {
 		return err
 	}
 	fs.mu.Lock()

@@ -144,30 +144,45 @@ func Compact(dev disk.Device) (*file.FS, *CompactReport, error) {
 		}
 		return disk.NilVDA
 	}
+	// One page move is a five-operation ordered chain: read the value under
+	// the old label, check the destination carries the free label (so a
+	// squatter becomes a check error, never an overwrite), write the page
+	// there under its absolute name, then check and free the source. A
+	// failed check anywhere stops the chain at that sector, exactly as the
+	// step-by-step sequence would.
+	var mv struct {
+		ops    [5]disk.Op
+		srcPat [disk.LabelWords]disk.Word
+		dstPat [disk.LabelWords]disk.Word
+		chkPat [disk.LabelWords]disk.Word
+		newLbl [disk.LabelWords]disk.Word
+		fre    [disk.LabelWords]disk.Word
+		val    [disk.PageWords]disk.Word
+	}
 	move := func(p *pageInfo, to disk.VDA) error {
-		// Read the value under the old label, allocate the destination
-		// under the same absolute name, then free the source.
-		pat := p.raw
-		var v [disk.PageWords]disk.Word
-		if err := s.dev.Do(&disk.Op{
-			Addr: p.addr, Label: disk.Check, LabelData: &pat,
-			Value: disk.Read, ValueData: &v,
-		}); err != nil {
-			return err
-		}
 		lbl := disk.LabelFromWords(p.raw) // links stale after the move: hints
-		// Allocate checks the destination carries the free label, so a
-		// squatter becomes a check error, never an overwrite.
-		if err := disk.Allocate(s.dev, to, lbl, &v); err != nil {
+		mv.srcPat = p.raw
+		mv.dstPat = disk.FreeLabelWords()
+		mv.chkPat = p.raw
+		mv.newLbl = lbl.Words()
+		mv.fre = disk.FreeLabelWords()
+		mv.ops[0] = disk.Op{Addr: p.addr, Label: disk.Check, LabelData: &mv.srcPat,
+			Value: disk.Read, ValueData: &mv.val}
+		mv.ops[1] = disk.Op{Addr: to, Label: disk.Check, LabelData: &mv.dstPat}
+		mv.ops[2] = disk.Op{Addr: to, Label: disk.Write, LabelData: &mv.newLbl,
+			Value: disk.Write, ValueData: &mv.val}
+		mv.ops[3] = disk.Op{Addr: p.addr, Label: disk.Check, LabelData: &mv.chkPat}
+		mv.ops[4] = disk.Op{Addr: p.addr, Label: disk.Write, LabelData: &mv.fre,
+			Value: disk.Write, ValueData: &onesPage}
+		if err := disk.FirstChainError(disk.DoChainOn(s.dev, mv.ops[:], disk.Ordered)); err != nil {
 			return err
 		}
-		if err := s.freeRaw(p.addr, p.raw); err != nil {
-			return err
-		}
+		s.free.SetFree(p.addr)
+		s.report.PagesFreed++
 		delete(cur, p.addr)
 		s.free.SetBusy(to)
 		p.addr = to
-		p.raw = lbl.Words()
+		p.raw = mv.newLbl
 		cur[to] = p
 		rep.PagesMoved++
 		return nil

@@ -113,6 +113,49 @@ type scavenger struct {
 	leaders  map[disk.FV]file.Leader
 	reserved map[disk.VDA]bool // spill sectors: not allocatable while in use
 	rec      *trace.Recorder   // the device's flight recorder; nil = off
+
+	arena pageArena // block storage for the in-memory table
+	sc    repairSc  // reusable op/buffer storage for the repair helpers
+	dsk   disk.OpScratch
+}
+
+// repairSc is the scavenger's scratch for two-operation repair chains.
+// Repairs run one at a time, so a single set of buffers serves all of them.
+type repairSc struct {
+	ops [2]disk.Op
+	pat [disk.LabelWords]disk.Word
+	lbl [disk.LabelWords]disk.Word
+	val [disk.PageWords]disk.Word
+}
+
+// onesPage is the all-ones value written into freed pages; Write actions
+// only read the buffer, so one shared copy serves every freeRaw. zeroPage
+// likewise backs every freshly appended empty tail page.
+var (
+	onesPage = func() (v [disk.PageWords]disk.Word) {
+		for i := range v {
+			v[i] = 0xFFFF
+		}
+		return v
+	}()
+	zeroPage [disk.PageWords]disk.Word
+)
+
+// pageArena allocates pageInfo records in blocks, so a sweep of the whole
+// disk costs a handful of allocations instead of one per in-use sector.
+// Pointers into an arena block stay valid: blocks are never reallocated.
+type pageArena struct {
+	blocks [][]pageInfo
+}
+
+func (a *pageArena) new(p pageInfo) *pageInfo {
+	const blockSize = 512
+	if n := len(a.blocks); n == 0 || len(a.blocks[n-1]) == cap(a.blocks[n-1]) {
+		a.blocks = append(a.blocks, make([]pageInfo, 0, blockSize))
+	}
+	b := &a.blocks[len(a.blocks)-1]
+	*b = append(*b, p)
+	return &(*b)[len(*b)-1]
 }
 
 func newScavenger(dev disk.Device) *scavenger {
@@ -257,47 +300,90 @@ func (s *scavenger) keepInMemory(p pageInfo) error {
 	if _, ok := s.files[p.fv]; !ok {
 		s.order = append(s.order, p.fv)
 	}
-	cp := p
-	s.files[p.fv] = append(s.files[p.fv], &cp)
+	s.files[p.fv] = append(s.files[p.fv], s.arena.new(p))
 	return nil
 }
 
-// sweep reads every label on the disk (pass 1). Sequential by address, so a
-// whole track's labels go by in one revolution. In-use entries go to emit.
+// sweep reads every label on the disk (pass 1), one cylinder of header-checked
+// label reads per chain: the drive makes a single scheduling decision per
+// cylinder and the labels stream by in rotation order. The chain may execute
+// out of rotational order, but entries are emitted in ascending address
+// order, so repairs are identical to a sector-at-a-time sweep.
 func (s *scavenger) sweep(emit func(pageInfo) error) error {
-	n := s.dev.Geometry().NSectors()
+	g := s.dev.Geometry()
+	n := g.NSectors()
 	s.report.SectorsScanned = n
 	s.free = file.NewBitMap(n)
-	for i := 0; i < n; i++ {
-		addr := disk.VDA(i)
-		raw, err := disk.ReadAnyLabel(s.dev, addr)
-		switch {
-		case errors.Is(err, disk.ErrBadSector):
-			s.report.BadSectors++
-			s.free.SetBusy(addr)
-			continue
-		case disk.IsCheck(err):
-			// Header does not match the address: unreliable sector.
-			s.report.BadSectors++
-			s.free.SetBusy(addr)
-			continue
-		case err != nil:
-			return fmt.Errorf("scavenge: sweeping sector %d: %w", addr, err)
+
+	batch := g.Heads * g.SectorsPerTrack
+	ops := make([]disk.Op, batch)
+	hdrs := make([][disk.HeaderWords]disk.Word, batch)
+	lbls := make([][disk.LabelWords]disk.Word, batch)
+	slotErr := make([]error, batch)
+	slotLbl := make([]*[disk.LabelWords]disk.Word, batch)
+	pack := s.dev.Pack()
+
+	for base := 0; base < n; base += batch {
+		m := batch
+		if base+m > n {
+			m = n - base
 		}
-		switch {
-		case disk.IsFreeLabel(raw):
-			continue // free: stays free in the map
-		case disk.IsBadLabel(raw):
-			s.report.RetiredPages++
-			s.free.SetBusy(addr)
-		default:
-			lbl := disk.LabelFromWords(raw)
-			s.free.SetBusy(addr)
-			if err := emit(pageInfo{
-				fv: lbl.FV(), pn: lbl.PageNum, addr: addr,
-				length: lbl.Length, next: lbl.Next, prev: lbl.Prev, raw: raw,
-			}); err != nil {
-				return err
+		for i := 0; i < m; i++ {
+			//altovet:allow wordwidth base+i < NSectors, which fits a VDA
+			addr := disk.VDA(base + i)
+			hdrs[i] = disk.Header{Pack: pack, Addr: addr}.Words()
+			ops[i] = disk.Op{
+				Addr:       addr,
+				Header:     disk.Check,
+				HeaderData: &hdrs[i],
+				Label:      disk.Read,
+				LabelData:  &lbls[i],
+			}
+		}
+		errs := disk.DoChainOn(s.dev, ops[:m], disk.FreeOrder)
+		// The scheduler permutes ops in place; rebuild ascending-address
+		// order by indexing each op's result at addr - base.
+		for k := 0; k < m; k++ {
+			idx := int(ops[k].Addr) - base
+			slotLbl[idx] = ops[k].LabelData
+			if errs != nil {
+				slotErr[idx] = errs[k]
+			} else {
+				slotErr[idx] = nil
+			}
+		}
+		for i := 0; i < m; i++ {
+			//altovet:allow wordwidth base+i < NSectors, which fits a VDA
+			addr := disk.VDA(base + i)
+			raw, err := *slotLbl[i], slotErr[i]
+			switch {
+			case errors.Is(err, disk.ErrBadSector):
+				s.report.BadSectors++
+				s.free.SetBusy(addr)
+				continue
+			case disk.IsCheck(err):
+				// Header does not match the address: unreliable sector.
+				s.report.BadSectors++
+				s.free.SetBusy(addr)
+				continue
+			case err != nil:
+				return fmt.Errorf("scavenge: sweeping sector %d: %w", addr, err)
+			}
+			switch {
+			case disk.IsFreeLabel(raw):
+				continue // free: stays free in the map
+			case disk.IsBadLabel(raw):
+				s.report.RetiredPages++
+				s.free.SetBusy(addr)
+			default:
+				lbl := disk.LabelFromWords(raw)
+				s.free.SetBusy(addr)
+				if err := emit(pageInfo{
+					fv: lbl.FV(), pn: lbl.PageNum, addr: addr,
+					length: lbl.Length, next: lbl.Next, prev: lbl.Prev, raw: raw,
+				}); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -305,21 +391,17 @@ func (s *scavenger) sweep(emit func(pageInfo) error) error {
 }
 
 // freeRaw releases a sector whose current label words are raw: check the
-// label we read, then write the free pattern over label and value.
+// label we read, then write the free pattern over label and value — one
+// two-operation ordered chain on the sector.
 func (s *scavenger) freeRaw(addr disk.VDA, raw [disk.LabelWords]disk.Word) error {
-	pat := raw
-	if err := s.dev.Do(&disk.Op{Addr: addr, Label: disk.Check, LabelData: &pat}); err != nil {
-		return err
+	s.sc.pat = raw
+	s.sc.lbl = disk.FreeLabelWords()
+	s.sc.ops[0] = disk.Op{Addr: addr, Label: disk.Check, LabelData: &s.sc.pat}
+	s.sc.ops[1] = disk.Op{
+		Addr: addr, Label: disk.Write, LabelData: &s.sc.lbl,
+		Value: disk.Write, ValueData: &onesPage,
 	}
-	lbl := disk.FreeLabelWords()
-	var ones [disk.PageWords]disk.Word
-	for i := range ones {
-		ones[i] = 0xFFFF
-	}
-	if err := s.dev.Do(&disk.Op{
-		Addr: addr, Label: disk.Write, LabelData: &lbl,
-		Value: disk.Write, ValueData: &ones,
-	}); err != nil {
+	if err := disk.FirstChainError(disk.DoChainOn(s.dev, s.sc.ops[:], disk.Ordered)); err != nil {
 		return err
 	}
 	s.free.SetFree(addr)
@@ -329,24 +411,23 @@ func (s *scavenger) freeRaw(addr disk.VDA, raw [disk.LabelWords]disk.Word) error
 
 // relabelRaw rewrites a sector's label, preserving its value: one operation
 // checks the old label and reads the value, the next (a revolution later)
-// writes the corrected label and the value back.
+// writes the corrected label and the value back. Chained, so the drive
+// schedules the pair once.
 func (s *scavenger) relabelRaw(p *pageInfo, newLbl disk.Label) error {
-	pat := p.raw
-	var v [disk.PageWords]disk.Word
-	if err := s.dev.Do(&disk.Op{
-		Addr: p.addr, Label: disk.Check, LabelData: &pat,
-		Value: disk.Read, ValueData: &v,
-	}); err != nil {
+	s.sc.pat = p.raw
+	s.sc.lbl = newLbl.Words()
+	s.sc.ops[0] = disk.Op{
+		Addr: p.addr, Label: disk.Check, LabelData: &s.sc.pat,
+		Value: disk.Read, ValueData: &s.sc.val,
+	}
+	s.sc.ops[1] = disk.Op{
+		Addr: p.addr, Label: disk.Write, LabelData: &s.sc.lbl,
+		Value: disk.Write, ValueData: &s.sc.val,
+	}
+	if err := disk.FirstChainError(disk.DoChainOn(s.dev, s.sc.ops[:], disk.Ordered)); err != nil {
 		return err
 	}
-	w := newLbl.Words()
-	if err := s.dev.Do(&disk.Op{
-		Addr: p.addr, Label: disk.Write, LabelData: &w,
-		Value: disk.Write, ValueData: &v,
-	}); err != nil {
-		return err
-	}
-	p.raw = w
+	p.raw = s.sc.lbl
 	p.length = newLbl.Length
 	p.next = newLbl.Next
 	p.prev = newLbl.Prev
@@ -362,7 +443,7 @@ func (s *scavenger) allocFresh(lbl disk.Label, v *[disk.PageWords]disk.Word) (di
 			continue
 		}
 		s.free.SetBusy(a)
-		err := disk.Allocate(s.dev, a, lbl, v)
+		err := s.dsk.Allocate(s.dev, a, lbl, v)
 		if err == nil {
 			return a, nil
 		}
@@ -462,12 +543,11 @@ func (s *scavenger) fixOneGroup(fv disk.FV, pages []*pageInfo) error {
 	// page 1; a full last page gets an empty successor.
 	if len(pages) == 1 || pages[len(pages)-1].length >= disk.PageBytes {
 		last := pages[len(pages)-1]
-		var empty [disk.PageWords]disk.Word
 		newLbl := disk.Label{
 			FID: fv.FID, Version: fv.Version, PageNum: last.pn + 1,
 			Length: 0, Next: disk.NilVDA, Prev: last.addr,
 		}
-		a, err := s.allocFresh(newLbl, &empty)
+		a, err := s.allocFresh(newLbl, &zeroPage)
 		if err != nil {
 			return fmt.Errorf("scavenge: extending %v: %w", fv, err)
 		}
@@ -556,29 +636,27 @@ func (s *scavenger) leaderOf(fv disk.FV) (file.Leader, error) {
 	if !ok {
 		return file.Leader{}, fmt.Errorf("scavenge: no summary for %v", fv)
 	}
-	pat := sum.leaderRaw
-	var v [disk.PageWords]disk.Word
+	s.sc.pat = sum.leaderRaw
 	if err := s.dev.Do(&disk.Op{
-		Addr: sum.leaderAddr, Label: disk.Check, LabelData: &pat,
-		Value: disk.Read, ValueData: &v,
+		Addr: sum.leaderAddr, Label: disk.Check, LabelData: &s.sc.pat,
+		Value: disk.Read, ValueData: &s.sc.val,
 	}); err != nil {
 		return file.Leader{}, err
 	}
-	ldr, err := file.DecodeLeader(&v)
+	ldr, err := file.DecodeLeader(&s.sc.val)
 	damaged := err != nil || ldr.Name == ""
 	if damaged {
 		ldr = file.Leader{Name: fmt.Sprintf("Rescued!%d.", uint32(fv.FID&^disk.DirFIDBit))}
 	}
 	if damaged || ldr.LastPN != sum.lastPN || ldr.LastAddr != sum.lastAddr || ldr.MaybeConsecutive != sum.consec {
 		ldr.LastPN, ldr.LastAddr, ldr.MaybeConsecutive = sum.lastPN, sum.lastAddr, sum.consec
-		var nv [disk.PageWords]disk.Word
-		if err := ldr.Encode(&nv); err != nil {
+		if err := ldr.Encode(&s.sc.val); err != nil {
 			return file.Leader{}, err
 		}
-		cpat := sum.leaderRaw
+		s.sc.pat = sum.leaderRaw
 		if err := s.dev.Do(&disk.Op{
-			Addr: sum.leaderAddr, Label: disk.Check, LabelData: &cpat,
-			Value: disk.Write, ValueData: &nv,
+			Addr: sum.leaderAddr, Label: disk.Check, LabelData: &s.sc.pat,
+			Value: disk.Write, ValueData: &s.sc.val,
 		}); err != nil {
 			return file.Leader{}, err
 		}

@@ -13,7 +13,7 @@ package sim
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,10 +22,10 @@ import (
 // A Clock is safe for concurrent use; in practice the system is single-user
 // and nearly single-threaded (the paper's machine has two processes, one of
 // which only fills the keyboard buffer), but tests exercise components
-// concurrently.
+// concurrently. The reading is a single atomic word: the clock sits on every
+// disk operation's path, so it must cost no more than a load.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	now atomic.Int64 // nanoseconds since the epoch
 }
 
 // NewClock returns a clock reading zero.
@@ -33,9 +33,7 @@ func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current simulated time since the clock's epoch.
 func (c *Clock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.now.Load())
 }
 
 // Advance moves the clock forward by d. Negative d is ignored: simulated
@@ -44,16 +42,12 @@ func (c *Clock) Advance(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	c.mu.Lock()
-	c.now += d
-	c.mu.Unlock()
+	c.now.Add(int64(d))
 }
 
 // Reset rewinds the clock to zero. Used between benchmark iterations.
 func (c *Clock) Reset() {
-	c.mu.Lock()
-	c.now = 0
-	c.mu.Unlock()
+	c.now.Store(0)
 }
 
 // Stopwatch measures an interval of simulated time on a Clock.

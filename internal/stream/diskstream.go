@@ -42,7 +42,24 @@ type DiskStream struct {
 	pos     int       // absolute byte position in the file
 	dirty   bool
 	closed  bool
+
+	// Chained-transfer windows — the controller's scatter/gather staging,
+	// distinct from the zone-backed working page above. A sequential reader
+	// prefetches a run of interior pages as one chain; a sequential updater
+	// collects rewritten interior pages and writes them back as one chain.
+	ra      [windowPages][disk.PageWords]disk.Word // read-ahead (ReadMode only)
+	raStart disk.Word                              // first page in ra; 0 = empty
+	raN     int
+	seqNext disk.Word                              // page that would continue a sequential read
+	wb      [windowPages][disk.PageWords]disk.Word // write-behind (UpdateMode only)
+	wbStart disk.Word                              // first page in wb; 0 = empty
+	wbN     int
 }
+
+// windowPages bounds both transfer windows: one chain moves at most this
+// many pages, so a window costs 4 KB of staging and the drive still gets
+// runs long enough to stream a whole track side.
+const windowPages = 8
 
 var (
 	_ Stream     = (*DiskStream)(nil)
@@ -78,24 +95,72 @@ func (s *DiskStream) loadPage(pn disk.Word) error {
 	if s.pn == pn {
 		return nil
 	}
-	if err := s.Flush(); err != nil {
+	if err := s.flushBuf(); err != nil {
 		return err
+	}
+	// A page sitting in the write-behind window is newer than the disk.
+	if s.wbN > 0 && pn >= s.wbStart && pn < s.wbStart+disk.Word(s.wbN) {
+		s.fill(&s.wb[pn-s.wbStart], disk.PageBytes)
+		s.pn = pn
+		return nil
+	}
+	// A page in the read-ahead window needs no disk operation.
+	if s.raN > 0 && pn >= s.raStart && pn < s.raStart+disk.Word(s.raN) {
+		s.fill(&s.ra[pn-s.raStart], disk.PageBytes)
+		s.pn = pn
+		s.seqNext = pn + 1
+		return nil
+	}
+	// Sequential reading of interior pages prefetches a run as one chained
+	// transfer: the drive makes a single scheduling decision for the window.
+	if s.mode == ReadMode && pn == s.seqNext && pn >= 1 {
+		if k := int(s.f.LastPN()) - int(pn); k >= 2 {
+			if k > windowPages {
+				k = windowPages
+			}
+			if err := s.f.ReadPages(pn, s.ra[:k]); err == nil {
+				s.raStart, s.raN = pn, k
+				s.fill(&s.ra[0], disk.PageBytes)
+				s.pn = pn
+				s.seqNext = pn + 1
+				return nil
+			}
+			// Fall through to the single-page ladder on any trouble.
+		}
 	}
 	var v [disk.PageWords]disk.Word
 	n, err := s.f.ReadPage(pn, &v)
 	if err != nil {
 		return err
 	}
-	for i, w := range v {
-		s.m.Store(s.buf+mem.Addr(i), w)
-	}
+	s.fill(&v, n)
 	s.pn = pn
-	s.pageLen = n
+	s.seqNext = pn + 1
 	return nil
 }
 
-// Flush writes the buffered page back if it has unwritten changes.
+// fill copies a page into the zone-backed buffer.
+func (s *DiskStream) fill(v *[disk.PageWords]disk.Word, n int) {
+	for i, w := range v {
+		s.m.Store(s.buf+mem.Addr(i), w)
+	}
+	s.pageLen = n
+}
+
+// Flush writes the buffered page and drains the write-behind window, so
+// everything the stream holds is on the disk when it returns.
 func (s *DiskStream) Flush() error {
+	if err := s.flushBuf(); err != nil {
+		return err
+	}
+	return s.flushPending()
+}
+
+// flushBuf retires the buffered page if it has unwritten changes. A full
+// interior page rewritten in UpdateMode joins the write-behind window when it
+// extends the window's run; anything else is written immediately (after the
+// window, to keep writes in order).
+func (s *DiskStream) flushBuf() error {
 	if !s.dirty || s.pn == 0 {
 		return nil
 	}
@@ -108,6 +173,22 @@ func (s *DiskStream) Flush() error {
 	if s.pn < lastPN {
 		length = disk.PageBytes
 	}
+	if s.mode == UpdateMode && s.pn < lastPN &&
+		(s.wbN == 0 || s.pn == s.wbStart+disk.Word(s.wbN)) && s.wbN < windowPages {
+		if s.wbN == 0 {
+			s.wbStart = s.pn
+		}
+		s.wb[s.wbN] = v
+		s.wbN++
+		s.dirty = false
+		if s.wbN == windowPages {
+			return s.flushPending()
+		}
+		return nil
+	}
+	if err := s.flushPending(); err != nil {
+		return err
+	}
 	if err := s.f.WritePage(s.pn, &v, length); err != nil {
 		return err
 	}
@@ -118,6 +199,16 @@ func (s *DiskStream) Flush() error {
 		s.pn = 0
 	}
 	return nil
+}
+
+// flushPending writes the write-behind window as one chained transfer.
+func (s *DiskStream) flushPending() error {
+	if s.wbN == 0 {
+		return nil
+	}
+	n := s.wbN
+	s.wbN = 0
+	return s.f.WritePages(s.wbStart, s.wb[:n])
 }
 
 // bufByte reads byte i of the buffered page.

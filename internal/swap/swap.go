@@ -80,25 +80,26 @@ func saveTo(f *file.File, c *cpu.CPU) error {
 	if err := ensureSize(f); err != nil {
 		return err
 	}
-	var page [disk.PageWords]disk.Word
-	page[0] = stateMagic
+	// Build the whole image — header page plus the 64K words of memory —
+	// and write it as one chained transfer: on an installed state file every
+	// page address is known, so the drive makes a single scheduling decision
+	// and streams the state at full disk rate.
+	pages := make([][disk.PageWords]disk.Word, statePages)
+	hdr := &pages[0]
+	hdr[0] = stateMagic
 	for i, v := range c.AC {
-		page[1+i] = v
+		hdr[1+i] = v
 	}
-	page[5] = c.PC
+	hdr[5] = c.PC
 	if c.Carry {
-		page[6] = 1
-	}
-	if err := f.WritePage(headerPage, &page, disk.PageBytes); err != nil {
-		return err
+		hdr[6] = 1
 	}
 	for p := 0; p < memPages; p++ {
 		//altovet:allow wordwidth p < memPages = 256, so p*PageWords < 2^16
-		c.Mem.LoadBlock(uint16(p*disk.PageWords), page[:])
-		//altovet:allow wordwidth headerPage+1+p <= 257, far below 2^16
-		if err := f.WritePage(disk.Word(headerPage+1+p), &page, disk.PageBytes); err != nil {
-			return err
-		}
+		c.Mem.LoadBlock(uint16(p*disk.PageWords), pages[1+p][:])
+	}
+	if err := f.WritePages(headerPage, pages); err != nil {
+		return err
 	}
 	return f.Sync()
 }
@@ -131,26 +132,38 @@ func LoadState(fs *file.FS, c *cpu.CPU, fn file.FN) error {
 	sp := trace.Of(dev).Begin(dev.Clock(), trace.KindSwapIn, f.Name(), int64(fn.FV.FID), statePages)
 	defer sp.End()
 	trace.Of(dev).Add("swap.inload", 1)
-	var page [disk.PageWords]disk.Word
-	if _, err := f.ReadPage(headerPage, &page); err != nil {
-		return err
-	}
-	if page[0] != stateMagic {
-		return fmt.Errorf("%w: bad magic %#04x", ErrNotState, page[0])
-	}
-	for p := 0; p < memPages; p++ {
-		//altovet:allow wordwidth headerPage+1+p <= 257, far below 2^16
-		if _, err := f.ReadPage(disk.Word(headerPage+1+p), &page); err != nil {
-			return err
-		}
-		//altovet:allow wordwidth p < memPages = 256, so p*PageWords < 2^16
-		c.Mem.StoreBlock(uint16(p*disk.PageWords), page[:])
-	}
-	// Registers last, from the header we read first.
 	var hdr [disk.PageWords]disk.Word
 	if _, err := f.ReadPage(headerPage, &hdr); err != nil {
 		return err
 	}
+	if hdr[0] != stateMagic {
+		return fmt.Errorf("%w: bad magic %#04x", ErrNotState, hdr[0])
+	}
+	// Read the memory image as one chained transfer, into a buffer first so
+	// a read failure leaves the running machine untouched. A state file
+	// written by saveTo keeps all 256 memory pages interior; a hand-built
+	// file may end exactly at page 257, whose last page is read singly.
+	mem := make([][disk.PageWords]disk.Word, memPages)
+	interior := int(lastPN) - 1 - headerPage // pages headerPage+1..lastPN-1
+	if interior > memPages {
+		interior = memPages
+	}
+	if interior > 0 {
+		if err := f.ReadPages(headerPage+1, mem[:interior]); err != nil {
+			return err
+		}
+	}
+	for p := interior; p < memPages; p++ {
+		//altovet:allow wordwidth headerPage+1+p <= 257, far below 2^16
+		if _, err := f.ReadPage(disk.Word(headerPage+1+p), &mem[p]); err != nil {
+			return err
+		}
+	}
+	for p := range mem {
+		//altovet:allow wordwidth p < memPages = 256, so p*PageWords < 2^16
+		c.Mem.StoreBlock(uint16(p*disk.PageWords), mem[p][:])
+	}
+	// Registers last, from the header we read first.
 	for i := range c.AC {
 		c.AC[i] = hdr[1+i]
 	}

@@ -74,6 +74,9 @@ const (
 	KindEtherCollision
 	// KindEtherRecv is a packet taken off a station's input queue.
 	KindEtherRecv
+	// KindDiskChain is one chained transfer: a batch of sector operations
+	// scheduled as a unit (span; name: chain mode; args: length, failures).
+	KindDiskChain
 
 	numKinds
 )
@@ -101,6 +104,7 @@ var kindInfo = [numKinds]struct {
 	KindEtherSend:      {"send", "ether", "dst", "words"},
 	KindEtherCollision: {"collision", "ether", "dst", "src"},
 	KindEtherRecv:      {"recv", "ether", "src", "words"},
+	KindDiskChain:      {"chain", "disk", "ops", "failures"},
 }
 
 // String implements fmt.Stringer.

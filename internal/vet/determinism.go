@@ -2,6 +2,7 @@ package vet
 
 import (
 	"go/ast"
+	"go/types"
 	"strconv"
 	"strings"
 )
@@ -17,6 +18,12 @@ import (
 // cmd/ and examples/ are exempt for now: they are entry points that may
 // legitimately talk to the host (and a sweep found them clean anyway); the
 // scope can be widened once the analyzer has bedded in.
+// Inside internal/disk the bar is higher still: the rotational scheduler
+// promises that two runs of the same workload order their transfers
+// identically (the flight-recorder traces are compared byte for byte), and
+// Go's randomized map iteration order would break that promise silently.
+// Ranging over a map anywhere in the disk layer is therefore a finding;
+// schedule-relevant state lives in slices sorted by disk address.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock time and math/rand outside internal/sim; use sim.Clock/sim.Rand",
@@ -45,6 +52,7 @@ func runDeterminism(pass *Pass) {
 		strings.HasPrefix(rel, "examples/") {
 		return
 	}
+	mapOrderMatters := rel == "internal/disk"
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
@@ -57,6 +65,14 @@ func runDeterminism(pass *Pass) {
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
+			if rng, ok := n.(*ast.RangeStmt); ok && mapOrderMatters {
+				if t := pass.TypeOf(rng.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Report(rng.Pos(),
+							"map iteration order is randomized; the disk layer's scheduling must be deterministic — keep schedule-relevant state in address-sorted slices")
+					}
+				}
+			}
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true

@@ -23,6 +23,8 @@ import (
 //     but its second result is the last page's byte length, which is
 //     load-bearing in page-boundary arithmetic. Callers that want only the
 //     page number call LastPN.
+//   - `d.DoChain(ops, mode)`     — a dropped []error: a chain reports one
+//     error per operation, and discarding the slice silences all of them.
 //
 // Deferred calls (`defer s.Close()`) are accepted: the deferred-cleanup
 // idiom has no good channel for the error, and the stream layer's Close
@@ -128,6 +130,10 @@ func checkAssignDiscard(pass *Pass, s *ast.AssignStmt) {
 			pass.Report(id.Pos(),
 				"%s's error discarded; storage errors surface label-check failures and must be propagated (or annotate //altovet:allow errdiscard <why it cannot fail>)",
 				fn.Name())
+		case isErrorSliceType(rt):
+			pass.Report(id.Pos(),
+				"%s's chain errors discarded; a chain reports per-operation failures and callers must examine them (disk.FirstChainError at minimum)",
+				fn.Name())
 		case isLastPage(pass, fn) && i == 1:
 			pass.Report(id.Pos(),
 				"LastPage's length discarded; call LastPN when only the page number is wanted")
@@ -148,7 +154,8 @@ func checkDroppedCall(pass *Pass, call *ast.CallExpr) {
 	}
 	results := sig.Results()
 	for i := 0; i < results.Len(); i++ {
-		if isErrorType(results.At(i).Type()) {
+		rt := results.At(i).Type()
+		if isErrorType(rt) || isErrorSliceType(rt) {
 			pass.Report(call.Pos(),
 				"result of %s dropped, including its error; storage errors must be checked", fn.Name())
 			return
@@ -159,4 +166,11 @@ func checkDroppedCall(pass *Pass, call *ast.CallExpr) {
 // isErrorType reports whether t is the built-in error interface.
 func isErrorType(t types.Type) bool {
 	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isErrorSliceType reports whether t is []error — the shape of a chain
+// result, which carries one error per operation and is just as droppable.
+func isErrorSliceType(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isErrorType(s.Elem())
 }
