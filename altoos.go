@@ -44,9 +44,11 @@ import (
 	"altoos/internal/ether"
 	"altoos/internal/exec"
 	"altoos/internal/file"
+	"altoos/internal/fileserver"
 	"altoos/internal/junta"
 	"altoos/internal/mem"
 	"altoos/internal/netfile"
+	"altoos/internal/pup"
 	"altoos/internal/scavenge"
 	"altoos/internal/sim"
 	"altoos/internal/stream"
@@ -258,10 +260,41 @@ type (
 	FileServer = netfile.Server
 	// FileClient fetches and stores files against a FileServer.
 	FileClient = netfile.Client
+	// FaultConfig parameterizes the deterministic lossy-wire model.
+	FaultConfig = ether.FaultConfig
+	// FaultMedium injects seeded drops, duplicates, delays and bit flips
+	// into a Network; everything above the packet layer must survive it.
+	FaultMedium = ether.FaultMedium
+	// FaultRate is a fault probability (Num out of Den deliveries).
+	FaultRate = ether.Rate
+	// Endpoint is a reliable-transport endpoint over one Station.
+	Endpoint = pup.Endpoint
+	// Conn is one reliable connection on an Endpoint.
+	Conn = pup.Conn
+	// TransportConfig tunes a reliable-transport Endpoint.
+	TransportConfig = pup.Config
+	// PageServer is the multi-client file server over reliable transport.
+	PageServer = fileserver.Server
+	// PageClient runs transfers against a PageServer.
+	PageClient = fileserver.Client
 )
 
 // NewNetwork creates a broadcast network on a clock.
 func NewNetwork(clock *Clock) *Network { return ether.New(clock) }
+
+// ConnClosed is the terminal connection state (see Conn.State).
+const ConnClosed = pup.StateClosed
+
+// NewEndpoint builds a reliable-transport endpoint on a station.
+func NewEndpoint(st *Station, cfg TransportConfig) *Endpoint {
+	return pup.NewEndpoint(st, cfg)
+}
+
+// NewPageServer builds a multi-client file server on an endpoint.
+func NewPageServer(fs *FS, ep *Endpoint) *PageServer { return fileserver.NewServer(fs, ep) }
+
+// NewPageClient builds a file-server client on an endpoint.
+func NewPageClient(ep *Endpoint) *PageClient { return fileserver.NewClient(ep) }
 
 // Debugging (§4).
 type (

@@ -83,3 +83,17 @@ func BenchmarkE8FaultInjection(b *testing.B) {
 func BenchmarkE9InstalledHints(b *testing.B) {
 	report(b, experiments.E9InstalledHints, "warm_ms", "cold_ms", "warm_advantage")
 }
+
+// BenchmarkE10LoadedServer — §1: eight clients hammering one file server
+// over a 10%-loss wire; the reliable transport hides every fault.
+func BenchmarkE10LoadedServer(b *testing.B) {
+	report(b, experiments.E10LoadedServer,
+		"sim_seconds", "goodput_words_per_sec", "retransmits")
+}
+
+// BenchmarkE11LossSweep — §1: goodput against packet loss, 0% to 20%.
+func BenchmarkE11LossSweep(b *testing.B) {
+	report(b, experiments.E11LossSweep,
+		"goodput_words_per_sec_loss0", "goodput_words_per_sec_loss10",
+		"goodput_words_per_sec_loss20", "retransmits_loss20")
+}

@@ -47,17 +47,19 @@ func main() {
 	}
 
 	funcs := map[string]func() (*experiments.Result, error){
-		"E1": experiments.E1RawTransfer,
-		"E2": experiments.E2AllocFreeCost,
-		"E3": experiments.E3Scavenge,
-		"E4": experiments.E4Compaction,
-		"E5": experiments.E5HintLadder,
-		"E6": experiments.E6WorldSwap,
-		"E7": experiments.E7Junta,
-		"E8": experiments.E8Robustness,
-		"E9": experiments.E9InstalledHints,
+		"E1":  experiments.E1RawTransfer,
+		"E2":  experiments.E2AllocFreeCost,
+		"E3":  experiments.E3Scavenge,
+		"E4":  experiments.E4Compaction,
+		"E5":  experiments.E5HintLadder,
+		"E6":  experiments.E6WorldSwap,
+		"E7":  experiments.E7Junta,
+		"E8":  experiments.E8Robustness,
+		"E9":  experiments.E9InstalledHints,
+		"E10": experiments.E10LoadedServer,
+		"E11": experiments.E11LossSweep,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 
 	want := flag.Args()
 	if len(want) == 0 {

@@ -47,6 +47,8 @@ func TestFixtures(t *testing.T) {
 	}{
 		{"determinism", "determfix", "altoos/internal/determfix"},
 		{"determinism", "schedfix", "altoos/internal/disk"},
+		{"determinism", "schedfix", "altoos/internal/pup"},
+		{"determinism", "schedfix", "altoos/internal/fileserver"},
 		{"wordwidth", "widthfix", "altoos/internal/widthfix"},
 		{"labelcheck", "labelfix", "altoos/internal/labelfix"},
 		{"errdiscard", "errfix", "altoos/internal/errfix"},
@@ -76,19 +78,20 @@ func TestDeterminismScope(t *testing.T) {
 	}
 }
 
-// TestMapRangeScope loads the scheduler fixture outside internal/disk: the
-// map-iteration rule is scoped to the disk layer, so only the wall-clock
+// TestMapRangeScope loads the scheduler fixture outside the replay-critical
+// packages (internal/disk, internal/pup, internal/fileserver): the
+// map-iteration rule is scoped to those three, so only the wall-clock
 // finding survives the move.
 func TestMapRangeScope(t *testing.T) {
 	pkg := loadFixture(t, "schedfix", "altoos/internal/file")
 	diags := vet.Run(pkg, []*vet.Analyzer{analyzerByName(t, "determinism")})
 	for _, d := range diags {
 		if strings.Contains(d.Message, "map iteration") {
-			t.Errorf("map-range rule fired outside internal/disk: %s", d)
+			t.Errorf("map-range rule fired outside the replay-critical packages: %s", d)
 		}
 	}
 	if len(diags) != 1 {
-		t.Errorf("got %d findings outside internal/disk, want only the time.Now one: %v", len(diags), diags)
+		t.Errorf("got %d findings outside the scoped packages, want only the time.Now one: %v", len(diags), diags)
 	}
 }
 

@@ -1,8 +1,9 @@
-// Package schedfix exercises the determinism analyzer's disk-layer rules.
-// The fixture is loaded under the virtual path altoos/internal/disk, where
-// the rotational scheduler lives: there, beyond the usual wall-clock ban,
-// map iteration order is a finding, because the scheduler's transfer order
-// must replay byte-identically and Go randomizes map ranges.
+// Package schedfix exercises the determinism analyzer's replay-critical
+// rules. The fixture is loaded under the virtual paths altoos/internal/disk,
+// altoos/internal/pup and altoos/internal/fileserver — the packages whose
+// event order (rotational schedule, retransmission timers, session service
+// order) must replay byte-identically: there, beyond the usual wall-clock
+// ban, map iteration order is a finding, because Go randomizes map ranges.
 package schedfix
 
 import (

@@ -4,6 +4,11 @@
 // what lets machines in different programming environments interoperate).
 // One machine serves its file system; the other fetches a file, edits it,
 // and stores the result back — all poll-driven, single-user style.
+//
+// The wire is deliberately faulty: the medium drops, duplicates and
+// corrupts packets at a healthy rate, and every transfer still completes
+// intact, because the file protocol rides the reliable transport. The
+// fault counters printed at the end are the proof the faults were real.
 package main
 
 import (
@@ -18,6 +23,12 @@ import (
 
 func main() {
 	wire := altoos.NewNetwork(nil)
+	faults := wire.InjectFaults(altoos.FaultConfig{
+		Seed:    1979,
+		Drop:    altoos.FaultRate{Num: 1, Den: 12}, // ~8% of deliveries lost
+		Dup:     altoos.FaultRate{Num: 1, Den: 40},
+		Corrupt: altoos.FaultRate{Num: 1, Den: 40},
+	})
 
 	// The server machine, with a document on its pack.
 	srvDrive, err := altoos.NewDrive(altoos.Diablo31(), 1, wire.Clock())
@@ -102,14 +113,18 @@ func main() {
 	if err := cli.Store(1, "paper-v2.txt", []byte(edited)); err != nil {
 		log.Fatal(err)
 	}
-	for {
-		worked, err := srv.Poll()
-		if err != nil {
+	// A store is reliable now: poll both ends until the server's
+	// confirmation comes back through the lossy wire.
+	for !cli.Done() {
+		if _, err := srv.Poll(); err != nil {
 			log.Fatal(err)
 		}
-		if !worked {
-			break
+		if _, err := cli.Poll(); err != nil {
+			log.Fatal(err)
 		}
+	}
+	if _, err := cli.Result(); err != nil {
+		log.Fatal(err)
 	}
 
 	// Prove it landed: read it on the server side.
@@ -129,4 +144,7 @@ func main() {
 	pkts, words := wire.Stats()
 	fmt.Printf("wire: %d packets, %d words; simulated time %v\n",
 		pkts, words, wire.Clock().Now().Round(1000))
+	fs := faults.Stats()
+	fmt.Printf("faults survived: %d dropped, %d duplicated, %d corrupted of %d deliveries — every byte intact\n",
+		fs.Dropped, fs.Dupped, fs.Corrupted, fs.Judged)
 }

@@ -5,13 +5,16 @@
 // removes entries from the queue and controls the hardware that prints
 // them."
 //
-// Two simulated Altos share the 3 Mb/s ether. The client machine reads
-// documents off its own disk and ships them as packets. The server machine
-// alternates between its two activities exactly as the paper describes:
-// whenever the printer detects incoming traffic it stops and yields to the
-// spooler; whenever the spooler is idle but the queue is not empty it
-// yields to the printer. The queue is a disk file, so a crash between
-// activities loses nothing the Scavenger can't account for.
+// Two simulated Altos share the 3 Mb/s ether — and the ether is lossy: the
+// fault medium drops, duplicates and corrupts packets, so the documents ride
+// the reliable transport (one connection, one message per document) instead
+// of bare packets. The server machine alternates between its two activities
+// exactly as the paper describes: whenever the printer detects incoming
+// traffic it stops and yields to the spooler; whenever the spooler is idle
+// but the queue is not empty it yields to the printer. The queue is a disk
+// file, so a crash between activities loses nothing the Scavenger can't
+// account for. The fault counters printed at the end prove the wire really
+// misbehaved and every document still printed intact.
 package main
 
 import (
@@ -26,7 +29,6 @@ import (
 const (
 	clientAddr = 1
 	serverAddr = 2
-	typeDoc    = 0x44 // 'D': one document per packet for simplicity
 )
 
 func main() {
@@ -54,8 +56,15 @@ func main() {
 	}
 
 	// Both machines share the network and the virtual clock, so wire time,
-	// disk time and print time interleave consistently.
+	// disk time and print time interleave consistently — and the wire is
+	// deliberately bad: a quarter of all deliveries vanish.
 	net := altoos.NewNetwork(client.Clock)
+	faults := net.InjectFaults(altoos.FaultConfig{
+		Seed:    4,
+		Drop:    altoos.FaultRate{Num: 1, Den: 4},
+		Dup:     altoos.FaultRate{Num: 1, Den: 20},
+		Corrupt: altoos.FaultRate{Num: 1, Den: 20},
+	})
 	cst, err := net.Attach(clientAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -77,7 +86,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Client: read each document from disk and transmit it.
+	// One reliable connection carries every document; the transport's
+	// sequence numbers and retransmission timers absorb the wire's faults.
+	cep := altoos.NewEndpoint(cst, altoos.TransportConfig{Seed: 1})
+	sep := altoos.NewEndpoint(sst, altoos.TransportConfig{Seed: 2})
+	sep.Listen()
+	conn, err := cep.Dial(serverAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Client: read each document from disk and queue it on the connection.
+	// Three documents fit the send window; acks drain it during the run.
 	for i := range docs {
 		r, err := client.OpenStream(fmt.Sprintf("doc%d.txt", i), altoos.ReadMode)
 		if err != nil {
@@ -90,90 +110,119 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := cst.Send(altoos.Packet{Dst: serverAddr, Type: typeDoc,
-			Payload: packString(string(body))}); err != nil {
+		if err := conn.Send(packString(string(body))); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("client: sent doc%d (%d bytes)\n", i, len(body))
 	}
 
 	// Server: the two activities share the machine, switching §4-style.
-	ps := &printServer{sys: srv, station: sst}
-	if err := ps.run(); err != nil {
+	ps := &printServer{sys: srv, station: sst, ep: sep, want: len(docs)}
+	if err := ps.run(cep, conn); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("network carried %s; simulated time %v\n",
 		netStats(net), srv.Clock.Now().Round(1000))
+	fs := faults.Stats()
+	fmt.Printf("faults survived: %d dropped, %d duplicated, %d corrupted of %d deliveries — every document printed intact\n",
+		fs.Dropped, fs.Dupped, fs.Corrupted, fs.Judged)
 }
 
 // printServer holds the two activities and the disk queue between them.
 type printServer struct {
 	sys     *altoos.System
 	station *altoos.Station
+	ep      *altoos.Endpoint
+	conns   []*altoos.Conn
 	queued  int
 	printed int
+	want    int
 }
 
-// run alternates the activities until the network is quiet and the queue is
-// empty. The control transfers mirror the paper's save/restore structure:
-// each activity runs to a natural stopping point and hands over the machine.
-func (p *printServer) run() error {
-	idle := 0
-	for idle < 2 {
+// run alternates the activities until every document is printed and the
+// client's connection has closed cleanly. The control transfers mirror the
+// paper's save/restore structure: each activity runs to a natural stopping
+// point and hands over the machine. The client endpoint is polled in the
+// same loop — the two machines share one simulated processor room, and the
+// retransmissions that repair the lossy wire need the client's timers.
+func (p *printServer) run(client *altoos.Endpoint, conn *altoos.Conn) error {
+	closed := false
+	for spins := 0; spins < 1_000_000; spins++ {
 		// Spooler activity: drain the network into the disk queue.
 		moved, err := p.spool()
 		if err != nil {
 			return err
 		}
-		if moved == 0 {
-			idle++
-		} else {
-			idle = 0
+		if moved > 0 {
 			fmt.Printf("server: spooler queued %d document(s), yielding to printer\n", moved)
+		}
+		// Client machine's turn: acks, retransmissions, and — once every
+		// document is provably delivered — the close handshake.
+		if _, err := client.Poll(); err != nil {
+			return err
+		}
+		if err := conn.Err(); err != nil {
+			return err
+		}
+		if !closed && conn.Unacked() == 0 {
+			if err := conn.Close(); err != nil {
+				return err
+			}
+			closed = true
 		}
 		// Printer activity: print from the queue, but stop the moment new
 		// traffic arrives, "to respond quickly to incoming files".
-		n, err := p.print()
-		if err != nil {
+		if _, err := p.print(); err != nil {
 			return err
 		}
-		if n > 0 {
-			idle = 0
+		if closed && conn.State() == altoos.ConnClosed && p.printed == p.want {
+			fmt.Printf("server: done — %d queued, %d printed\n", p.queued, p.printed)
+			return nil
 		}
 	}
-	fmt.Printf("server: done — %d queued, %d printed\n", p.queued, p.printed)
-	return nil
+	return errors.New("print server never drained")
 }
 
-// spool reads packets into numbered queue files on the server's disk.
+// spool polls the transport and writes arriving documents into numbered
+// queue files on the server's disk.
 func (p *printServer) spool() (int, error) {
-	moved := 0
-	for {
-		pkt, ok := p.station.Recv()
-		if !ok {
-			return moved, nil
-		}
-		if pkt.Type != typeDoc {
-			continue
-		}
-		text, err := unpackString(pkt.Payload)
-		if err != nil {
-			return moved, err
-		}
-		name := fmt.Sprintf("spool%03d.q", p.queued)
-		w, err := p.sys.CreateStream(name)
-		if err != nil {
-			return moved, err
-		}
-		if err := altoos.PutString(w, text); err != nil {
-			return moved, err
-		}
-		if err := w.Close(); err != nil {
-			return moved, err
-		}
-		p.queued++
-		moved++
+	if _, err := p.ep.Poll(); err != nil {
+		return 0, err
 	}
+	for {
+		c, ok := p.ep.Accept()
+		if !ok {
+			break
+		}
+		p.conns = append(p.conns, c)
+	}
+	moved := 0
+	for _, c := range p.conns {
+		for {
+			msg, ok := c.Recv()
+			if !ok {
+				break
+			}
+			text, err := unpackString(msg)
+			if err != nil {
+				return moved, err
+			}
+			name := fmt.Sprintf("spool%03d.q", p.queued)
+			w, err := p.sys.CreateStream(name)
+			if err != nil {
+				return moved, err
+			}
+			if err := altoos.PutString(w, text); err != nil {
+				return moved, err
+			}
+			if err := w.Close(); err != nil {
+				return moved, err
+			}
+			p.queued++
+			moved++
+		}
+	}
+	return moved, nil
 }
 
 // print takes the next queue file, "prints" it (to the display stream), and

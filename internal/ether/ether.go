@@ -13,6 +13,7 @@ package ether
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,20 +34,40 @@ const Broadcast Addr = 0
 // (16 bits / 3,000,000 bits per second ≈ 5.33 µs).
 const WireTime = 16 * time.Second / 3_000_000
 
-// HeaderWords is the packet header size on the wire (dst, src, type).
-const HeaderWords = 3
+// HeaderWords is the packet header size on the wire (dst, src, type, check).
+const HeaderWords = 4
 
 // MaxPayload bounds a packet to roughly the Alto's packet buffer: one page.
 const MaxPayload = 256
 
 // Packet is the standardized wire representation: destination, source, a
-// type word, and up to a page of payload words.
+// type word, a checksum word, and up to a page of payload words.
 type Packet struct {
 	Dst     Addr
 	Src     Addr
 	Type    Word
+	Check   Word // filled by Send; verify with SumOK after Recv
 	Payload []Word
 }
+
+// Sum computes the packet's checksum word: a ones-complement fold over the
+// header and payload, PUP-style. The checksum is what makes corruption on a
+// faulty medium *detectable* rather than silent — a reliable transport
+// drops a packet whose recorded Check no longer matches and lets
+// retransmission repair the loss.
+func (p Packet) Sum() Word {
+	s := uint32(p.Dst) + uint32(p.Src) + uint32(p.Type) + uint32(len(p.Payload)&0xFFFF)
+	for _, w := range p.Payload {
+		s += uint32(w)
+	}
+	for s > 0xFFFF {
+		s = (s & 0xFFFF) + (s >> 16)
+	}
+	return ^Word(s & 0xFFFF)
+}
+
+// SumOK reports whether the packet's recorded checksum matches its content.
+func (p Packet) SumOK() bool { return p.Check == p.Sum() }
 
 // Errors.
 var (
@@ -73,6 +94,11 @@ type Network struct {
 	// that two stations contended for the wire.
 	rec       *trace.Recorder
 	busyUntil time.Duration
+
+	// fault is the attached fault model (nil: the perfect medium). Verdicts
+	// are drawn under mu, in address order, so the PRNG consumption order —
+	// and with it every drop, dup, delay and bit-flip — replays exactly.
+	fault *FaultMedium
 }
 
 // SetRecorder attaches a flight recorder to the medium (nil detaches).
@@ -112,9 +138,25 @@ type Station struct {
 	net  *Network
 	addr Addr
 
-	mu sync.Mutex
-	in []Packet
+	mu   sync.Mutex
+	in   []Packet
+	held []heldPacket // fault-delayed packets awaiting their release time
 }
+
+// heldPacket is a delivery the fault model is holding back: it joins the
+// input queue the first time the station polls at or after release.
+type heldPacket struct {
+	release time.Duration
+	pkt     Packet
+}
+
+// TraceRecorder implements trace.Source: a station reaches the medium's
+// recorder, so layers built over stations (the reliable transport, the file
+// server) trace without new plumbing.
+func (s *Station) TraceRecorder() *trace.Recorder { return s.net.TraceRecorder() }
+
+// Clock returns the shared network clock.
+func (s *Station) Clock() *sim.Clock { return s.net.clock }
 
 // Attach adds a station at addr (which must be nonzero and unused).
 func (n *Network) Attach(addr Addr) (*Station, error) {
@@ -157,9 +199,9 @@ func (s *Station) Send(p Packet) error {
 	n.words += int64(len(p.Payload) + HeaderWords)
 	wireWords := len(p.Payload) + HeaderWords
 	dur := time.Duration(wireWords) * WireTime
+	start := n.clock.Now()
 	rec := n.rec
 	if rec != nil {
-		start := n.clock.Now()
 		if start < n.busyUntil {
 			rec.Emit(start, trace.KindEtherCollision, "", int64(p.Dst), int64(s.addr))
 			rec.Add("ether.collision", 1)
@@ -170,9 +212,14 @@ func (s *Station) Send(p Packet) error {
 		rec.EmitSpan(start, dur, trace.KindEtherSend, "", int64(p.Dst), int64(wireWords))
 		rec.Add("ether.send", 1)
 	}
-	// Copy the payload: the wire serializes, it does not alias.
+	// Copy the payload (the wire serializes, it does not alias) and stamp
+	// the checksum word over the serialized content.
 	cp := p
 	cp.Payload = append([]Word(nil), p.Payload...)
+	cp.Check = cp.Sum()
+	// Destinations in address order: the fault model draws verdicts from a
+	// shared deterministic PRNG, so the draw order must not depend on Go's
+	// randomized map iteration.
 	var dsts []*Station
 	for a, st := range n.stations {
 		if st == s {
@@ -182,17 +229,76 @@ func (s *Station) Send(p Packet) error {
 			dsts = append(dsts, st)
 		}
 	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i].addr < dsts[j].addr })
+	arrive := start + dur
+	dels := make([]delivery, 0, len(dsts))
+	for _, st := range dsts {
+		d := delivery{st: st, pkt: cp, copies: 1}
+		if n.fault != nil {
+			v := n.fault.judge(len(cp.Payload))
+			if v.drop {
+				rec.Add("ether.drop", 1)
+				continue
+			}
+			if v.dup {
+				d.copies = 2
+				rec.Add("ether.dup", 1)
+			}
+			if v.corrupt {
+				d.pkt.Payload = append([]Word(nil), cp.Payload...)
+				v.mangle(&d.pkt)
+				rec.Add("ether.corrupt", 1)
+			}
+			if v.delay > 0 {
+				d.release = arrive + v.delay
+				rec.Add("ether.delay", 1)
+			}
+		}
+		dels = append(dels, d)
+	}
 	n.mu.Unlock()
 
 	n.clock.Advance(dur)
-	for _, st := range dsts {
-		st.mu.Lock()
-		st.in = append(st.in, cp)
-		depth := len(st.in)
-		st.mu.Unlock()
+	for _, d := range dels {
+		d.st.mu.Lock()
+		for c := 0; c < d.copies; c++ {
+			if d.release > 0 {
+				d.st.held = append(d.st.held, heldPacket{release: d.release, pkt: d.pkt})
+			} else {
+				d.st.in = append(d.st.in, d.pkt)
+			}
+		}
+		depth := len(d.st.in)
+		d.st.mu.Unlock()
 		rec.Observe("ether.queue.depth", float64(depth))
 	}
 	return nil
+}
+
+// delivery is one destination's share of a send, after the fault model has
+// spoken: how many copies, possibly corrupted, possibly held until release.
+type delivery struct {
+	st      *Station
+	pkt     Packet
+	copies  int
+	release time.Duration
+}
+
+// promoteLocked moves fault-delayed packets whose release time has passed
+// into the input queue. Caller holds s.mu.
+func (s *Station) promoteLocked(now time.Duration) {
+	if len(s.held) == 0 {
+		return
+	}
+	kept := s.held[:0]
+	for _, h := range s.held {
+		if h.release <= now {
+			s.in = append(s.in, h.pkt)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	s.held = kept
 }
 
 // Recv polls the input queue, returning the oldest packet if any.
@@ -200,8 +306,10 @@ func (s *Station) Recv() (Packet, bool) {
 	// Snapshot the recorder before taking s.mu: the network lock never
 	// nests inside a station lock.
 	rec := s.net.TraceRecorder()
+	now := s.net.clock.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.promoteLocked(now)
 	if len(s.in) == 0 {
 		return Packet{}, false
 	}
@@ -214,10 +322,13 @@ func (s *Station) Recv() (Packet, bool) {
 	return p, true
 }
 
-// Pending reports queued packet count.
+// Pending reports queued packet count (fault-delayed packets count once
+// their release time has passed).
 func (s *Station) Pending() int {
+	now := s.net.clock.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.promoteLocked(now)
 	return len(s.in)
 }
 

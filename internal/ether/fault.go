@@ -1,0 +1,200 @@
+package ether
+
+// The fault model. The paper's openness story (§1) standardizes only the
+// *representation* of packets on the wire — nothing above it may assume the
+// wire is kind. A real 3 Mb/s experimental Ethernet dropped packets on
+// collisions, delivered late under load, and occasionally flipped bits; the
+// software living on it (PUP, EFTP) was shaped by exactly those faults.
+// FaultMedium reproduces them deterministically: every verdict comes from a
+// seeded sim.Rand and every delay is measured on the shared simulated
+// clock, never wall time, so a run with faults replays byte-identically.
+
+import (
+	"time"
+
+	"altoos/internal/sim"
+)
+
+// Rate is a probability Num/Den. The zero Rate never fires and consumes no
+// randomness, so unused fault classes do not perturb the PRNG sequence.
+type Rate struct {
+	Num, Den int
+}
+
+func (r Rate) zero() bool { return r.Num <= 0 }
+
+// Fault names one forced fault class, for scripted injection in tests.
+type Fault uint8
+
+const (
+	// FaultNone delivers the packet untouched.
+	FaultNone Fault = iota
+	// FaultDrop loses the delivery.
+	FaultDrop
+	// FaultDup delivers the packet twice.
+	FaultDup
+	// FaultCorrupt flips one payload bit (detectable via Packet.SumOK).
+	FaultCorrupt
+	// FaultDelay holds the delivery for the configured DelayTime.
+	FaultDelay
+)
+
+// FaultConfig parameterizes a FaultMedium. All rates are per delivery
+// attempt (one verdict per destination per send, judged in address order).
+type FaultConfig struct {
+	// Seed seeds the verdict PRNG; runs with equal seeds and workloads
+	// replay identically.
+	Seed uint64
+	// Drop, Dup, Corrupt and Delay are the per-delivery fault rates.
+	Drop, Dup, Corrupt, Delay Rate
+	// DelayTime is how long a delayed packet is held past its arrival
+	// (default 2 ms of simulated time). Held packets can overtake later
+	// sends — the one reordering source on this medium.
+	DelayTime time.Duration
+	// Force overrides the dice for specific delivery attempts: Force[i]
+	// is applied to the i-th judged delivery (0-based). Keyed lookups
+	// only — tests use it to lose exactly the packet they mean to.
+	Force map[int64]Fault
+}
+
+// DefaultDelay is the held time for delayed packets when the config gives
+// none.
+const DefaultDelay = 2 * time.Millisecond
+
+// FaultMedium injects faults into a Network's delivery path. Attach with
+// Network.InjectFaults; the zero value is not valid.
+type FaultMedium struct {
+	// Guarded by the owning Network's mu: judge is only called from Send
+	// with the lock held.
+	cfg    FaultConfig
+	rnd    *sim.Rand
+	judged int64
+	stats  FaultStats
+}
+
+// FaultStats counts what the medium actually did.
+type FaultStats struct {
+	Judged    int64 // delivery attempts seen
+	Dropped   int64
+	Dupped    int64
+	Corrupted int64
+	Delayed   int64
+}
+
+// InjectFaults attaches a fault model to the medium (replacing any previous
+// one) and returns it. A nil config detaches: see ClearFaults.
+func (n *Network) InjectFaults(cfg FaultConfig) *FaultMedium {
+	if cfg.DelayTime <= 0 {
+		cfg.DelayTime = DefaultDelay
+	}
+	f := &FaultMedium{cfg: cfg, rnd: sim.NewRand(cfg.Seed)}
+	n.mu.Lock()
+	n.fault = f
+	n.mu.Unlock()
+	return f
+}
+
+// ClearFaults restores the perfect medium.
+func (n *Network) ClearFaults() {
+	n.mu.Lock()
+	n.fault = nil
+	n.mu.Unlock()
+}
+
+// Stats returns a snapshot of the fault counters.
+func (f *FaultMedium) Stats() FaultStats {
+	// Taking the network lock is the owner's business; stats are read
+	// between polls in a single-activity world, and torn reads of int64s
+	// on a live run are acceptable for diagnostics. Tests read quiesced.
+	return f.stats
+}
+
+// verdict is one delivery's fate.
+type verdict struct {
+	drop    bool
+	dup     bool
+	corrupt bool
+	delay   time.Duration
+	// bit to flip when corrupt: word index (mod payload length) and bit.
+	word, bit int
+}
+
+// judge rolls the dice for one delivery attempt. Called under the owning
+// Network's mu, in destination-address order — the two facts that make the
+// PRNG sequence, and so the whole fault pattern, reproducible.
+func (f *FaultMedium) judge(payloadWords int) verdict {
+	idx := f.judged
+	f.judged++
+	f.stats.Judged++
+	if forced, ok := f.cfg.Force[idx]; ok {
+		return f.forcedVerdict(forced, payloadWords)
+	}
+	var v verdict
+	if f.roll(f.cfg.Drop) {
+		v.drop = true
+		f.stats.Dropped++
+		return v
+	}
+	if f.roll(f.cfg.Dup) {
+		v.dup = true
+		f.stats.Dupped++
+	}
+	if f.roll(f.cfg.Corrupt) {
+		v.corrupt = true
+		f.aimBit(&v, payloadWords)
+		f.stats.Corrupted++
+	}
+	if f.roll(f.cfg.Delay) {
+		v.delay = f.cfg.DelayTime
+		f.stats.Delayed++
+	}
+	return v
+}
+
+// forcedVerdict builds the verdict for a scripted fault.
+func (f *FaultMedium) forcedVerdict(forced Fault, payloadWords int) verdict {
+	var v verdict
+	switch forced {
+	case FaultDrop:
+		v.drop = true
+		f.stats.Dropped++
+	case FaultDup:
+		v.dup = true
+		f.stats.Dupped++
+	case FaultCorrupt:
+		v.corrupt = true
+		f.aimBit(&v, payloadWords)
+		f.stats.Corrupted++
+	case FaultDelay:
+		v.delay = f.cfg.DelayTime
+		f.stats.Delayed++
+	}
+	return v
+}
+
+// roll draws one boolean at the given rate; zero rates draw nothing.
+func (f *FaultMedium) roll(r Rate) bool {
+	if r.zero() {
+		return false
+	}
+	return f.rnd.Bool(r.Num, r.Den)
+}
+
+// aimBit picks which bit corruption flips.
+func (f *FaultMedium) aimBit(v *verdict, payloadWords int) {
+	v.bit = f.rnd.Intn(16)
+	if payloadWords > 0 {
+		v.word = f.rnd.Intn(payloadWords)
+	}
+}
+
+// mangle applies the verdict's bit flip to the delivered copy. The copy's
+// Check word was computed before the flip, so the damage is detectable —
+// exactly the guarantee a checksum buys on a real wire.
+func (v verdict) mangle(p *Packet) {
+	if len(p.Payload) > 0 {
+		p.Payload[v.word] ^= 1 << v.bit
+	} else {
+		p.Type ^= 1 << v.bit
+	}
+}

@@ -1,0 +1,314 @@
+package experiments
+
+// E10 and E11 measure the network story past the paper's demo scale: §1
+// claims an open system where only the packet representation is standardized
+// and "radically different" programs interoperate over the 3 Mb/s Ethernet.
+// That claim is empty on a perfect wire — so both experiments run the
+// reliable transport and the multi-client file server over ether.FaultMedium
+// and measure what loss actually costs.
+
+import (
+	"bytes"
+	"fmt"
+
+	"altoos/internal/dir"
+	"altoos/internal/disk"
+	"altoos/internal/ether"
+	"altoos/internal/file"
+	"altoos/internal/fileserver"
+	"altoos/internal/pup"
+	"altoos/internal/sim"
+	"altoos/internal/trace"
+)
+
+// netRig is one simulated machine room: a wire, a server with a formatted
+// disk behind it, and n client stations.
+type netRig struct {
+	clock   *sim.Clock
+	wire    *ether.Network
+	srv     *fileserver.Server
+	clients []*fileserver.Client
+}
+
+// newNetRig wires everything to one clock and one recorder, so the disk and
+// the network advance the same simulated time and trace into one stream.
+func newNetRig(n int, rec *trace.Recorder) (*netRig, error) {
+	clock := sim.NewClock()
+	wire := ether.New(clock)
+	wire.SetRecorder(rec)
+	drv, err := disk.NewDrive(disk.Diablo31(), 1, clock)
+	if err != nil {
+		return nil, err
+	}
+	drv.SetRecorder(rec)
+	fs, err := file.Format(drv)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dir.InitRoot(fs); err != nil {
+		return nil, err
+	}
+	sst, err := wire.Attach(1)
+	if err != nil {
+		return nil, err
+	}
+	rig := &netRig{
+		clock: clock,
+		wire:  wire,
+		srv:   fileserver.NewServer(fs, pup.NewEndpoint(sst, pup.Config{})),
+	}
+	for i := 0; i < n; i++ {
+		cst, err := wire.Attach(ether.Addr((2 + i) & 0xFFFF))
+		if err != nil {
+			return nil, err
+		}
+		c := fileserver.NewClient(pup.NewEndpoint(cst, pup.Config{Seed: uint64(i + 1)}))
+		if err := c.Connect(1); err != nil {
+			return nil, err
+		}
+		rig.clients = append(rig.clients, c)
+	}
+	return rig, nil
+}
+
+// netOp is one scripted transfer: store data under name, or fetch name and
+// expect data back.
+type netOp struct {
+	store bool
+	name  string
+	data  []byte
+}
+
+// runScripts drives every client through its op list concurrently, round
+// robin with the server — the loaded-server shape: one poll loop, many
+// sessions. It returns the number of corrupted fetches (payload mismatches
+// the reliable transport failed to hide) and the total data bytes moved.
+func (r *netRig) runScripts(scripts [][]netOp) (corrupt int, bytesMoved int64, err error) {
+	idx := make([]int, len(scripts))
+	started := make([]bool, len(scripts))
+	for polls := 0; polls < 4_000_000; polls++ {
+		if _, err := r.srv.Poll(); err != nil {
+			return corrupt, bytesMoved, err
+		}
+		running := false
+		for i, c := range r.clients {
+			if _, err := c.Poll(); err != nil {
+				return corrupt, bytesMoved, err
+			}
+			if idx[i] >= len(scripts[i]) {
+				continue
+			}
+			running = true
+			op := scripts[i][idx[i]]
+			if !started[i] {
+				if op.store {
+					err = c.Store(op.name, op.data)
+				} else {
+					err = c.Fetch(op.name)
+				}
+				if err != nil {
+					return corrupt, bytesMoved, err
+				}
+				started[i] = true
+				continue
+			}
+			if !c.Done() {
+				continue
+			}
+			got, err := c.Result()
+			if err != nil {
+				return corrupt, bytesMoved, fmt.Errorf("client %d %s %q: %w", i, opName(op), op.name, err)
+			}
+			if !op.store && !bytes.Equal(got, op.data) {
+				corrupt++
+			}
+			bytesMoved += int64(len(op.data))
+			idx[i]++
+			started[i] = false
+		}
+		if !running {
+			return corrupt, bytesMoved, nil
+		}
+	}
+	return corrupt, bytesMoved, fmt.Errorf("experiments: transfers never completed")
+}
+
+func opName(op netOp) string {
+	if op.store {
+		return "store"
+	}
+	return "fetch"
+}
+
+// closeAll closes every client connection and polls until the server has
+// retired the sessions, so the per-session trace spans are emitted.
+func (r *netRig) closeAll() error {
+	for _, c := range r.clients {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	for polls := 0; polls < 1_000_000; polls++ {
+		open := false
+		for _, c := range r.clients {
+			if _, err := c.Poll(); err != nil {
+				return err
+			}
+			if c.Conn().State() != pup.StateClosed {
+				open = true
+			}
+		}
+		if _, err := r.srv.Poll(); err != nil {
+			return err
+		}
+		if !open && r.srv.Stats().Active == 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("experiments: sessions never closed")
+}
+
+// netPattern builds deterministic transfer content.
+func netPattern(n, salt int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*11 + salt*17)
+	}
+	return out
+}
+
+// E10LoadedServer runs 8 client stations hammering one file server over a
+// wire losing 10% of its packets (§1's open-system claim, under load).
+func E10LoadedServer() (*Result, error) { return e10LoadedServer(nil) }
+
+func e10LoadedServer(tr *trace.Recorder) (*Result, error) {
+	// The retransmit evidence comes from trace counters, so the experiment
+	// runs a private recorder when the caller brings none.
+	rec := tr
+	if rec == nil {
+		rec = trace.New(1 << 16)
+	}
+	const clients = 8
+	r, err := newNetRig(clients, rec)
+	if err != nil {
+		return nil, err
+	}
+	r.wire.InjectFaults(ether.FaultConfig{
+		Seed:    42,
+		Drop:    ether.Rate{Num: 1, Den: 10},
+		Dup:     ether.Rate{Num: 1, Den: 50},
+		Corrupt: ether.Rate{Num: 1, Den: 50},
+	})
+
+	// Each client stores a file, reads it back, overwrites it with a
+	// different size (growth for even clients, truncation for odd), and
+	// reads again — every disk path the server has, under contention.
+	scripts := make([][]netOp, clients)
+	for i := range scripts {
+		name := fmt.Sprintf("load%d", i)
+		v1 := netPattern(3*disk.PageBytes+100*i+57, i)
+		size2 := 5*disk.PageBytes + 201
+		if i%2 == 1 {
+			size2 = disk.PageBytes + 33*i
+		}
+		v2 := netPattern(size2, i+100)
+		scripts[i] = []netOp{
+			{store: true, name: name, data: v1},
+			{name: name, data: v1},
+			{store: true, name: name, data: v2},
+			{name: name, data: v2},
+		}
+	}
+
+	corrupt, moved, err := r.runScripts(scripts)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.closeAll(); err != nil {
+		return nil, err
+	}
+	if corrupt != 0 {
+		return nil, fmt.Errorf("e10: %d corrupted transfers leaked through the reliable transport", corrupt)
+	}
+	retrans := rec.Counter("pup.retransmit")
+	drops := rec.Counter("ether.drop")
+	if retrans == 0 {
+		return nil, fmt.Errorf("e10: 10%% loss produced no retransmissions; the fault medium is not wired in")
+	}
+
+	simSec := r.clock.Now().Seconds()
+	words := float64(moved) / 2
+	st := r.srv.Stats()
+	res := &Result{
+		ID:    "E10",
+		Title: "loaded file server over a 10%-loss wire",
+		Claim: "§1: only the packet representation is standardized; different programs interoperate over the network",
+	}
+	res.add("clients x transfers", "%d x %d, %d bytes of payload", clients, len(scripts[0]), moved)
+	res.add("corrupted transfers", "%d (checksum + retransmission hid every fault)", corrupt)
+	res.add("packets dropped by the medium", "%d (plus %d duplicated, %d corrupted)",
+		drops, rec.Counter("ether.dup"), rec.Counter("ether.corrupt"))
+	res.add("retransmissions", "%d (bounded: %.2f per drop)", retrans, float64(retrans)/float64(drops))
+	res.add("sessions served", "%d concurrent, %d stores, %d fetches", st.Sessions, st.Stores, st.Fetches)
+	res.add("simulated completion time", "%.2f s", simSec)
+	res.add("goodput", "%.0f words/s of file data", words/simSec)
+	res.metric("sim_seconds", simSec)
+	res.metric("goodput_words_per_sec", words/simSec)
+	res.metric("retransmits", float64(retrans))
+	return res, nil
+}
+
+// E11LossSweep measures goodput against loss rate, 0% to 20%.
+func E11LossSweep() (*Result, error) { return e11LossSweep(nil) }
+
+func e11LossSweep(tr *trace.Recorder) (*Result, error) {
+	res := &Result{
+		ID:    "E11",
+		Title: "goodput vs. packet loss",
+		Claim: "§1: the network is a facility, not a guarantee — software above the packet layer pays for loss",
+	}
+	for _, lossPct := range []int{0, 5, 10, 15, 20} {
+		rec := tr
+		if rec == nil {
+			rec = trace.New(1 << 16)
+		}
+		// The caller's recorder persists across sweep points, so per-rate
+		// counts are deltas against the mark taken here.
+		before := rec.Counter("pup.retransmit")
+		r, err := newNetRig(2, rec)
+		if err != nil {
+			return nil, err
+		}
+		r.wire.InjectFaults(ether.FaultConfig{
+			Seed: 7,
+			Drop: ether.Rate{Num: lossPct, Den: 100},
+		})
+		scripts := make([][]netOp, 2)
+		for i := range scripts {
+			name := fmt.Sprintf("sweep%d", i)
+			data := netPattern(3*disk.PageBytes+119, i+lossPct)
+			scripts[i] = []netOp{
+				{store: true, name: name, data: data},
+				{name: name, data: data},
+			}
+		}
+		corrupt, moved, err := r.runScripts(scripts)
+		if err != nil {
+			return nil, fmt.Errorf("loss %d%%: %w", lossPct, err)
+		}
+		if err := r.closeAll(); err != nil {
+			return nil, fmt.Errorf("loss %d%%: %w", lossPct, err)
+		}
+		if corrupt != 0 {
+			return nil, fmt.Errorf("loss %d%%: %d corrupted transfers", lossPct, corrupt)
+		}
+		simSec := r.clock.Now().Seconds()
+		goodput := float64(moved) / 2 / simSec
+		retrans := rec.Counter("pup.retransmit") - before
+		res.add(fmt.Sprintf("loss %2d%%", lossPct), "%6.0f words/s goodput, %3d retransmits, %.2f s simulated",
+			goodput, retrans, simSec)
+		res.metric(fmt.Sprintf("goodput_words_per_sec_loss%d", lossPct), goodput)
+		res.metric(fmt.Sprintf("retransmits_loss%d", lossPct), float64(retrans))
+	}
+	return res, nil
+}

@@ -150,6 +150,8 @@ var registry = []Runner{
 	{"e7", "Junta memory reclaim", e7Junta},
 	{"e8", "fault injection", e8Robustness},
 	{"e9", "installed hints", e9InstalledHints},
+	{"e10", "loaded file server over a lossy wire", e10LoadedServer},
+	{"e11", "goodput vs. packet loss", e11LossSweep},
 }
 
 // IDs lists the experiment ids Run accepts, in order.

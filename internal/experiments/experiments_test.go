@@ -125,6 +125,42 @@ func TestE9InstalledHints(t *testing.T) {
 	check(t, r, "hints_failed_after_delete", 1, 1)
 }
 
+func TestE10LoadedServer(t *testing.T) {
+	r, err := E10LoadedServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 clients over a 10%-loss wire: the run errors internally on any
+	// corruption or on zero retransmissions, so the bands here guard the
+	// throughput shape. Retransmits are bounded: well under one per sent
+	// packet even with every duplicate and corruption counted against us.
+	check(t, r, "goodput_words_per_sec", 300, 20_000)
+	check(t, r, "retransmits", 1, 2_000)
+	check(t, r, "sim_seconds", 1, 120)
+}
+
+func TestE11LossSweep(t *testing.T) {
+	r, err := E11LossSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := r.Metrics["goodput_words_per_sec_loss0"]
+	g20 := r.Metrics["goodput_words_per_sec_loss20"]
+	if g0 <= 0 || g20 <= 0 {
+		t.Fatalf("sweep produced non-positive goodput: %v", r.Metrics)
+	}
+	// Loss must cost something, but the transport must keep most of the
+	// goodput at 20% loss — that is the whole point of the window.
+	if g20 >= g0 {
+		t.Errorf("goodput at 20%% loss (%.0f) not below lossless (%.0f)", g20, g0)
+	}
+	if g20 < g0/4 {
+		t.Errorf("goodput collapsed under loss: %.0f vs lossless %.0f", g20, g0)
+	}
+	check(t, r, "retransmits_loss0", 0, 0)
+	check(t, r, "retransmits_loss20", 1, 500)
+}
+
 func TestAllRunsEveryExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
@@ -133,7 +169,7 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 9 {
+	if len(results) != 11 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	for _, r := range results {

@@ -1,48 +1,63 @@
-// Package netfile is a small file-transfer protocol over the simulated
+// Package netfile is the original file-transfer facade over the simulated
 // Ethernet — the "remote facilities" of §1, where "it is the representation
 // ... of packets on the network that are standardized", allowing programs in
 // radically different environments to exchange files without a common
-// runtime. Everything on the wire is 16-bit words in fixed layouts; both
-// ends are ordinary programs built from the public stream/file interfaces.
+// runtime.
+//
+// Since the reliable transport landed, netfile is a compatibility shim over
+// internal/pup and internal/fileserver: the same Server/Client call shapes
+// as the v1 protocol, but every transfer rides a windowed, retransmitting
+// connection, so a lost, duplicated, delayed or corrupted packet no longer
+// aborts a transfer — it costs a retransmission and nothing else. The v1
+// framing (one raw packet per chunk, a sequence word, no acks, ErrSequence
+// on any gap) is kept below only as documentation and for its packing
+// helpers; nothing sends it anymore.
 //
 // The machine is single-user and poll-driven (§2: no scheduler beyond the
 // keyboard interrupt), so the protocol is explicitly pollable: callers
 // alternate Server.Poll and Client.Poll, exactly as the print server
-// alternates its spooler and printer activities.
+// alternates its spooler and printer activities. One behavioral change from
+// v1: Store is reliable now, so the client must be polled until Done — the
+// acks flow back, not just the data out.
 package netfile
 
 import (
 	"errors"
-	"fmt"
 
-	"altoos/internal/dir"
 	"altoos/internal/ether"
 	"altoos/internal/file"
+	"altoos/internal/fileserver"
 	"altoos/internal/mem"
-	"altoos/internal/stream"
+	"altoos/internal/pup"
 	"altoos/internal/zone"
 )
 
-// Packet types.
+// v1 packet types, retained as documentation of the legacy framing. The v1
+// protocol put one chunk per raw ether packet with a bare sequence word: a
+// single lost or reordered packet killed the whole transfer (ErrSequence).
+// The v2 path speaks the fileserver message protocol over pup connections
+// instead; these type words no longer appear on the wire.
 const (
-	TypeRead  = 0x46 // payload: file name — please send it
-	TypeWrite = 0x47 // payload: file name — data packets follow
-	TypeData  = 0x48 // payload: sequence word, byte count, bytes
-	TypeEnd   = 0x49 // payload: sequence word (total packets)
-	TypeError = 0x4A // payload: message string
+	TypeRead  = 0x46 // v1: payload is a file name — please send it
+	TypeWrite = 0x47 // v1: payload is a file name — data packets follow
+	TypeData  = 0x48 // v1: payload is sequence word, byte count, bytes
+	TypeEnd   = 0x49 // v1: payload is sequence word (total packets)
+	TypeError = 0x4A // v1: payload is a message string
 )
 
-// dataBytesPerPacket is the payload capacity after the two header words.
+// dataBytesPerPacket is the v1 chunk capacity after the two header words.
 const dataBytesPerPacket = 2 * (ether.MaxPayload - 2)
 
 // Errors.
 var (
-	// ErrRemote reports a TypeError packet from the far end.
-	ErrRemote = errors.New("netfile: remote error")
+	// ErrRemote reports an error message from the far end.
+	ErrRemote = fileserver.ErrRemote
 	// ErrBusy reports a second Request before the first completed.
-	ErrBusy = errors.New("netfile: transfer already in progress")
-	// ErrSequence reports packets arriving out of order (the simulated
-	// medium never reorders, so this is damage).
+	ErrBusy = fileserver.ErrBusy
+	// ErrSequence is the v1 failure mode: packets arriving out of order
+	// aborted the transfer, because the wire was trusted absolutely. The
+	// reliable transport retransmits instead; nothing returns this today.
+	// It remains so old callers' errors.Is checks still compile.
 	ErrSequence = errors.New("netfile: out-of-sequence data")
 )
 
@@ -50,257 +65,102 @@ var (
 type Server struct {
 	FS      *file.FS
 	Station *ether.Station
-	Zone    zone.Zone
-	Mem     *mem.Memory
+	// Zone and Mem fed the v1 disk streams. The v2 server moves whole
+	// pages through the multipage chain paths and needs neither; they are
+	// kept so existing machine-assembly call sites stay source-compatible.
+	Zone zone.Zone
+	Mem  *mem.Memory
 
-	// recv is the in-progress inbound store, if any.
-	recv *inbound
-}
-
-type inbound struct {
-	from ether.Addr
-	name string
-	s    *stream.DiskStream
-	seq  uint16
+	inner *fileserver.Server
 }
 
 // NewServer builds a file server over its substrates.
 func NewServer(fs *file.FS, st *ether.Station, z zone.Zone, m *mem.Memory) *Server {
-	return &Server{FS: fs, Station: st, Zone: z, Mem: m}
+	return &Server{
+		FS: fs, Station: st, Zone: z, Mem: m,
+		inner: fileserver.NewServer(fs, pup.NewEndpoint(st, pup.Config{})),
+	}
 }
 
-// Poll handles at most one pending packet. It returns whether it did any
-// work, so activity-switching loops can tell busy from idle.
-func (s *Server) Poll() (bool, error) {
-	pkt, ok := s.Station.Recv()
-	if !ok {
-		return false, nil
-	}
-	switch pkt.Type {
-	case TypeRead:
-		name, err := ether.UnpackString(pkt.Payload)
-		if err != nil {
-			return true, s.sendError(pkt.Src, "bad read request")
-		}
-		return true, s.sendFile(pkt.Src, name)
-	case TypeWrite:
-		name, err := ether.UnpackString(pkt.Payload)
-		if err != nil {
-			return true, s.sendError(pkt.Src, "bad write request")
-		}
-		return true, s.openInbound(pkt.Src, name)
-	case TypeData, TypeEnd:
-		return true, s.feedInbound(pkt)
-	}
-	return true, nil // unknown types are ignored, as on a real wire
-}
+// Poll advances the server one step: transport timers, new connections,
+// every session. It returns whether it did any work, so activity-switching
+// loops can tell busy from idle.
+func (s *Server) Poll() (bool, error) { return s.inner.Poll() }
 
-// sendFile streams a named file as data packets.
-func (s *Server) sendFile(to ether.Addr, name string) error {
-	fn, err := dir.ResolveName(s.FS, name)
-	if err != nil {
-		return s.sendError(to, fmt.Sprintf("no such file %q", name))
-	}
-	f, err := s.FS.Open(fn)
-	if err != nil {
-		return s.sendError(to, fmt.Sprintf("open %q: label check failed", name))
-	}
-	in, err := stream.NewDisk(f, s.Zone, s.Mem, stream.ReadMode)
-	if err != nil {
-		return s.sendError(to, "no buffer storage")
-	}
-	defer in.Close()
-
-	seq := uint16(0)
-	buf := make([]byte, dataBytesPerPacket)
-	for {
-		n := 0
-		for n < len(buf) {
-			b, err := in.Get()
-			if err != nil {
-				break
-			}
-			buf[n] = b
-			n++
-		}
-		if n == 0 {
-			break
-		}
-		if err := s.Station.Send(ether.Packet{
-			Dst: to, Type: TypeData, Payload: packData(seq, buf[:n]),
-		}); err != nil {
-			return err
-		}
-		seq++
-		if n < len(buf) {
-			break
-		}
-	}
-	return s.Station.Send(ether.Packet{Dst: to, Type: TypeEnd, Payload: []uint16{seq}})
-}
-
-// openInbound begins receiving a stored file.
-func (s *Server) openInbound(from ether.Addr, name string) error {
-	if s.recv != nil {
-		return s.sendError(from, "server busy")
-	}
-	root, err := dir.OpenRoot(s.FS)
-	if err != nil {
-		return s.sendError(from, "no root directory")
-	}
-	var f *file.File
-	if fn, err := root.Lookup(name); err == nil {
-		if f, err = s.FS.Open(fn); err != nil {
-			return s.sendError(from, "open failed")
-		}
-	} else {
-		if f, err = s.FS.Create(name); err != nil {
-			return s.sendError(from, "disk full")
-		}
-		if err := root.Insert(name, f.FN()); err != nil {
-			return s.sendError(from, "directory full")
-		}
-	}
-	w, err := stream.NewDisk(f, s.Zone, s.Mem, stream.WriteMode)
-	if err != nil {
-		return s.sendError(from, "no buffer storage")
-	}
-	s.recv = &inbound{from: from, name: name, s: w}
-	return nil
-}
-
-// feedInbound appends a data packet to the in-progress store.
-func (s *Server) feedInbound(pkt ether.Packet) error {
-	if s.recv == nil || pkt.Src != s.recv.from {
-		return nil // stray data: drop
-	}
-	if pkt.Type == TypeEnd {
-		err := s.recv.s.Close()
-		s.recv = nil
-		return err
-	}
-	seq, data, err := unpackData(pkt.Payload)
-	if err != nil {
-		return err
-	}
-	if seq != s.recv.seq {
-		cerr := s.recv.s.Close()
-		s.recv = nil
-		return errors.Join(fmt.Errorf("%w: got %d", ErrSequence, seq), cerr)
-	}
-	s.recv.seq++
-	for _, b := range data {
-		if err := s.recv.s.Put(b); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (s *Server) sendError(to ether.Addr, msg string) error {
-	return s.Station.Send(ether.Packet{Dst: to, Type: TypeError, Payload: ether.PackString(msg)})
-}
+// Stats returns the underlying file server's counters.
+func (s *Server) Stats() fileserver.Stats { return s.inner.Stats() }
 
 // Client fetches and stores files against a remote server.
 type Client struct {
 	Station *ether.Station
 
-	busy    bool
-	data    []byte
-	nextSeq uint16
-	done    bool
-	failure error
+	ep     *pup.Endpoint
+	inner  *fileserver.Client
+	remote ether.Addr
 }
 
 // NewClient builds a client on a station.
 func NewClient(st *ether.Station) *Client {
-	return &Client{Station: st}
+	return &Client{Station: st, ep: pup.NewEndpoint(st, pup.Config{})}
 }
 
-// Request asks server for a named file. Poll until Done.
+// connect ensures a live connection to the server (dialing on first use or
+// after a server change — each server gets a fresh connection).
+func (c *Client) connect(server ether.Addr) error {
+	if c.inner != nil && c.remote == server && c.inner.Conn().Err() == nil &&
+		c.inner.Conn().State() != pup.StateClosed {
+		return nil
+	}
+	if c.inner != nil {
+		if err := c.inner.Close(); err != nil {
+			return err
+		}
+	}
+	c.inner = fileserver.NewClient(c.ep)
+	c.remote = server
+	return c.inner.Connect(server)
+}
+
+// Request asks server for a named file. Poll until Done, then Result.
 func (c *Client) Request(server ether.Addr, name string) error {
-	if c.busy {
-		return ErrBusy
+	if err := c.connect(server); err != nil {
+		return err
 	}
-	c.busy, c.done, c.failure = true, false, nil
-	c.data, c.nextSeq = nil, 0
-	return c.Station.Send(ether.Packet{Dst: server, Type: TypeRead, Payload: ether.PackString(name)})
+	return c.inner.Fetch(name)
 }
 
-// Poll consumes at most one pending packet; returns whether it did work.
+// Store pushes data to the server under name. The transfer is reliable
+// now, so the client must be polled until Done — the server's confirmation
+// is what completes it.
+func (c *Client) Store(server ether.Addr, name string, data []byte) error {
+	if err := c.connect(server); err != nil {
+		return err
+	}
+	return c.inner.Store(name, data)
+}
+
+// Poll advances the transfer; returns whether it did work.
 func (c *Client) Poll() (bool, error) {
-	if !c.busy || c.done {
+	if c.inner == nil {
 		return false, nil
 	}
-	pkt, ok := c.Station.Recv()
-	if !ok {
-		return false, nil
-	}
-	switch pkt.Type {
-	case TypeData:
-		seq, data, err := unpackData(pkt.Payload)
-		if err != nil {
-			c.finish(err)
-			return true, err
-		}
-		if seq != c.nextSeq {
-			err := fmt.Errorf("%w: got %d want %d", ErrSequence, seq, c.nextSeq)
-			c.finish(err)
-			return true, err
-		}
-		c.nextSeq++
-		c.data = append(c.data, data...)
-	case TypeEnd:
-		c.finish(nil)
-	case TypeError:
-		msg, _ := ether.UnpackString(pkt.Payload)
-		c.finish(fmt.Errorf("%w: %s", ErrRemote, msg))
-	}
-	return true, nil
-}
-
-func (c *Client) finish(err error) {
-	c.done = true
-	c.failure = err
+	return c.inner.Poll()
 }
 
 // Done reports whether the transfer completed (or failed).
-func (c *Client) Done() bool { return c.done }
+func (c *Client) Done() bool { return c.inner != nil && c.inner.Done() }
 
-// Result returns the fetched bytes once Done.
+// Result returns the fetched bytes (nil for a store) once Done.
 func (c *Client) Result() ([]byte, error) {
-	if !c.done {
-		return nil, errors.New("netfile: transfer still in progress")
+	if c.inner == nil {
+		return nil, errors.New("netfile: no transfer begun")
 	}
-	c.busy = false
-	return c.data, c.failure
+	return c.inner.Result()
 }
 
-// Store pushes data to the server under name, sending everything
-// immediately (the medium queues; the server drains on its own polls).
-func (c *Client) Store(server ether.Addr, name string, data []byte) error {
-	if err := c.Station.Send(ether.Packet{
-		Dst: server, Type: TypeWrite, Payload: ether.PackString(name),
-	}); err != nil {
-		return err
-	}
-	seq := uint16(0)
-	for off := 0; off < len(data); off += dataBytesPerPacket {
-		end := off + dataBytesPerPacket
-		if end > len(data) {
-			end = len(data)
-		}
-		if err := c.Station.Send(ether.Packet{
-			Dst: server, Type: TypeData, Payload: packData(seq, data[off:end]),
-		}); err != nil {
-			return err
-		}
-		seq++
-	}
-	return c.Station.Send(ether.Packet{Dst: server, Type: TypeEnd, Payload: []uint16{seq}})
-}
-
-// packData lays out a data payload: sequence, byte count, packed bytes.
+// packData lays out a v1 data payload: sequence, byte count, packed bytes.
+// Kept (with its inverse) as the executable description of the legacy
+// framing; the property test in this package still covers it.
 func packData(seq uint16, data []byte) []uint16 {
 	out := make([]uint16, 2+(len(data)+1)/2)
 	out[0] = seq

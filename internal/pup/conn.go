@@ -1,0 +1,288 @@
+package pup
+
+import (
+	"time"
+
+	"altoos/internal/ether"
+)
+
+// State is a connection's lifecycle position.
+type State uint8
+
+const (
+	// StateOpening: Open sent, OpenAck awaited (dialing side only).
+	StateOpening State = iota
+	// StateOpen: established; data flows.
+	StateOpen
+	// StateClosing: Close requested locally; flushing, then handshaking.
+	StateClosing
+	// StateClosed: handshake done, peer closed, or the conn died — see Err.
+	StateClosed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateOpening:
+		return "opening"
+	case StateOpen:
+		return "open"
+	case StateClosing:
+		return "closing"
+	case StateClosed:
+		return "closed"
+	}
+	return "?"
+}
+
+// outPacket is one unacked message in the send window.
+type outPacket struct {
+	seq      uint16
+	data     []ether.Word
+	deadline time.Duration // simulated time of the next retransmission
+	rto      time.Duration // current backoff level
+	retries  int
+}
+
+// ctrlState is the retransmission state of a pending Open or Close.
+type ctrlState struct {
+	kind     ether.Word // TypeOpen or TypeClose; 0 = none pending
+	deadline time.Duration
+	rto      time.Duration
+	retries  int
+}
+
+// Conn is one reliable connection. Conns are created by Endpoint.Dial or
+// surfaced by Endpoint.Accept, and make progress only while their endpoint
+// is polled — like every object on this poll-driven machine.
+type Conn struct {
+	ep       *Endpoint
+	remote   ether.Addr
+	id       uint16
+	state    State
+	accepted bool // true on the listening side
+	err      error
+
+	// Send side: seq of the next fresh message, the unacked window in
+	// seq order, and the highest cumulative ack seen (for dup counting).
+	sendSeq uint16
+	sendQ   []outPacket
+	lastAck uint16
+
+	// Receive side: next expected seq and the in-order delivery queue.
+	recvNext uint16
+	recvQ    [][]ether.Word
+
+	// ctrl is the pending Open/Close retransmission state (kind 0: none).
+	ctrl ctrlState
+}
+
+// Remote returns the peer's station address.
+func (c *Conn) Remote() ether.Addr { return c.remote }
+
+// ID returns the connection id (chosen by the dialing side).
+func (c *Conn) ID() uint16 { return c.id }
+
+// State returns the lifecycle position.
+func (c *Conn) State() State { return c.state }
+
+// Err returns the terminal error, if the connection died (nil on a clean
+// close). ErrRetriesExhausted is the typed verdict for a silent peer.
+func (c *Conn) Err() error { return c.err }
+
+// Unacked returns the number of sent-but-unacknowledged messages — zero
+// means everything sent so far has provably arrived.
+func (c *Conn) Unacked() int { return len(c.sendQ) }
+
+// seqLess compares sequence numbers on the 16-bit circle.
+func seqLess(a, b uint16) bool { return int16(a-b) < 0 }
+
+// Send queues one message (at most MaxData words) into the send window and
+// transmits it. A full window returns ErrWindowFull — backpressure, not an
+// error to abort on: poll until acks drain the window, then retry.
+func (c *Conn) Send(data []ether.Word) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.state == StateClosing || c.state == StateClosed {
+		return ErrClosed
+	}
+	if len(data) > MaxData {
+		return ErrTooBig
+	}
+	if len(c.sendQ) >= c.ep.cfg.Window {
+		return ErrWindowFull
+	}
+	op := outPacket{
+		seq:  c.sendSeq,
+		data: append([]ether.Word(nil), data...),
+		rto:  c.ep.cfg.RTO,
+	}
+	c.sendSeq++
+	c.sendQ = append(c.sendQ, op)
+	return c.transmit(&c.sendQ[len(c.sendQ)-1])
+}
+
+// Recv pops the next in-order received message, if any.
+func (c *Conn) Recv() ([]ether.Word, bool) {
+	if len(c.recvQ) == 0 {
+		return nil, false
+	}
+	m := c.recvQ[0]
+	c.recvQ = c.recvQ[1:]
+	return m, true
+}
+
+// Close begins a graceful close: the window is flushed first, then the
+// Close/CloseAck handshake runs on the usual timers. Progress happens in
+// Poll; watch State (or Err) for completion.
+func (c *Conn) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.state == StateClosed {
+		return nil
+	}
+	c.state = StateClosing
+	return nil
+}
+
+// transmit puts one window entry on the wire and arms its timer.
+func (c *Conn) transmit(op *outPacket) error {
+	if err := c.ep.sendRaw(c.remote, TypeData, c.id, op.seq, c.recvNext, op.data); err != nil {
+		return err
+	}
+	c.ep.rec().Add("pup.data.send", 1)
+	op.deadline = c.ep.clock.Now() + op.rto
+	return nil
+}
+
+// sendCtrl transmits (or retransmits) the pending control packet.
+func (c *Conn) sendCtrl(kind ether.Word) error {
+	if c.ctrlKind() != kind {
+		c.ctrl = ctrlState{kind: kind, rto: c.ep.cfg.RTO}
+	}
+	if err := c.ep.sendRaw(c.remote, kind, c.id, 0, c.recvNext, nil); err != nil {
+		return err
+	}
+	c.ctrl.deadline = c.ep.clock.Now() + c.ctrl.rto
+	return nil
+}
+
+func (c *Conn) ctrlKind() ether.Word { return c.ctrl.kind }
+
+// handleData processes an inbound data packet: piggybacked ack first, then
+// strict in-order acceptance. Anything but the next expected sequence is
+// dropped — duplicates are re-acked (the ack the sender missed), and
+// overtakers (a delayed packet jumped the queue) are left for the sender's
+// timers, go-back-N style.
+func (c *Conn) handleData(seq, ack uint16, data []ether.Word) error {
+	c.handleAck(ack)
+	rec := c.ep.rec()
+	switch {
+	case seq == c.recvNext:
+		c.recvQ = append(c.recvQ, append([]ether.Word(nil), data...))
+		c.recvNext++
+		rec.Add("pup.data.recv", 1)
+	case seqLess(seq, c.recvNext):
+		rec.Add("pup.dup.data", 1)
+	default:
+		rec.Add("pup.ooo.drop", 1)
+	}
+	// Ack what we hold, whatever just happened: a duplicate means our
+	// previous ack was lost, an overtaker means the sender needs to hear
+	// where we really are.
+	return c.ep.sendRaw(c.remote, TypeAck, c.id, 0, c.recvNext, nil)
+}
+
+// handleAck applies a cumulative ack: everything below ack leaves the
+// window, and surviving entries get fresh timers (the peer is alive and
+// draining — the backoff clock restarts, which is what keeps a long burst
+// from tripping its own head-of-window timeout).
+func (c *Conn) handleAck(ack uint16) {
+	popped := 0
+	for len(c.sendQ) > 0 && seqLess(c.sendQ[0].seq, ack) {
+		c.sendQ = c.sendQ[1:]
+		popped++
+	}
+	if popped > 0 {
+		// The peer is alive and draining: restart the surviving timers and
+		// forgive accumulated retries. The retry cap measures consecutive
+		// silence (a dead peer), not congestion on a loaded wire.
+		now := c.ep.clock.Now()
+		for i := range c.sendQ {
+			c.sendQ[i].deadline = now + c.sendQ[i].rto
+			c.sendQ[i].retries = 0
+		}
+		c.lastAck = ack
+		return
+	}
+	if ack == c.lastAck && len(c.sendQ) > 0 {
+		c.ep.rec().Add("pup.dup.ack", 1)
+	}
+}
+
+// fail kills the connection with a terminal error.
+func (c *Conn) fail(err error) {
+	c.err = err
+	c.state = StateClosed
+	c.ep.rec().Add("pup.fail", 1)
+}
+
+// tick fires due timers. It reports whether it did work and whether timers
+// remain pending (so the endpoint knows to keep simulated time flowing).
+func (c *Conn) tick(now time.Duration) (worked, waiting bool, err error) {
+	if c.state == StateClosed {
+		return false, false, nil
+	}
+	// Launch the close handshake once the window has flushed.
+	if c.state == StateClosing && len(c.sendQ) == 0 && c.ctrl.kind == 0 {
+		if err := c.sendCtrl(TypeClose); err != nil {
+			return true, true, err
+		}
+		worked = true
+	}
+	if c.ctrl.kind != 0 {
+		waiting = true
+		if now >= c.ctrl.deadline {
+			if c.ctrl.retries >= c.ep.cfg.MaxRetries {
+				c.fail(ErrRetriesExhausted)
+				return worked, false, nil
+			}
+			c.ctrl.retries++
+			c.ctrl.rto = backoff(c.ctrl.rto, c.ep.cfg.MaxRTO)
+			if err := c.sendCtrl(c.ctrl.kind); err != nil {
+				return true, true, err
+			}
+			c.ep.rec().Add("pup.retransmit", 1)
+			worked = true
+		}
+	}
+	for i := range c.sendQ {
+		waiting = true
+		if now < c.sendQ[i].deadline {
+			continue
+		}
+		if c.sendQ[i].retries >= c.ep.cfg.MaxRetries {
+			c.fail(ErrRetriesExhausted)
+			return worked, false, nil
+		}
+		c.sendQ[i].retries++
+		c.sendQ[i].rto = backoff(c.sendQ[i].rto, c.ep.cfg.MaxRTO)
+		if err := c.transmit(&c.sendQ[i]); err != nil {
+			return true, true, err
+		}
+		c.ep.rec().Add("pup.retransmit", 1)
+		worked = true
+	}
+	return worked, waiting, nil
+}
+
+// backoff doubles an RTO up to the cap.
+func backoff(rto, maxRTO time.Duration) time.Duration {
+	rto *= 2
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	return rto
+}

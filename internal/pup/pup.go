@@ -1,0 +1,336 @@
+// Package pup is a reliable, windowed, ack-based transport over the
+// simulated Ethernet — the PUP/EFTP-shaped layer the paper's §1 openness
+// story presumes: only the packet representation is standardized, and
+// everything above it must survive a wire that drops, duplicates, delays
+// and corrupts (see ether.FaultMedium).
+//
+// The machine is single-user and poll-driven (§2: no scheduler beyond the
+// keyboard interrupt), so the transport is explicitly pollable: an Endpoint
+// owns one ether.Station, demultiplexes inbound packets onto connections
+// keyed by (remote address, connection id), and runs every retransmission
+// timer off the shared simulated clock during Poll. There are no
+// goroutines, no wall-clock timers, and no map-order dependence: two runs
+// of the same workload retransmit the same packets at the same simulated
+// times (cmd/altotrace asserts the property byte-for-byte).
+//
+// Reliability mechanics, EFTP-style but windowed:
+//
+//   - every data packet carries a 16-bit sequence number; the receiver
+//     accepts only the next expected one, re-acking duplicates and
+//     discarding overtakers (go-back-N, no reassembly buffer);
+//   - acks are cumulative: ack=n means "I hold everything below n";
+//   - the sender keeps at most Config.Window unacked packets; a full
+//     window surfaces ErrWindowFull as backpressure, never blocks;
+//   - an unacked packet is retransmitted when its deadline (simulated
+//     time) passes, with exponential backoff up to Config.MaxRTO, and a
+//     conn that exhausts Config.MaxRetries dies with ErrRetriesExhausted;
+//   - connections open and close by handshake (Open/OpenAck,
+//     Close/CloseAck); both control packets ride the same timers, and
+//     both handshakes are idempotent so duplicated or re-ordered control
+//     packets are harmless;
+//   - a packet whose checksum word no longer matches its content
+//     (ether.Packet.SumOK) is dropped on arrival, converting corruption
+//     into loss, which retransmission already repairs.
+package pup
+
+import (
+	"errors"
+	"time"
+
+	"altoos/internal/ether"
+	"altoos/internal/sim"
+	"altoos/internal/trace"
+)
+
+// Packet types, claiming a range above the netfile v1 framing (0x46-0x4A).
+const (
+	// TypeOpen asks the remote endpoint to create a connection.
+	TypeOpen ether.Word = 0x50 + iota
+	// TypeOpenAck confirms it.
+	TypeOpenAck
+	// TypeData carries one message: header (id, seq, ack) plus data words.
+	TypeData
+	// TypeAck acknowledges cumulatively: header only, ack = next expected.
+	TypeAck
+	// TypeClose begins the close handshake.
+	TypeClose
+	// TypeCloseAck completes it.
+	TypeCloseAck
+)
+
+// headerWords is the transport header inside the ether payload:
+// connection id, sequence number, cumulative ack.
+const headerWords = 3
+
+// MaxData is the data capacity of one transport packet, in words.
+const MaxData = ether.MaxPayload - headerWords
+
+// Errors.
+var (
+	// ErrRetriesExhausted reports a connection killed by its retry cap:
+	// the remote end stayed silent through every backoff level.
+	ErrRetriesExhausted = errors.New("pup: retransmit retries exhausted")
+	// ErrWindowFull is send-side backpressure: the window holds
+	// Config.Window unacked packets. Poll until acks drain it.
+	ErrWindowFull = errors.New("pup: send window full")
+	// ErrClosed reports a send on a closing or closed connection.
+	ErrClosed = errors.New("pup: connection closed")
+	// ErrTooBig reports a message over MaxData words.
+	ErrTooBig = errors.New("pup: message exceeds MaxData words")
+)
+
+// Config tunes an Endpoint. The zero value selects the defaults.
+type Config struct {
+	// Window is the maximum number of unacked data packets per
+	// connection (default 8).
+	Window int
+	// RTO is the initial retransmission timeout in simulated time
+	// (default 40 ms — above a few full windows' serialization on the
+	// 3 Mb/s wire, so a loaded medium does not trip timers by itself).
+	RTO time.Duration
+	// MaxRTO caps the exponential backoff (default 120 ms).
+	MaxRTO time.Duration
+	// MaxRetries is the per-packet retransmission cap; one more silence
+	// kills the connection with ErrRetriesExhausted (default 10).
+	MaxRetries int
+	// IdleTick is how far Poll advances the simulated clock when it did
+	// no work but timers are pending — the cost of one spin of the §2
+	// poll loop; without it a silent wire would freeze simulated time
+	// and no timeout could ever fire (default 200 µs).
+	IdleTick time.Duration
+	// Seed seeds connection-id generation (mixed with the station
+	// address, so equal seeds on different stations stay distinct).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.RTO <= 0 {
+		c.RTO = 40 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 120 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 10
+	}
+	if c.IdleTick <= 0 {
+		c.IdleTick = 200 * time.Microsecond
+	}
+	return c
+}
+
+// connKey identifies a connection: the remote station plus the id the
+// dialing side chose. Two clients on one station multiplex by id; two
+// stations may reuse ids freely.
+type connKey struct {
+	addr ether.Addr
+	id   uint16
+}
+
+// Endpoint owns one station: it demultiplexes inbound packets onto
+// connections and drives every timer during Poll. Endpoints are
+// single-activity objects, polled from one activity at a time, like every
+// other object on this machine.
+type Endpoint struct {
+	st    *ether.Station
+	clock *sim.Clock
+	cfg   Config
+	rnd   *sim.Rand
+
+	conns map[connKey]*Conn
+	// order lists live connections in creation order: every per-conn
+	// sweep walks this slice, never the map, so timer firing order is
+	// deterministic (altovet enforces the no-map-range rule here).
+	order     []*Conn
+	listening bool
+	backlog   []*Conn
+}
+
+// NewEndpoint builds an endpoint on a station. The clock is the station's
+// network clock; cfg zero-fields take defaults.
+func NewEndpoint(st *ether.Station, cfg Config) *Endpoint {
+	cfg = cfg.withDefaults()
+	return &Endpoint{
+		st:    st,
+		clock: st.Clock(),
+		cfg:   cfg,
+		rnd:   sim.NewRand(cfg.Seed ^ (uint64(st.Addr()) << 32)),
+		conns: map[connKey]*Conn{},
+	}
+}
+
+// Station returns the endpoint's station.
+func (e *Endpoint) Station() *ether.Station { return e.st }
+
+// rec reaches the medium's flight recorder (nil when tracing is off).
+func (e *Endpoint) rec() *trace.Recorder { return e.st.TraceRecorder() }
+
+// Listen makes the endpoint accept inbound Opens; Accept collects them.
+func (e *Endpoint) Listen() { e.listening = true }
+
+// Accept pops the oldest newly-established inbound connection, if any.
+func (e *Endpoint) Accept() (*Conn, bool) {
+	if len(e.backlog) == 0 {
+		return nil, false
+	}
+	c := e.backlog[0]
+	e.backlog = e.backlog[1:]
+	return c, true
+}
+
+// Dial opens a connection to a remote station. The connection is usable
+// immediately — data queued before the OpenAck arrives rides the same
+// retransmission timers as everything else.
+func (e *Endpoint) Dial(remote ether.Addr) (*Conn, error) {
+	var id uint16
+	for {
+		id = e.rnd.Word()
+		if _, taken := e.conns[connKey{remote, id}]; !taken {
+			break
+		}
+	}
+	c := &Conn{ep: e, remote: remote, id: id, state: StateOpening}
+	e.add(c)
+	if err := c.sendCtrl(TypeOpen); err != nil {
+		return nil, err
+	}
+	e.rec().Add("pup.open", 1)
+	return c, nil
+}
+
+// add registers a connection in both indexes.
+func (e *Endpoint) add(c *Conn) {
+	e.conns[connKey{c.remote, c.id}] = c
+	e.order = append(e.order, c)
+}
+
+// Poll is the endpoint's activity: it drains the station's input queue,
+// fires due retransmission timers, and reaps dead connections. It returns
+// whether it did any work, so activity-switching loops can tell busy from
+// idle; when it did none but timers are pending it advances the simulated
+// clock by one IdleTick (the spin cost that lets timeouts fire on a silent
+// wire).
+func (e *Endpoint) Poll() (bool, error) {
+	worked := false
+	// Drain the whole input queue: a server station under load takes
+	// packets faster than one per spin, or its clients' timers fire on
+	// queued-but-unread data and the wire fills with spurious retransmits.
+	for {
+		pkt, ok := e.st.Recv()
+		if !ok {
+			break
+		}
+		worked = true
+		if err := e.dispatch(pkt); err != nil {
+			return true, err
+		}
+	}
+	now := e.clock.Now()
+	waiting := false
+	for _, c := range e.order {
+		w, wait, err := c.tick(now)
+		worked = worked || w
+		waiting = waiting || wait
+		if err != nil {
+			return true, err
+		}
+	}
+	e.reap()
+	if !worked && waiting {
+		e.clock.Advance(e.cfg.IdleTick)
+	}
+	return worked, nil
+}
+
+// reap drops closed connections from the sweep order and the demux map.
+// Late control packets for a reaped connection are answered statelessly.
+func (e *Endpoint) reap() {
+	live := e.order[:0]
+	for _, c := range e.order {
+		if c.state == StateClosed {
+			delete(e.conns, connKey{c.remote, c.id})
+			continue
+		}
+		live = append(live, c)
+	}
+	e.order = live
+}
+
+// dispatch routes one inbound packet. Damaged packets (checksum mismatch)
+// are dropped here — corruption becomes loss, and loss is what the timers
+// already repair.
+func (e *Endpoint) dispatch(pkt ether.Packet) error {
+	if !pkt.SumOK() {
+		e.rec().Add("pup.checksum.drop", 1)
+		return nil
+	}
+	if len(pkt.Payload) < headerWords {
+		return nil // not ours, or truncated beyond use
+	}
+	id, seq, ack := pkt.Payload[0], pkt.Payload[1], pkt.Payload[2]
+	c := e.conns[connKey{pkt.Src, id}]
+	switch pkt.Type {
+	case TypeOpen:
+		return e.handleOpen(pkt.Src, id, c)
+	case TypeOpenAck:
+		if c != nil && c.state == StateOpening {
+			c.state = StateOpen
+			c.ctrl = ctrlState{}
+		}
+		return nil
+	case TypeData:
+		if c == nil {
+			return nil // conn unknown (not yet open, or long gone): sender retries
+		}
+		return c.handleData(seq, ack, pkt.Payload[headerWords:])
+	case TypeAck:
+		if c != nil {
+			c.handleAck(ack)
+		}
+		return nil
+	case TypeClose:
+		if c != nil {
+			c.state = StateClosed
+			c.ctrl = ctrlState{}
+		}
+		// Acknowledge even for unknown connections: the peer may be
+		// retransmitting a Close whose ack was lost after we reaped.
+		return e.sendRaw(pkt.Src, TypeCloseAck, id, 0, 0, nil)
+	case TypeCloseAck:
+		if c != nil && c.state == StateClosing {
+			c.state = StateClosed
+			c.ctrl = ctrlState{}
+			e.rec().Add("pup.close", 1)
+		}
+		return nil
+	}
+	return nil
+}
+
+// handleOpen creates (or re-confirms) an inbound connection.
+func (e *Endpoint) handleOpen(from ether.Addr, id uint16, c *Conn) error {
+	if c == nil {
+		if !e.listening {
+			return nil
+		}
+		c = &Conn{ep: e, remote: from, id: id, state: StateOpen, accepted: true}
+		e.add(c)
+		e.backlog = append(e.backlog, c)
+		e.rec().Add("pup.accept", 1)
+	}
+	// OpenAck is stateless on this side: a duplicated Open (the first ack
+	// was lost) just elicits another.
+	return e.sendRaw(from, TypeOpenAck, id, 0, 0, nil)
+}
+
+// sendRaw transmits one transport packet. Every send charges wire time on
+// the shared clock, which is also what drives the timers forward.
+func (e *Endpoint) sendRaw(to ether.Addr, typ ether.Word, id, seq, ack uint16, data []ether.Word) error {
+	payload := make([]ether.Word, headerWords+len(data))
+	payload[0], payload[1], payload[2] = id, seq, ack
+	copy(payload[headerWords:], data)
+	return e.st.Send(ether.Packet{Dst: to, Type: typ, Payload: payload})
+}

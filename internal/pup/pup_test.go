@@ -1,0 +1,291 @@
+package pup
+
+import (
+	"errors"
+	"testing"
+
+	"altoos/internal/ether"
+	"altoos/internal/trace"
+)
+
+// pair builds a network with a recorder, two stations, and two endpoints:
+// srv listening on address 1, cli on address 2.
+func pair(t *testing.T, cfg Config) (net *ether.Network, srv, cli *Endpoint, rec *trace.Recorder) {
+	t.Helper()
+	net = ether.New(nil)
+	rec = trace.New(4096)
+	net.SetRecorder(rec)
+	sst, err := net.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst, err := net.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = NewEndpoint(sst, cfg)
+	cli = NewEndpoint(cst, cfg)
+	srv.Listen()
+	return net, srv, cli, rec
+}
+
+// pump polls both endpoints until done() or the budget runs out.
+func pump(t *testing.T, srv, cli *Endpoint, budget int, done func() bool) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		if done() {
+			return
+		}
+		if _, err := srv.Poll(); err != nil {
+			t.Fatalf("server poll: %v", err)
+		}
+		if _, err := cli.Poll(); err != nil {
+			t.Fatalf("client poll: %v", err)
+		}
+	}
+	if !done() {
+		t.Fatalf("not done after %d polls", budget)
+	}
+}
+
+func TestTransferOverLossyWire(t *testing.T) {
+	net, srv, cli, _ := pair(t, Config{})
+	net.InjectFaults(ether.FaultConfig{
+		Seed:    99,
+		Drop:    ether.Rate{Num: 1, Den: 10},
+		Dup:     ether.Rate{Num: 1, Den: 25},
+		Corrupt: ether.Rate{Num: 1, Den: 25},
+		Delay:   ether.Rate{Num: 1, Den: 25},
+	})
+
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 50
+	var got [][]ether.Word
+	var acc *Conn
+	next := 0
+	pump(t, srv, cli, 100000, func() bool {
+		if acc == nil {
+			acc, _ = srv.Accept()
+		}
+		if next < msgs {
+			err := conn.Send([]ether.Word{ether.Word(next), ether.Word(next * 3)})
+			if err == nil {
+				next++
+			} else if !errors.Is(err, ErrWindowFull) {
+				t.Fatalf("send %d: %v", next, err)
+			}
+		}
+		if acc != nil {
+			for {
+				m, ok := acc.Recv()
+				if !ok {
+					break
+				}
+				got = append(got, m)
+			}
+		}
+		return len(got) == msgs
+	})
+	for i, m := range got {
+		if len(m) != 2 || m[0] != ether.Word(i) || m[1] != ether.Word(i*3) {
+			t.Fatalf("message %d corrupted or misordered: %v", i, m)
+		}
+	}
+
+	// Close cleanly despite the loss.
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, srv, cli, 100000, func() bool { return conn.State() == StateClosed })
+	if conn.Err() != nil {
+		t.Fatalf("close ended in error: %v", conn.Err())
+	}
+}
+
+func TestRetransmitAfterTimeout(t *testing.T) {
+	net, srv, cli, rec := pair(t, Config{})
+	// Deliveries are judged in order: 0 = the client's Open. Drop the first
+	// data packet (judged index 1: Dial happens before any server poll, so
+	// the client's first Send is the second delivery on the wire).
+	net.InjectFaults(ether.FaultConfig{
+		Force: map[int64]ether.Fault{1: ether.FaultDrop},
+	})
+
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]ether.Word{42}); err != nil {
+		t.Fatal(err)
+	}
+
+	var acc *Conn
+	var got []ether.Word
+	pump(t, srv, cli, 100000, func() bool {
+		if acc == nil {
+			acc, _ = srv.Accept()
+		}
+		if acc != nil {
+			if m, ok := acc.Recv(); ok {
+				got = m
+			}
+		}
+		return got != nil
+	})
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v, want [42]", got)
+	}
+	if n := rec.Counter("pup.retransmit"); n < 1 {
+		t.Fatalf("pup.retransmit = %d, want >= 1", n)
+	}
+	if n := rec.Counter("ether.drop"); n != 1 {
+		t.Fatalf("ether.drop = %d, want 1", n)
+	}
+}
+
+func TestDuplicateAck(t *testing.T) {
+	net, srv, cli, rec := pair(t, Config{})
+	// Delivery order: Open(0), Data seq0(1), Data seq1(2), OpenAck(3),
+	// Ack for seq0(4), Ack for seq1(5). Duplicate the first ack: the second
+	// copy arrives while seq1 is still unacked and must count as a dup ack,
+	// not pop anything twice.
+	net.InjectFaults(ether.FaultConfig{
+		Force: map[int64]ether.Fault{4: ether.FaultDup},
+	})
+
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]ether.Word{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]ether.Word{2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var acc *Conn
+	var got [][]ether.Word
+	pump(t, srv, cli, 10000, func() bool {
+		if acc == nil {
+			acc, _ = srv.Accept()
+		}
+		if acc != nil {
+			if m, ok := acc.Recv(); ok {
+				got = append(got, m)
+			}
+		}
+		return len(got) == 2 && len(conn.sendQ) == 0
+	})
+	if n := rec.Counter("pup.dup.ack"); n != 1 {
+		t.Fatalf("pup.dup.ack = %d, want 1", n)
+	}
+	if n := rec.Counter("pup.retransmit"); n != 0 {
+		t.Fatalf("pup.retransmit = %d, want 0 (dup ack must not trigger one)", n)
+	}
+}
+
+func TestWindowFullBackpressure(t *testing.T) {
+	_, srv, cli, _ := pair(t, Config{Window: 4})
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := conn.Send([]ether.Word{ether.Word(i)}); err != nil {
+			t.Fatalf("send %d within window: %v", i, err)
+		}
+	}
+	if err := conn.Send([]ether.Word{9}); !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("send past window: got %v, want ErrWindowFull", err)
+	}
+	// Draining the acks reopens the window.
+	pump(t, srv, cli, 1000, func() bool { return len(conn.sendQ) == 0 })
+	if err := conn.Send([]ether.Word{9}); err != nil {
+		t.Fatalf("send after drain: %v", err)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	net, _, cli, rec := pair(t, Config{MaxRetries: 3})
+	// A wire that loses everything: the peer never hears the Open.
+	net.InjectFaults(ether.FaultConfig{
+		Seed: 1,
+		Drop: ether.Rate{Num: 1, Den: 1},
+	})
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000 && conn.Err() == nil; i++ {
+		if _, err := cli.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !errors.Is(conn.Err(), ErrRetriesExhausted) {
+		t.Fatalf("conn.Err() = %v, want ErrRetriesExhausted", conn.Err())
+	}
+	if conn.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", conn.State())
+	}
+	if n := rec.Counter("pup.fail"); n != 1 {
+		t.Fatalf("pup.fail = %d, want 1", n)
+	}
+	// Sends on the dead conn surface the same typed error.
+	if err := conn.Send([]ether.Word{1}); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("send on dead conn: got %v, want ErrRetriesExhausted", err)
+	}
+}
+
+func TestMessageTooBig(t *testing.T) {
+	_, _, cli, _ := pair(t, Config{})
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(make([]ether.Word, MaxData+1)); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("got %v, want ErrTooBig", err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int64, int64) {
+		net, srv, cli, rec := pair(t, Config{})
+		net.InjectFaults(ether.FaultConfig{
+			Seed: 7,
+			Drop: ether.Rate{Num: 1, Den: 8},
+			Dup:  ether.Rate{Num: 1, Den: 16},
+		})
+		conn, err := cli.Dial(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc *Conn
+		count, next := 0, 0
+		pump(t, srv, cli, 100000, func() bool {
+			if acc == nil {
+				acc, _ = srv.Accept()
+			}
+			if next < 20 {
+				if conn.Send([]ether.Word{ether.Word(next)}) == nil {
+					next++
+				}
+			}
+			if acc != nil {
+				if _, ok := acc.Recv(); ok {
+					count++
+				}
+			}
+			return count == 20
+		})
+		return rec.Counter("pup.retransmit"), int64(net.Clock().Now())
+	}
+	r1, t1 := run()
+	r2, t2 := run()
+	if r1 != r2 || t1 != t2 {
+		t.Fatalf("same-seed runs diverged: retransmits %d vs %d, clock %d vs %d", r1, r2, t1, t2)
+	}
+}

@@ -77,6 +77,9 @@ const (
 	// KindDiskChain is one chained transfer: a batch of sector operations
 	// scheduled as a unit (span; name: chain mode; args: length, failures).
 	KindDiskChain
+	// KindFSSession is one file-server session, accept to close (span;
+	// args: the peer's station address, data bytes moved).
+	KindFSSession
 
 	numKinds
 )
@@ -105,6 +108,7 @@ var kindInfo = [numKinds]struct {
 	KindEtherCollision: {"collision", "ether", "dst", "src"},
 	KindEtherRecv:      {"recv", "ether", "src", "words"},
 	KindDiskChain:      {"chain", "disk", "ops", "failures"},
+	KindFSSession:      {"session", "fileserver", "peer", "bytes"},
 }
 
 // String implements fmt.Stringer.

@@ -18,12 +18,15 @@ import (
 // cmd/ and examples/ are exempt for now: they are entry points that may
 // legitimately talk to the host (and a sweep found them clean anyway); the
 // scope can be widened once the analyzer has bedded in.
-// Inside internal/disk the bar is higher still: the rotational scheduler
-// promises that two runs of the same workload order their transfers
-// identically (the flight-recorder traces are compared byte for byte), and
-// Go's randomized map iteration order would break that promise silently.
-// Ranging over a map anywhere in the disk layer is therefore a finding;
-// schedule-relevant state lives in slices sorted by disk address.
+// Inside internal/disk, internal/pup and internal/fileserver the bar is
+// higher still: the rotational scheduler, the transport's retransmission
+// timers and the file server's session service order all promise that two
+// runs of the same workload replay identically (the flight-recorder traces
+// are compared byte for byte), and Go's randomized map iteration order
+// would break that promise silently. Ranging over a map anywhere in those
+// packages is therefore a finding; order-relevant state lives in sorted or
+// creation-ordered slices (pup keeps its conns map strictly as a demux
+// index — every sweep walks the order slice).
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock time and math/rand outside internal/sim; use sim.Clock/sim.Rand",
@@ -52,7 +55,7 @@ func runDeterminism(pass *Pass) {
 		strings.HasPrefix(rel, "examples/") {
 		return
 	}
-	mapOrderMatters := rel == "internal/disk"
+	mapOrderMatters := rel == "internal/disk" || rel == "internal/pup" || rel == "internal/fileserver"
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
@@ -69,7 +72,7 @@ func runDeterminism(pass *Pass) {
 				if t := pass.TypeOf(rng.X); t != nil {
 					if _, isMap := t.Underlying().(*types.Map); isMap {
 						pass.Report(rng.Pos(),
-							"map iteration order is randomized; the disk layer's scheduling must be deterministic — keep schedule-relevant state in address-sorted slices")
+							"map iteration order is randomized; this package's event order must replay byte-identically — keep order-relevant state in sorted slices and use maps only for keyed lookup")
 					}
 				}
 			}
