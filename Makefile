@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet altovet test race bench bench-diff trace-check fmt
+.PHONY: check build vet altovet test race bench bench-diff trace-check crash-check fmt
 
-check: build vet altovet trace-check race bench-diff
+check: build vet altovet trace-check crash-check race bench-diff
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ race:
 trace-check:
 	$(GO) build -o /dev/null ./cmd/altotrace
 	$(GO) test -run TestTracesAreByteIdentical ./cmd/altotrace
+
+# crash-check is the §3.5 gate: a sampled sweep of crash points (clean and
+# torn) over the journaled directory workload; altocrash exits non-zero if
+# any crash point fails to recover to a pack fsck certifies violation-free.
+crash-check:
+	$(GO) run ./cmd/altocrash -workload journaled-insert -points 64 -workers 8 -torn
 
 # bench runs every experiment benchmark once and keeps the raw output as a
 # timestamped snapshot, so regressions in the simulated quantities are

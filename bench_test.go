@@ -97,3 +97,11 @@ func BenchmarkE11LossSweep(b *testing.B) {
 		"goodput_words_per_sec_loss0", "goodput_words_per_sec_loss10",
 		"goodput_words_per_sec_loss20", "retransmits_loss20")
 }
+
+// BenchmarkE12CrashSweep — §3.5: every crash point of the journaled-insert
+// and compaction workloads, clean and torn, recovers to a pack fsck
+// certifies violation-free.
+func BenchmarkE12CrashSweep(b *testing.B) {
+	report(b, experiments.E12CrashSweep,
+		"crash_points_total", "violations_total", "recovered_pct")
+}

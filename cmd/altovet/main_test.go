@@ -49,6 +49,8 @@ func TestFixtures(t *testing.T) {
 		{"determinism", "schedfix", "altoos/internal/disk"},
 		{"determinism", "schedfix", "altoos/internal/pup"},
 		{"determinism", "schedfix", "altoos/internal/fileserver"},
+		{"determinism", "schedfix", "altoos/internal/crashpoint"},
+		{"determinism", "schedfix", "altoos/internal/fsck"},
 		{"wordwidth", "widthfix", "altoos/internal/widthfix"},
 		{"labelcheck", "labelfix", "altoos/internal/labelfix"},
 		{"errdiscard", "errfix", "altoos/internal/errfix"},

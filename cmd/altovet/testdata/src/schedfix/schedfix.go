@@ -1,9 +1,11 @@
 // Package schedfix exercises the determinism analyzer's replay-critical
 // rules. The fixture is loaded under the virtual paths altoos/internal/disk,
-// altoos/internal/pup and altoos/internal/fileserver — the packages whose
-// event order (rotational schedule, retransmission timers, session service
-// order) must replay byte-identically: there, beyond the usual wall-clock
-// ban, map iteration order is a finding, because Go randomizes map ranges.
+// altoos/internal/pup, altoos/internal/fileserver, altoos/internal/crashpoint
+// and altoos/internal/fsck — the packages whose event order (rotational
+// schedule, retransmission timers, session service order, merged sweep
+// reports, violation lists) must replay byte-identically: there, beyond the
+// usual wall-clock ban, map iteration order is a finding, because Go
+// randomizes map ranges.
 package schedfix
 
 import (

@@ -140,7 +140,7 @@ func direction(unit string) metricDir {
 			return higherBetter
 		}
 	}
-	for _, kw := range []string{"seconds", "ms", "revs", "overhead", "retries", "retransmits", "cold"} {
+	for _, kw := range []string{"seconds", "ms", "revs", "overhead", "retries", "retransmits", "cold", "violations"} {
 		if strings.Contains(unit, kw) {
 			return lowerBetter
 		}

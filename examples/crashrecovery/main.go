@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"altoos"
+	"altoos/internal/crashpoint"
 	"altoos/internal/dir"
 	"altoos/internal/disk"
 	"altoos/internal/file"
@@ -106,20 +107,29 @@ func main() {
 		fmt.Println("   report-5.txt  gone with its leader (data pages reclaimed)")
 	}
 
-	// 4. Crash mid-extend, scavenge, carry on.
-	fmt.Println("-- power failure in the middle of growing a file --")
-	f, _ := sys.OpenByName("report-1.txt")
-	sys.Drive.CrashAfterWrites(1)
-	var page [disk.PageWords]disk.Word
-	lp := f.LastPN()
-	//altovet:allow errdiscard the simulated power failure makes this write fail by design
-	_ = f.WritePage(lp, &page, disk.PageBytes) // torn by the crash
-	sys.Drive.ClearCrash()
-	rep, err = sys.Scavenge()
+	// 4. Crash mid-operation: drive the crash-point explorer for a single
+	// sampled point of the journaled directory workload. The explorer
+	// rebuilds a fresh machine, fails power after that write — once with
+	// the in-flight sector suppressed cleanly, once with it landing torn —
+	// then reboots each wreck into the Scavenger and has fsck re-prove
+	// every invariant. (`altocrash` sweeps every write the same way.)
+	fmt.Println("-- power failure in the middle of a journaled insert --")
+	wl, ok := crashpoint.Lookup("journaled-insert")
+	if !ok {
+		log.Fatal("journaled-insert workload not registered")
+	}
+	cres, err := crashpoint.Explore(wl, crashpoint.Options{Points: 1, Workers: 1, Torn: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("   after reboot: %s\n", rep)
+	for _, o := range cres.Outcomes {
+		verdict := "fsck: consistent"
+		if !o.Consistent {
+			verdict = fmt.Sprintf("fsck: %d violation(s)", len(o.Violations))
+		}
+		fmt.Printf("   crash after write %d of %d (torn=%v): %d repairs, %s\n",
+			o.Point, cres.Writes, o.Torn, o.Repairs.Total(), verdict)
+	}
 
 	// 5. Fragment and compact.
 	fmt.Println("-- compacting scavenger --")

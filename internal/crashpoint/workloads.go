@@ -1,0 +1,361 @@
+// Package crashpoint is the crash-consistency explorer: it turns the
+// paper's "the effects of a system crash at an arbitrary point" (§3.5) from
+// a claim into an enumerated, machine-checked property. A workload is run
+// once against a fresh pack to count its write actions; then it is re-run
+// once per crash point, each run on its own fresh pack with power failing
+// after write 1, 2, …, N, and after every crash the machine "reboots": the
+// Scavenger repairs the pack and the fsck checker verifies every invariant.
+// Runs fan out across a worker pool of independent disk images and merge in
+// schedule order, so a sweep is byte-identical however many workers serve it.
+package crashpoint
+
+import (
+	"fmt"
+	"time"
+
+	"altoos/internal/cpu"
+	"altoos/internal/dir"
+	"altoos/internal/dirlog"
+	"altoos/internal/disk"
+	"altoos/internal/ether"
+	"altoos/internal/file"
+	"altoos/internal/fileserver"
+	"altoos/internal/mem"
+	"altoos/internal/pup"
+	"altoos/internal/scavenge"
+	"altoos/internal/sim"
+	"altoos/internal/stream"
+	"altoos/internal/swap"
+	"altoos/internal/zone"
+)
+
+// Rig is one disposable machine: a fresh pack with the workload's scenery
+// already set up, and the write window the explorer crashes into.
+type Rig struct {
+	// Drive is the disk image the explorer arms and the checkers verify.
+	Drive *disk.Drive
+	// Run performs the explored write window. Everything Run writes is fair
+	// game for the crash; everything Build wrote before it is scenery.
+	Run func() error
+}
+
+// Workload names one explorable scenario. Build performs all setup on a
+// fresh pack and returns the rig; it is called once per explored crash
+// point, so it must be deterministic — every build must produce the same
+// write schedule.
+type Workload struct {
+	Name  string
+	Desc  string
+	Build func() (*Rig, error)
+}
+
+// exploreGeometry is the small pack the workloads run on: 576 sectors keeps
+// a full sweep (every crash point × scavenge × fsck) fast on the host while
+// leaving room for a whole machine state plus the system files.
+func exploreGeometry() disk.Geometry {
+	return disk.Geometry{
+		Name:            "Explorer48",
+		Cylinders:       24,
+		Heads:           2,
+		SectorsPerTrack: 12,
+		RevTime:         40 * time.Millisecond,
+		SeekSettle:      15 * time.Millisecond,
+		SeekPerCyl:      560 * time.Microsecond,
+	}
+}
+
+// newFS formats a fresh pack with a root directory.
+func newFS() (*disk.Drive, *file.FS, *dir.Directory, error) {
+	d, err := disk.NewDrive(exploreGeometry(), 1, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	root, err := dir.InitRoot(fs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d, fs, root, nil
+}
+
+// prepFiles creates and syncs n files without naming them anywhere — the
+// raw material for the insert workloads. A crash between a file's creation
+// and its insert leaves an orphan for the Scavenger to adopt.
+func prepFiles(fs *file.FS, n int) ([]file.FN, error) {
+	fns := make([]file.FN, n)
+	var v [disk.PageWords]disk.Word
+	for i := range fns {
+		f, err := fs.Create(fmt.Sprintf("note-%02d", i))
+		if err != nil {
+			return nil, err
+		}
+		for w := range v {
+			v[w] = disk.Word((i*200 + w) & 0xFFFF)
+		}
+		if err := f.WritePage(1, &v, 80); err != nil {
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+		fns[i] = f.FN()
+	}
+	if err := fs.Flush(); err != nil {
+		return nil, err
+	}
+	return fns, nil
+}
+
+// buildJournaledInsert explores the journaled directory path: each insert
+// writes a write-ahead journal record, then the directory page — the two
+// structures whose agreement after a crash is the whole point of dirlog.
+func buildJournaledInsert() (*Rig, error) {
+	d, fs, _, err := newFS()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	z, err := zone.New(m, 0x4000, 0x4000)
+	if err != nil {
+		return nil, err
+	}
+	lg, err := dirlog.Open(fs, z, m)
+	if err != nil {
+		return nil, err
+	}
+	ld, err := lg.WrapRoot()
+	if err != nil {
+		return nil, err
+	}
+	fns, err := prepFiles(fs, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{Drive: d, Run: func() error {
+		for i, fn := range fns {
+			if err := ld.Insert(fmt.Sprintf("note-%02d", i), fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}, nil
+}
+
+// buildDirInsert explores plain directory inserts, no journal.
+func buildDirInsert() (*Rig, error) {
+	d, fs, root, err := newFS()
+	if err != nil {
+		return nil, err
+	}
+	fns, err := prepFiles(fs, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Rig{Drive: d, Run: func() error {
+		for i, fn := range fns {
+			if err := root.Insert(fmt.Sprintf("note-%02d", i), fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}, nil
+}
+
+// buildStreamWrite explores a disk stream growing a file: page allocations,
+// length relabels and the leader sync on close.
+func buildStreamWrite() (*Rig, error) {
+	d, fs, root, err := newFS()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	z, err := zone.New(m, 0x4000, 0x4000)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fs.Create("journal")
+	if err != nil {
+		return nil, err
+	}
+	if err := root.Insert("journal", f.FN()); err != nil {
+		return nil, err
+	}
+	if err := fs.Flush(); err != nil {
+		return nil, err
+	}
+	return &Rig{Drive: d, Run: func() error {
+		s, err := stream.NewDisk(f, z, m, stream.WriteMode)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 3*disk.PageBytes; i++ {
+			if err := s.Put(byte('a' + i%26)); err != nil {
+				// The crash ate the page buffer mid-write; the whole rig
+				// is discarded after the verdict, so nothing to close.
+				return err
+			}
+		}
+		return s.Close()
+	}}, nil
+}
+
+// buildCompact explores the in-place compactor: pages move under their
+// absolute names with links deliberately stale mid-permutation.
+func buildCompact() (*Rig, error) {
+	d, fs, root, err := newFS()
+	if err != nil {
+		return nil, err
+	}
+	// Interleave page allocation across files, then delete one, so the
+	// compactor has both scattered chains and holes to squeeze out.
+	const nfiles, pages = 4, 3
+	files := make([]*file.File, nfiles)
+	for i := range files {
+		f, err := fs.Create(fmt.Sprintf("frag-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+	}
+	var v [disk.PageWords]disk.Word
+	for pn := 1; pn <= pages; pn++ {
+		for i, f := range files {
+			for w := range v {
+				v[w] = disk.Word((i*1000 + pn*100 + w) & 0xFFFF)
+			}
+			if err := f.WritePage(disk.Word(pn), &v, disk.PageBytes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, f := range files {
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+		if err := root.Insert(fmt.Sprintf("frag-%d", i), f.FN()); err != nil {
+			return nil, err
+		}
+	}
+	if err := root.Remove("frag-1"); err != nil {
+		return nil, err
+	}
+	if err := files[1].Delete(); err != nil {
+		return nil, err
+	}
+	if err := fs.Flush(); err != nil {
+		return nil, err
+	}
+	return &Rig{Drive: d, Run: func() error {
+		_, _, err := scavenge.Compact(d)
+		return err
+	}}, nil
+}
+
+// buildOutLoad explores a machine-state save onto an installed state file:
+// 257 streamed full-page writes plus the leader (§4.1's one-second swap).
+func buildOutLoad() (*Rig, error) {
+	d, fs, root, err := newFS()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	c := cpu.New(m, d.Clock(), nil)
+	f, err := fs.Create("Swatee.")
+	if err != nil {
+		return nil, err
+	}
+	if err := root.Insert("Swatee.", f.FN()); err != nil {
+		return nil, err
+	}
+	// Install the state file outside the window: the explored run is the
+	// steady-state save, every page an ordinary label-checked write.
+	if err := swap.SaveState(fs, c, f.FN()); err != nil {
+		return nil, err
+	}
+	if err := fs.Flush(); err != nil {
+		return nil, err
+	}
+	fn := f.FN()
+	return &Rig{Drive: d, Run: func() error {
+		_, err := swap.OutLoad(fs, c, fn)
+		return err
+	}}, nil
+}
+
+// buildFileserverStore explores a network store: the server's disk writes
+// happen inside its poll loop, driven by a client on a perfect wire.
+func buildFileserverStore() (*Rig, error) {
+	clock := sim.NewClock()
+	wire := ether.New(clock)
+	d, err := disk.NewDrive(exploreGeometry(), 1, clock)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := file.Format(d)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dir.InitRoot(fs); err != nil {
+		return nil, err
+	}
+	sst, err := wire.Attach(1)
+	if err != nil {
+		return nil, err
+	}
+	srv := fileserver.NewServer(fs, pup.NewEndpoint(sst, pup.Config{}))
+	cst, err := wire.Attach(2)
+	if err != nil {
+		return nil, err
+	}
+	cl := fileserver.NewClient(pup.NewEndpoint(cst, pup.Config{Seed: 1}))
+	if err := cl.Connect(1); err != nil {
+		return nil, err
+	}
+	data := make([]byte, 3*disk.PageBytes+57)
+	for i := range data {
+		data[i] = byte(i*11 + 5)
+	}
+	return &Rig{Drive: d, Run: func() error {
+		if err := cl.Store("upload", data); err != nil {
+			return err
+		}
+		for polls := 0; polls < 1_000_000; polls++ {
+			if _, err := srv.Poll(); err != nil {
+				return err
+			}
+			if _, err := cl.Poll(); err != nil {
+				return err
+			}
+			if cl.Done() {
+				_, err := cl.Result()
+				return err
+			}
+		}
+		return fmt.Errorf("crashpoint: fileserver store never completed")
+	}}, nil
+}
+
+// Workloads lists every explorable scenario, in fixed order.
+func Workloads() []Workload {
+	return []Workload{
+		{"journaled-insert", "directory inserts through the write-ahead journal", buildJournaledInsert},
+		{"dir-insert", "plain directory inserts", buildDirInsert},
+		{"stream-write", "a disk stream growing a file", buildStreamWrite},
+		{"compact", "in-place compaction of a fragmented pack", buildCompact},
+		{"outload", "a machine-state save onto an installed state file", buildOutLoad},
+		{"fileserver-store", "a network store through the file server", buildFileserverStore},
+	}
+}
+
+// Lookup finds a workload by name.
+func Lookup(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}

@@ -29,7 +29,9 @@ const (
 	// seek and rotational latency. The operations must be independent: each
 	// runs regardless of the others' outcomes and reports its own error.
 	// The ops slice is reordered in place; errs[i] always describes ops[i]
-	// as returned.
+	// as returned. One exception to independence: a simulated power failure
+	// (ErrCrashed) kills the controller, not one command block, so the rest
+	// of the chain never runs and reports ErrChainAborted — in either mode.
 	FreeOrder
 )
 
@@ -101,7 +103,10 @@ func (d *Drive) DoChain(ops []Op, mode ChainMode) []error {
 		}
 		failures++
 		fail(i, err)
-		if mode == Ordered {
+		// Ordered chains abort on any failure. A crash aborts in either
+		// mode: power failed under the controller mid-chain, so the ops it
+		// had not reached yet were never issued at all.
+		if mode == Ordered || errors.Is(err, ErrCrashed) {
 			for j := i + 1; j < len(ops); j++ {
 				errs[j] = ErrChainAborted
 			}
@@ -135,7 +140,7 @@ func DoChainOn(dev Device, ops []Op, mode ChainMode) []error {
 			errs = make([]error, len(ops))
 		}
 		errs[i] = err
-		if mode == Ordered {
+		if mode == Ordered || errors.Is(err, ErrCrashed) {
 			for j := i + 1; j < len(ops); j++ {
 				errs[j] = ErrChainAborted
 			}

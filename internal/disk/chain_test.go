@@ -217,3 +217,71 @@ func (p plainDevice) Do(op *Op) error    { return p.d.Do(op) }
 func (p plainDevice) Geometry() Geometry { return p.d.Geometry() }
 func (p plainDevice) Pack() Word         { return p.d.Pack() }
 func (p plainDevice) Clock() *sim.Clock  { return p.d.Clock() }
+
+func TestChainFreeOrderAbortsAsUnitOnCrash(t *testing.T) {
+	d := newTestDrive(t)
+	// A free-order chain of three independent allocations, with power
+	// failing on the first write action the scheduler issues. Unlike an
+	// ordinary per-op failure, a crash kills the controller: the remaining
+	// ops must never run and must report ErrChainAborted, not their own
+	// ErrCrashed — the controller never reached them.
+	d.CrashAfterWrites(0)
+	var v [PageWords]Word
+	fill(&v, 0x200)
+	lbls := [3][LabelWords]Word{testLabel(1).Words(), testLabel(2).Words(), testLabel(3).Words()}
+	ops := []Op{
+		{Addr: 40, Label: Write, LabelData: &lbls[0], Value: Write, ValueData: &v},
+		{Addr: 80, Label: Write, LabelData: &lbls[1], Value: Write, ValueData: &v},
+		{Addr: 10, Label: Write, LabelData: &lbls[2], Value: Write, ValueData: &v},
+	}
+	errs := d.DoChain(ops, FreeOrder)
+	if errs == nil {
+		t.Fatal("expected errors from chain under crash")
+	}
+	crashes, aborted := 0, 0
+	for i := range ops {
+		switch {
+		case errors.Is(errs[i], ErrCrashed):
+			crashes++
+		case errors.Is(errs[i], ErrChainAborted):
+			aborted++
+		default:
+			t.Errorf("op at addr %d: %v, want ErrCrashed or ErrChainAborted", ops[i].Addr, errs[i])
+		}
+	}
+	if crashes != 1 || aborted != 2 {
+		t.Errorf("got %d crashed + %d aborted ops, want exactly 1 + 2: the crash must abort the chain as a unit", crashes, aborted)
+	}
+	// No op after the crash was issued: exactly one write action was asked
+	// of the drive (and lost).
+	if st := d.Stats(); st.CrashedWrites != 1 {
+		t.Errorf("CrashedWrites = %d, want 1 (later ops must not reach the drive)", st.CrashedWrites)
+	}
+	for _, a := range []VDA{40, 80, 10} {
+		if got, _ := d.PeekLabel(a); !IsFreeLabel(got) {
+			t.Errorf("sector %d was written by a chain op past the crash", a)
+		}
+	}
+}
+
+func TestDoChainOnFallbackAbortsOnCrash(t *testing.T) {
+	d := newTestDrive(t)
+	d.CrashAfterWrites(0)
+	var v [PageWords]Word
+	fill(&v, 0x300)
+	lbls := [2][LabelWords]Word{testLabel(1).Words(), testLabel(2).Words()}
+	ops := []Op{
+		{Addr: 12, Label: Write, LabelData: &lbls[0], Value: Write, ValueData: &v},
+		{Addr: 60, Label: Write, LabelData: &lbls[1], Value: Write, ValueData: &v},
+	}
+	errs := DoChainOn(plainDevice{d}, ops, FreeOrder)
+	if errs == nil {
+		t.Fatal("expected errors from fallback chain under crash")
+	}
+	if !errors.Is(errs[0], ErrCrashed) {
+		t.Errorf("op 0: %v, want ErrCrashed", errs[0])
+	}
+	if !errors.Is(errs[1], ErrChainAborted) {
+		t.Errorf("op 1: %v, want ErrChainAborted (crash aborts the fallback chain too)", errs[1])
+	}
+}

@@ -133,7 +133,12 @@ type Stats struct {
 	Writes    int64
 	Checks    int64
 	CheckFail int64
-	Busy      time.Duration
+	// CrashedWrites counts write actions lost to the simulated power
+	// failure; TornWrites counts the subset that landed garbled mid-sector
+	// instead of being suppressed cleanly (at most one per crash).
+	CrashedWrites int64
+	TornWrites    int64
+	Busy          time.Duration
 }
 
 // Revolutions reports total busy time in units of disk revolutions.
@@ -195,6 +200,18 @@ type Drive struct {
 	// later ones are lost and ErrCrashed is returned.
 	crashAfterWrites int64
 	crashed          bool
+
+	// tornCrash selects the torn flavour of the armed crash: the write the
+	// power failure catches lands garbled mid-sector instead of being
+	// suppressed cleanly, and its checksum goes stale — what a real head
+	// drop leaves on the platter.
+	tornCrash bool
+
+	// writeSeq numbers every write action ever asked of the drive,
+	// including ones suppressed after a crash; crashAt records the sequence
+	// number of the write the crash destroyed (0 = the crash has not fired).
+	writeSeq int64
+	crashAt  int64
 }
 
 // Device is the abstract disk object of §2: anything that can perform
@@ -469,17 +486,33 @@ func (d *Drive) doPart(addr VDA, part Part, a Action, dst, mem []Word) error {
 		}
 		return nil
 	case Write:
+		d.writeSeq++
 		if d.crashed {
+			d.stats.CrashedWrites++
 			if d.rec != nil {
-				d.rec.Emit(d.clock.Now(), trace.KindCrashWrite, part.String(), int64(addr), opCrashed)
+				d.rec.Emit(d.clock.Now(), trace.KindCrashWrite, part.String(), int64(addr), d.writeSeq)
 				d.rec.Add("disk.write.crashed", 1)
 			}
 			return ErrCrashed
 		}
 		if d.crashAfterWrites == 0 {
 			d.crashed = true
+			d.crashAt = d.writeSeq
+			d.stats.CrashedWrites++
+			if d.tornCrash {
+				// The head was over the sector when power failed: the part
+				// in flight lands garbled — neither the old words nor the
+				// new — and the recorded checksum is deliberately left
+				// stale, so a later read surfaces the damage to the flight
+				// recorder as KindCRCMismatch.
+				tearInto(dst, mem, addr, part)
+				d.stats.TornWrites++
+				if d.rec != nil {
+					d.rec.Add("disk.write.torn", 1)
+				}
+			}
 			if d.rec != nil {
-				d.rec.Emit(d.clock.Now(), trace.KindCrashWrite, part.String(), int64(addr), opCrashed)
+				d.rec.Emit(d.clock.Now(), trace.KindCrashWrite, part.String(), int64(addr), d.writeSeq)
 				d.rec.Add("disk.write.crashed", 1)
 			}
 			return ErrCrashed
@@ -495,6 +528,18 @@ func (d *Drive) doPart(addr VDA, part Part, a Action, dst, mem []Word) error {
 		return nil
 	}
 	return fmt.Errorf("%w: action %d", ErrBadOp, a)
+}
+
+// tearInto deposits what a torn write leaves on the platter: the first words
+// of the new data, then garbage from where the transfer stopped. The garble
+// is a pure function of the buffer, the sector address and the word index,
+// so a replayed run tears identically — the crash explorer depends on it.
+func tearInto(dst, mem []Word, addr VDA, part Part) {
+	cut := len(dst) / 2
+	copy(dst[:cut], mem[:cut])
+	for i := cut; i < len(dst); i++ {
+		dst[i] = mem[i] ^ 0xA5A5 ^ Word((i*7)&0xFFFF) ^ Word(addr) ^ Word(part)<<13
+	}
 }
 
 // The header part of a sector is written at format time only; sectors are

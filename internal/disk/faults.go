@@ -88,7 +88,29 @@ func (d *Drive) CrashAfterWrites(n int64) {
 	d.crashAfterWrites = n
 	if n >= 0 {
 		d.crashed = false
+		d.crashAt = 0
 	}
+}
+
+// SetTornCrash selects how the armed crash lands. With torn on, the write
+// the power failure catches is not suppressed cleanly: the part under the
+// head is deposited garbled (tearInto) and its checksum goes stale, as a
+// real head drop leaves it. Later writes are suppressed as usual. The flag
+// persists across ClearCrash so a rig can be armed once per run.
+func (d *Drive) SetTornCrash(torn bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tornCrash = torn
+}
+
+// CrashAt reports the write-action sequence number (1-based over the
+// drive's lifetime) of the write the armed crash destroyed, and whether the
+// crash has fired at all. ClearCrash keeps the value for post-mortem
+// reporting; re-arming with CrashAfterWrites resets it.
+func (d *Drive) CrashAt() (int64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashAt, d.crashAt != 0
 }
 
 // ClearCrash models restarting the machine after a crash: writes work again.

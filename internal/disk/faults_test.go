@@ -161,3 +161,111 @@ func TestCrashSurfacesAsCrashWriteEvent(t *testing.T) {
 		t.Error("disk.write.crashed counter not incremented")
 	}
 }
+
+func TestTornCrashGarblesInFlightWrite(t *testing.T) {
+	d, rec := newTracedDrive(t)
+	d.SetTornCrash(true)
+	d.CrashAfterWrites(0)
+	var v [PageWords]Word
+	fill(&v, 0x500)
+	if err := WriteValue(d, 7, testLabel(0), &v); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write: got %v, want ErrCrashed", err)
+	}
+	d.ClearCrash()
+	s, ok := d.peek(7)
+	if !ok {
+		t.Fatal("peek failed")
+	}
+	var old [PageWords]Word
+	fill(&old, 0x300) // what newTracedDrive allocated
+	if s.value == old {
+		t.Error("torn write left the old value intact; it must land garbled")
+	}
+	if s.value == v {
+		t.Error("torn write landed the complete new value; it must land garbled")
+	}
+	if c := rec.Counter("disk.write.torn"); c != 1 {
+		t.Errorf("disk.write.torn = %d, want 1", c)
+	}
+	if st := d.Stats(); st.TornWrites != 1 || st.CrashedWrites != 1 {
+		t.Errorf("Stats torn/crashed = %d/%d, want 1/1", st.TornWrites, st.CrashedWrites)
+	}
+	// The label is intact, so a restarted machine reads the page without
+	// complaint — the damage shows only as a stale value checksum.
+	var got [PageWords]Word
+	if err := ReadValue(d, 7, testLabel(0), &got); err != nil {
+		t.Fatalf("read after torn crash: %v (the label is intact; the read must succeed)", err)
+	}
+	if c := rec.Counter("disk.crc.mismatch"); c == 0 {
+		t.Error("torn value read fired no CRC mismatch; the checksum must be left stale")
+	}
+}
+
+func TestTornCrashIsDeterministic(t *testing.T) {
+	tear := func() [PageWords]Word {
+		d := newTestDrive(t)
+		var v0 [PageWords]Word
+		fill(&v0, 0x300)
+		if err := Allocate(d, 7, testLabel(0), &v0); err != nil {
+			t.Fatal(err)
+		}
+		d.SetTornCrash(true)
+		d.CrashAfterWrites(0)
+		var v [PageWords]Word
+		fill(&v, 0x500)
+		if err := WriteValue(d, 7, testLabel(0), &v); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("torn write: got %v, want ErrCrashed", err)
+		}
+		s, _ := d.peek(7)
+		return s.value
+	}
+	if tear() != tear() {
+		t.Error("two identical torn runs left different sector contents; the crash explorer needs replayable tears")
+	}
+}
+
+func TestCrashAtReportsWriteIndex(t *testing.T) {
+	d := newTestDrive(t)
+	if _, fired := d.CrashAt(); fired {
+		t.Fatal("CrashAt fired before any crash")
+	}
+	// Allocate is two write actions (label, then value); arming after one
+	// write makes the value write — lifetime write action #2 — the one the
+	// power failure eats.
+	d.CrashAfterWrites(1)
+	var v [PageWords]Word
+	fill(&v, 0x100)
+	if err := Allocate(d, 7, testLabel(0), &v); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Allocate under crash: got %v, want ErrCrashed", err)
+	}
+	if at, fired := d.CrashAt(); !fired || at != 2 {
+		t.Errorf("CrashAt = %d, %v; want 2, true", at, fired)
+	}
+	d.ClearCrash()
+	if at, fired := d.CrashAt(); !fired || at != 2 {
+		t.Errorf("after ClearCrash: CrashAt = %d, %v; want 2, true (kept for post-mortem reporting)", at, fired)
+	}
+	d.CrashAfterWrites(5)
+	if _, fired := d.CrashAt(); fired {
+		t.Error("re-arming must reset CrashAt")
+	}
+}
+
+func TestCrashWriteEventCarriesWriteIndex(t *testing.T) {
+	d, rec := newTracedDrive(t)
+	d.CrashAfterWrites(0)
+	var v [PageWords]Word
+	fill(&v, 0x500)
+	if err := WriteValue(d, 7, testLabel(0), &v); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write under crash: got %v, want ErrCrashed", err)
+	}
+	at, fired := d.CrashAt()
+	if !fired {
+		t.Fatal("crash did not fire")
+	}
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindCrashWrite && ev.A1 != at {
+			t.Errorf("crash-write event write_idx = %d, want %d", ev.A1, at)
+		}
+	}
+}

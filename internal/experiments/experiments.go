@@ -152,6 +152,7 @@ var registry = []Runner{
 	{"e9", "installed hints", e9InstalledHints},
 	{"e10", "loaded file server over a lossy wire", e10LoadedServer},
 	{"e11", "goodput vs. packet loss", e11LossSweep},
+	{"e12", "exhaustive crash-point sweep", e12CrashSweep},
 }
 
 // IDs lists the experiment ids Run accepts, in order.

@@ -161,6 +161,18 @@ func TestE11LossSweep(t *testing.T) {
 	check(t, r, "retransmits_loss20", 1, 500)
 }
 
+func TestE12CrashSweep(t *testing.T) {
+	r, err := E12CrashSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every crash point of both workloads, clean and torn, must recover.
+	check(t, r, "violations_total", 0, 0)
+	check(t, r, "recovered_pct", 100, 100)
+	// The journaled-insert window alone is ~48 writes; compact adds ~125.
+	check(t, r, "crash_points_total", 100, 1000)
+}
+
 func TestAllRunsEveryExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
@@ -169,7 +181,7 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 11 {
+	if len(results) != 12 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	for _, r := range results {

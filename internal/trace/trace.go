@@ -46,7 +46,8 @@ const (
 	KindCheckFail
 	// KindBadSector is an operation hitting an unrecoverable sector.
 	KindBadSector
-	// KindCrashWrite is a write suppressed by the simulated power failure.
+	// KindCrashWrite is a write lost to the simulated power failure (args:
+	// disk address, lifetime write-action index at which the crash fired).
 	KindCrashWrite
 	// KindCRCMismatch reports that a value read found the sector's recorded
 	// checksum stale: damage happened outside the disciplined write path.
@@ -80,6 +81,10 @@ const (
 	// KindFSSession is one file-server session, accept to close (span;
 	// args: the peer's station address, data bytes moved).
 	KindFSSession
+	// KindCrashExplore is one explored crash point: the workload re-run to
+	// its injected power failure, then Scavenger repair and fsck verdict
+	// (span; name: workload; args: crash point, invariant violations found).
+	KindCrashExplore
 
 	numKinds
 )
@@ -95,7 +100,7 @@ var kindInfo = [numKinds]struct {
 	KindDiskOp:         {"op", "disk", "vda", "outcome"},
 	KindCheckFail:      {"check-fail", "disk", "vda", "word"},
 	KindBadSector:      {"bad-sector", "disk", "vda", "outcome"},
-	KindCrashWrite:     {"crash-write", "disk", "vda", "outcome"},
+	KindCrashWrite:     {"crash-write", "disk", "vda", "write_idx"},
 	KindCRCMismatch:    {"crc-mismatch", "disk", "vda", "outcome"},
 	KindScavPhase:      {"phase", "scavenge", "a0", "a1"},
 	KindZoneAlloc:      {"alloc", "zone", "addr", "words"},
@@ -109,6 +114,7 @@ var kindInfo = [numKinds]struct {
 	KindEtherRecv:      {"recv", "ether", "src", "words"},
 	KindDiskChain:      {"chain", "disk", "ops", "failures"},
 	KindFSSession:      {"session", "fileserver", "peer", "bytes"},
+	KindCrashExplore:   {"explore", "crashpoint", "point", "violations"},
 }
 
 // String implements fmt.Stringer.

@@ -18,15 +18,18 @@ import (
 // cmd/ and examples/ are exempt for now: they are entry points that may
 // legitimately talk to the host (and a sweep found them clean anyway); the
 // scope can be widened once the analyzer has bedded in.
-// Inside internal/disk, internal/pup and internal/fileserver the bar is
-// higher still: the rotational scheduler, the transport's retransmission
-// timers and the file server's session service order all promise that two
-// runs of the same workload replay identically (the flight-recorder traces
-// are compared byte for byte), and Go's randomized map iteration order
-// would break that promise silently. Ranging over a map anywhere in those
-// packages is therefore a finding; order-relevant state lives in sorted or
-// creation-ordered slices (pup keeps its conns map strictly as a demux
-// index — every sweep walks the order slice).
+// Inside internal/disk, internal/pup, internal/fileserver,
+// internal/crashpoint and internal/fsck the bar is higher still: the
+// rotational scheduler, the transport's retransmission timers, the file
+// server's session service order, the crash explorer's merged sweep report
+// and the checker's violation list all promise that two runs of the same
+// workload replay identically (traces and reports are compared byte for
+// byte), and Go's randomized map iteration order would break that promise
+// silently. Ranging over a map anywhere in those packages is therefore a
+// finding; order-relevant state lives in sorted or creation-ordered slices
+// (pup keeps its conns map strictly as a demux index — every sweep walks
+// the order slice; fsck keys its file table by FV for lookup but walks the
+// sorted file slice).
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock time and math/rand outside internal/sim; use sim.Clock/sim.Rand",
@@ -55,7 +58,8 @@ func runDeterminism(pass *Pass) {
 		strings.HasPrefix(rel, "examples/") {
 		return
 	}
-	mapOrderMatters := rel == "internal/disk" || rel == "internal/pup" || rel == "internal/fileserver"
+	mapOrderMatters := rel == "internal/disk" || rel == "internal/pup" || rel == "internal/fileserver" ||
+		rel == "internal/crashpoint" || rel == "internal/fsck"
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)

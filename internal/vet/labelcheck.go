@@ -8,10 +8,11 @@ import (
 
 // LabelCheckAnalyzer enforces the paper's §3.3 discipline mechanically:
 // every disk transfer gives the page's full name and checks the label on the
-// way past, so that "a single error cannot cause unbounded damage". The disk
-// and scavenge packages are the only layers entitled to touch sectors
-// without a label check — the drive because it implements the check, the
-// Scavenger because reading unknown labels is its whole job.
+// way past, so that "a single error cannot cause unbounded damage". The
+// disk, scavenge and fsck packages are the only layers entitled to touch
+// sectors without a label check — the drive because it implements the
+// check, the Scavenger and the fsck checker because reading unknown labels
+// is their whole job (and fsck never writes at all).
 //
 // Everywhere else, a disk.Op composite literal must set Label: disk.Check.
 // An op that reads or writes a value part with the label action left None
@@ -28,13 +29,13 @@ import (
 // examining a pack offline.
 var LabelCheckAnalyzer = &Analyzer{
 	Name: "labelcheck",
-	Doc:  "require Label: disk.Check on disk.Op literals outside internal/disk and internal/scavenge",
+	Doc:  "require Label: disk.Check on disk.Op literals outside internal/disk, internal/scavenge and internal/fsck",
 	Run:  runLabelCheck,
 }
 
 func runLabelCheck(pass *Pass) {
 	rel := pass.relPath()
-	if rel == "internal/disk" || rel == "internal/scavenge" {
+	if rel == "internal/disk" || rel == "internal/scavenge" || rel == "internal/fsck" {
 		return
 	}
 	diskPath := pass.Module.Path + "/internal/disk"
