@@ -1,0 +1,59 @@
+// Package chanfix exercises the chanorder analyzer. It is loaded under
+// altoos/internal/disk — a determinism-gated package, where scheduler-order-
+// dependent channel patterns are findings — and under the ungated
+// altoos/internal/chanfix, where the same code must pass (only the allow
+// directive fires there, reported stale).
+package chanfix
+
+// badSelect races two receives: the scheduler breaks the tie with a uniform
+// random choice, different on every run.
+func badSelect(a, b chan int) int {
+	select { // want "select with 2 communicating cases resolves by the scheduler's random choice"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// badPoll is a non-blocking poll: its outcome depends on how far the sender
+// happens to have progressed.
+func badPoll(a chan int) (int, bool) {
+	select { // want "select with a default clause is a non-blocking poll"
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// badLen reads the same racing quantity as a number.
+func badLen(a chan int) bool {
+	return len(a) > 0 // want "len of a channel reads racing buffer occupancy"
+}
+
+// goodSingle blocks on exactly one case: no choice, no race.
+func goodSingle(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+// goodLen shows the boundary: len of a slice is not a channel read.
+func goodLen(xs []int) bool {
+	return len(xs) > 0
+}
+
+// allowedShutdown shows the escape hatch for a pattern proven harmless — a
+// drain loop confined to a single goroutine at shutdown.
+func allowedShutdown(a, b chan int) (n int) {
+	//altovet:allow chanorder shutdown drain; both queues are closed and fully buffered
+	select {
+	case <-a:
+		n++
+	case <-b:
+		n++
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+// Package globalfix exercises the globalstate analyzer. It is loaded under
+// altoos/internal/fsck — a determinism-gated package, whose package-level
+// vars must be frozen by the end of init — and under the ungated
+// altoos/internal/globalfix, where the same writes must pass (only the allow
+// directive fires there, reported stale).
+package globalfix
+
+// counter and table are package-level state; index is a frozen lookup table.
+var (
+	counter int
+	table   = map[string]int{}
+	index   []int
+)
+
+// machine is where mutable state belongs: each simulated machine owns one.
+type machine struct {
+	ops int
+}
+
+// init may freeze this package's own globals — that is the blessed shape.
+func init() {
+	index = []int{1, 2, 3}
+}
+
+// badAssign mutates a package-level var at run time: every machine in a
+// fleet run shares the write.
+func badAssign() {
+	counter = 5 // want "package-level var counter of determinism-gated"
+}
+
+// badIncr is the same leak spelled as ++.
+func badIncr() {
+	counter++ // want "package-level var counter of determinism-gated"
+}
+
+// badIndexed stores through a package-level map.
+func badIndexed(k string) {
+	table[k] = 1 // want "package-level var table of determinism-gated"
+}
+
+// goodLocal mutates a local: no sharing, no finding.
+func goodLocal() int {
+	n := 0
+	n++
+	return n
+}
+
+// goodPerMachine mutates per-machine state, the rule's recommended home.
+func goodPerMachine(m *machine) {
+	m.ops++
+}
+
+// goodRead only reads the global.
+func goodRead() int {
+	return counter + index[0]
+}
+
+// allowedStat shows the escape hatch for a deliberate process-wide tally.
+func allowedStat() {
+	//altovet:allow globalstate process-wide debug tally, excluded from replay comparison
+	counter += 10
+}

@@ -1,0 +1,94 @@
+// Package spawnfix exercises the gospawn analyzer. It is loaded under
+// altoos/internal/spawnfix (inside the analyzer's scope, every spawn must be
+// joined) and under altoos/cmd/spawnfix (entry points are exempt — there the
+// only finding is the allow directive itself, reported stale).
+package spawnfix
+
+import "sync"
+
+func work() {}
+
+// badSpawn fires and forgets: the goroutine outlives the function and keeps
+// running while the next operation — or the byte-identical replay — is.
+func badSpawn() {
+	go work() // want "goroutine is never joined before badSpawn returns"
+}
+
+// badLit is the same leak with a literal body.
+func badLit() {
+	done := false
+	go func() { // want "goroutine is never joined before badLit returns"
+		done = true
+	}()
+	_ = done
+}
+
+// goodWaitGroup is the crashpoint worker-pool shape: Done in the goroutine,
+// Wait in the spawner.
+func goodWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// waitAll stands in for a pool helper in another package: the whole-program
+// fact "may call Wait" travels with it.
+func waitAll(wg *sync.WaitGroup) { wg.Wait() }
+
+// goodHelperJoin joins through the helper — the analyzer must credit the
+// helper's waitsWG fact to the spawner.
+func goodHelperJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	waitAll(&wg)
+}
+
+// goodChannel is the collector shape: the goroutine signals on a channel the
+// spawner drains before returning.
+func goodChannel() int {
+	ch := make(chan int)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+func produce(ch chan int) { ch <- 1 }
+
+// goodChanArg passes the drained channel straight to the spawned function.
+func goodChanArg() int {
+	ch := make(chan int)
+	go produce(ch)
+	return <-ch
+}
+
+// goodClose joins by closing: the spawner ranges the channel to exhaustion.
+func goodClose() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 7
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// allowedDaemon shows the escape hatch: a deliberate background goroutine
+// takes a justified allow. Under the exempt cmd/ layout this directive
+// suppresses nothing and is itself reported stale — which the scope test
+// asserts.
+func allowedDaemon() {
+	//altovet:allow gospawn fixture daemon runs for the process lifetime by design
+	go work()
+}

@@ -1,0 +1,75 @@
+// Package taintfix exercises the simtaint analyzer's interprocedural flow
+// layer. It is loaded under altoos/cmd/taintfix: entry points may read the
+// wall clock (no call-site bans there), but the two time domains must still
+// never mix — a sim-derived duration pacing host execution or a wall-derived
+// duration charged to the simulation is a finding wherever it happens. The
+// scope test loads the same file under altoos/internal/taintfix, where the
+// call-site bans fire on top of the flows.
+package taintfix
+
+import (
+	"time"
+
+	"altoos/internal/sim"
+)
+
+func work() {}
+
+// badSimToHost paces real execution by simulated time: the host would sleep
+// for however long the model imagined.
+func badSimToHost(c *sim.Clock) {
+	d := c.Now()
+	time.Sleep(d) // want "sim-clock-derived duration flows into time.Sleep"
+}
+
+// badArithmetic shows taint surviving arithmetic and reassignment.
+func badArithmetic(c *sim.Clock) {
+	d := c.Now() + time.Millisecond
+	d = d * 2
+	time.Sleep(d) // want "sim-clock-derived duration flows into time.Sleep"
+}
+
+// simElapsed is a helper whose result derives from the simulated clock; the
+// whole-program summary carries that fact to its callers.
+func simElapsed(c *sim.Clock) time.Duration {
+	return c.Now()
+}
+
+// badInterproc mixes the domains through the helper's return value.
+func badInterproc(c *sim.Clock) {
+	time.Sleep(simElapsed(c)) // want "sim-clock-derived duration flows into time.Sleep"
+}
+
+// badWallToSim charges host jitter to the model: the measurement instrument
+// would report the build machine's load average.
+func badWallToSim(c *sim.Clock) {
+	start := time.Now()
+	work()
+	c.Advance(time.Since(start)) // want "wall-clock-derived duration flows into sim.Clock.Advance"
+}
+
+// goodHostPacing sleeps a constant: no sim provenance, fine in an entry
+// point.
+func goodHostPacing() {
+	time.Sleep(50 * time.Millisecond)
+}
+
+// goodModelledDelay charges a modelled constant to the simulation.
+func goodModelledDelay(c *sim.Clock) {
+	c.Advance(3 * time.Millisecond)
+}
+
+// goodSeparateDomains reads both clocks but never lets them touch.
+func goodSeparateDomains(c *sim.Clock) (time.Duration, time.Time) {
+	simNow := c.Now()
+	hostNow := time.Now()
+	return simNow, hostNow
+}
+
+// allowedBridge shows the escape hatch for a deliberate bridge — a demo that
+// replays a simulated schedule in real time.
+func allowedBridge(c *sim.Clock) {
+	d := c.Now()
+	//altovet:allow simtaint demo playback deliberately paces the host by the simulated schedule
+	time.Sleep(d)
+}

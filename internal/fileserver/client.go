@@ -3,9 +3,11 @@ package fileserver
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"altoos/internal/ether"
 	"altoos/internal/pup"
+	"altoos/internal/trace"
 )
 
 // Client runs one transfer at a time against a remote server, over one
@@ -19,7 +21,8 @@ type Client struct {
 	busy    bool
 	done    bool
 	failure error
-	data    []byte // fetch accumulator
+	data    []byte        // fetch accumulator
+	started time.Duration // transfer start on the simulated clock
 }
 
 // NewClient builds a client on a transport endpoint.
@@ -35,8 +38,15 @@ func (c *Client) Connect(server ether.Addr) error {
 		return err
 	}
 	c.conn = conn
+	c.rec().Add("fs.client.dial", 1)
 	return nil
 }
+
+// rec reaches the medium's flight recorder (nil when tracing is off).
+func (c *Client) rec() *trace.Recorder { return c.ep.Station().TraceRecorder() }
+
+// now reads the station's simulated clock.
+func (c *Client) now() time.Duration { return c.ep.Station().Clock().Now() }
 
 // Conn exposes the underlying connection (state and error inspection).
 func (c *Client) Conn() *pup.Conn { return c.conn }
@@ -77,6 +87,7 @@ func (c *Client) begin() error {
 		return ErrBusy
 	}
 	c.busy, c.done, c.failure, c.data = true, false, nil, nil
+	c.started = c.now()
 	return nil
 }
 
@@ -147,6 +158,11 @@ func (c *Client) handle(msg []ether.Word) {
 func (c *Client) finish(err error) {
 	c.done = true
 	c.failure = err
+	if c.busy {
+		c.rec().EmitSpan(c.started, c.now()-c.started, trace.KindFSSession, "client",
+			int64(c.conn.Remote()), int64(len(c.data)))
+	}
+	c.rec().Add("fs.client.done", 1)
 }
 
 // Done reports whether the transfer completed (or failed).

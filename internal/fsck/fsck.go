@@ -369,7 +369,6 @@ func (c *checker) checkSystem() {
 			"allocation map covers %d sectors, disk has %d", desc.Free.Len(), len(c.busy))
 	} else {
 		for a := range c.busy {
-			//altovet:allow wordwidth a < NSectors, which fits a VDA
 			addr := disk.VDA(a)
 			switch {
 			case c.busy[a] && !desc.Free.Busy(addr):

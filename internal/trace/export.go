@@ -230,7 +230,6 @@ func (m Metrics) WriteText(w io.Writer) error {
 // Text renders the snapshot as a string.
 func (m Metrics) Text() string {
 	var b strings.Builder
-	//altovet:allow errdiscard strings.Builder writes cannot fail
 	_ = m.WriteText(&b)
 	return b.String()
 }

@@ -1,0 +1,90 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ChanOrderAnalyzer bans scheduler-order-dependent channel patterns inside
+// the determinism-gated packages. Those packages promise that two runs of the
+// same workload replay byte-identically — traces, sweep reports and
+// violation lists are compared byte for byte in the gates — and the Go
+// scheduler gives no such promise:
+//
+//   - a select with two or more communicating cases resolves races by a
+//     uniformly random choice, different on every run;
+//   - a select with a default clause is a non-blocking poll whose outcome
+//     depends on how far other goroutines happen to have progressed;
+//   - len() of a channel reads the same racing quantity as a number.
+//
+// Deterministic alternatives are what the repo already uses: a single event
+// order (the crashpoint pool's atomic task cursor with index-addressed
+// results), explicit polling of creation-ordered queues (pup's conn sweep),
+// or the coming fleet scheduler's event queue. A pattern that is provably
+// confined to a single goroutine can take //altovet:allow chanorder <why>.
+var ChanOrderAnalyzer = &Analyzer{
+	Name: "chanorder",
+	Doc:  "forbid scheduler-order-dependent channel patterns (multi-case select, select default, chan len) in determinism-gated packages",
+	Run:  runChanOrder,
+}
+
+func runChanOrder(pass *Pass) {
+	if !determinismGated[pass.relPath()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectStmt:
+				checkSelect(pass, x)
+			case *ast.CallExpr:
+				checkChanLen(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// checkSelect counts communicating cases and default clauses.
+func checkSelect(pass *Pass, sel *ast.SelectStmt) {
+	comm, hasDefault := 0, false
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+		} else {
+			comm++
+		}
+	}
+	switch {
+	case comm >= 2:
+		pass.Report(sel.Pos(),
+			"select with %d communicating cases resolves by the scheduler's random choice; this package's event order must replay byte-identically — serialize through one event queue", comm)
+	case hasDefault && comm >= 1:
+		pass.Report(sel.Pos(),
+			"select with a default clause is a non-blocking poll whose outcome depends on goroutine scheduling; drain a creation-ordered queue instead")
+	}
+}
+
+// checkChanLen flags len(ch): the instantaneous buffer occupancy is a racing
+// quantity.
+func checkChanLen(pass *Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" || len(call.Args) != 1 {
+		return
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	t := pass.TypeOf(call.Args[0])
+	if t == nil {
+		return
+	}
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		pass.Report(call.Pos(),
+			"len of a channel reads racing buffer occupancy; a replay-gated decision must not depend on scheduler progress")
+	}
+}

@@ -7,23 +7,20 @@ import (
 	"strings"
 )
 
-// DeterminismAnalyzer enforces the reproduction's replayability invariant:
-// inside internal/ (except internal/sim itself), simulated time comes from
-// sim.Clock and randomness from sim.Rand. Wall-clock reads and the global
-// math/rand state would make experiment results depend on the host machine,
-// which is exactly what the sim substrate exists to prevent — the paper's
-// quantitative claims are statements about modelled hardware, not about
-// whatever laptop runs the tests.
+// DeterminismAnalyzer enforces the reproduction's replayability invariant on
+// randomness and iteration order: inside internal/ (except internal/sim
+// itself), randomness comes from a seeded sim.Rand — the global math/rand
+// state would make experiment results depend on the host machine, which is
+// exactly what the sim substrate exists to prevent. (The companion rule for
+// time, once enforced here call-site by call-site, now lives in the simtaint
+// analyzer, which tracks clock-domain provenance interprocedurally.)
 //
-// cmd/ and examples/ are exempt for now: they are entry points that may
-// legitimately talk to the host (and a sweep found them clean anyway); the
-// scope can be widened once the analyzer has bedded in.
-// Inside internal/disk, internal/pup, internal/fileserver,
-// internal/crashpoint and internal/fsck the bar is higher still: the
-// rotational scheduler, the transport's retransmission timers, the file
-// server's session service order, the crash explorer's merged sweep report
-// and the checker's violation list all promise that two runs of the same
-// workload replay identically (traces and reports are compared byte for
+// Inside the determinism-gated packages (internal/disk, internal/pup,
+// internal/fileserver, internal/crashpoint, internal/fsck) the bar is higher
+// still: the rotational scheduler, the transport's retransmission timers, the
+// file server's session service order, the crash explorer's merged sweep
+// report and the checker's violation list all promise that two runs of the
+// same workload replay identically (traces and reports are compared byte for
 // byte), and Go's randomized map iteration order would break that promise
 // silently. Ranging over a map anywhere in those packages is therefore a
 // finding; order-relevant state lives in sorted or creation-ordered slices
@@ -32,23 +29,8 @@ import (
 // sorted file slice).
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall-clock time and math/rand outside internal/sim; use sim.Clock/sim.Rand",
+	Doc:  "forbid math/rand outside internal/sim and map iteration in replay-gated packages; use sim.Rand and ordered slices",
 	Run:  runDeterminism,
-}
-
-// bannedTimeFuncs are the package time functions that read or wait on the
-// host's wall clock. time.Duration and the time constants remain fine — the
-// simulation measures itself in time.Duration.
-var bannedTimeFuncs = map[string]string{
-	"Now":       "read the simulated clock with sim.Clock.Now",
-	"Sleep":     "advance the simulated clock with sim.Clock.Advance",
-	"After":     "model the delay on the simulated clock",
-	"AfterFunc": "model the delay on the simulated clock",
-	"Tick":      "model the interval on the simulated clock",
-	"NewTimer":  "model the timer on the simulated clock",
-	"NewTicker": "model the ticker on the simulated clock",
-	"Since":     "use sim.Watch and Stopwatch.Elapsed",
-	"Until":     "use sim.Clock arithmetic",
 }
 
 func runDeterminism(pass *Pass) {
@@ -58,8 +40,7 @@ func runDeterminism(pass *Pass) {
 		strings.HasPrefix(rel, "examples/") {
 		return
 	}
-	mapOrderMatters := rel == "internal/disk" || rel == "internal/pup" || rel == "internal/fileserver" ||
-		rel == "internal/crashpoint" || rel == "internal/fsck"
+	mapOrderMatters := determinismGated[rel]
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
@@ -71,26 +52,19 @@ func runDeterminism(pass *Pass) {
 					"import of %s breaks replayability; use a seeded sim.Rand", path)
 			}
 		}
+		if !mapOrderMatters {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			if rng, ok := n.(*ast.RangeStmt); ok && mapOrderMatters {
-				if t := pass.TypeOf(rng.X); t != nil {
-					if _, isMap := t.Underlying().(*types.Map); isMap {
-						pass.Report(rng.Pos(),
-							"map iteration order is randomized; this package's event order must replay byte-identically — keep order-relevant state in sorted slices and use maps only for keyed lookup")
-					}
-				}
-			}
-			sel, ok := n.(*ast.SelectorExpr)
+			rng, ok := n.(*ast.RangeStmt)
 			if !ok {
 				return true
 			}
-			obj := pass.Info.Uses[sel.Sel]
-			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
-				return true
-			}
-			if fix, banned := bannedTimeFuncs[obj.Name()]; banned {
-				pass.Report(sel.Pos(),
-					"time.%s reads the host wall clock; %s", obj.Name(), fix)
+			if t := pass.TypeOf(rng.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Report(rng.Pos(),
+						"map iteration order is randomized; this package's event order must replay byte-identically — keep order-relevant state in sorted slices and use maps only for keyed lookup")
+				}
 			}
 			return true
 		})

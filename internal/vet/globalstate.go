@@ -1,0 +1,111 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalStateAnalyzer keeps the determinism-gated packages free of mutable
+// package-level state. A package-level variable mutated at run time is shared
+// by every machine in a fleet run and by every crash point in a sweep: one
+// experiment's writes leak into the next, and cross-run replay breaks the
+// moment iteration order, pool scheduling or experiment interleaving changes
+// which write lands last. The rule: package-level vars in gated packages must
+// be frozen by the end of init (error sentinels, computed lookup tables) —
+// anything a running operation needs to mutate belongs in per-machine state
+// (the Drive, the Endpoint, the Server), where each simulated machine owns
+// its own copy.
+//
+// The check is whole-program: an assignment, indexed store, field store or
+// ++/-- whose root resolves to a package-level variable of a gated package is
+// a finding at the write site, whichever package the writer lives in. Writes
+// inside func init of the var's own package are the freeze and are fine.
+var GlobalStateAnalyzer = &Analyzer{
+	Name: "globalstate",
+	Doc:  "forbid run-time mutation of package-level vars in determinism-gated packages; freeze at init or move into per-machine state",
+	Run:  runGlobalState,
+}
+
+func runGlobalState(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// init functions may freeze their own package's globals.
+			isInit := fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						checkGlobalWrite(pass, lhs, isInit)
+					}
+				case *ast.IncDecStmt:
+					checkGlobalWrite(pass, s.X, isInit)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGlobalWrite reports a store whose root is a gated package-level var.
+func checkGlobalWrite(pass *Pass, lhs ast.Expr, inOwnInit bool) {
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return
+	}
+	// Package-level means declared directly in the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	rel := relOfPath(pass, v.Pkg().Path())
+	if !determinismGated[rel] {
+		return
+	}
+	if inOwnInit && v.Pkg().Path() == pass.Path {
+		return
+	}
+	pass.Report(lhs.Pos(),
+		"package-level var %s of determinism-gated %s mutated at run time; fleet machines and crash sweeps share package state — freeze it at init or move it into per-machine state", v.Name(), rel)
+}
+
+// rootIdent walks an assignable expression (x, x.f, x[i], *x, combinations)
+// down to its root identifier, or nil for unrooted stores.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// relOfPath is relPath for an arbitrary module package path; non-module
+// paths map to themselves (and never match a gated entry).
+func relOfPath(pass *Pass, path string) string {
+	if !pass.inModule(path) {
+		return path
+	}
+	if path == pass.Module.Path {
+		return ""
+	}
+	return path[len(pass.Module.Path)+1:]
+}

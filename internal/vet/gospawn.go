@@ -1,0 +1,236 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoSpawnAnalyzer enforces the fleet era's first concurrency rule: every
+// goroutine spawned inside internal/ must be provably joined before its
+// spawner returns. A fire-and-forget goroutine outlives the operation that
+// started it, keeps mutating state while the next operation (or the next
+// crash point, or the byte-identical replay) is running, and is precisely the
+// shape that makes two runs of the same workload diverge under the race
+// detector's radar.
+//
+// Accepted join shapes, recognized per go statement (the analysis runs at
+// program-build time, see computeSpawnFacts, so its verdicts are
+// whole-program facts other packages can consult):
+//
+//   - WaitGroup: the goroutine's body calls (or defers) wg.Done — directly,
+//     or by calling a function whose whole-program fact says it may call
+//     Done — and the spawning function reaches wg.Wait the same way
+//     (crashpoint's worker pool is the model citizen);
+//   - channel: the goroutine sends on or closes a channel variable that the
+//     spawning function also receives from or ranges over, or the spawner
+//     passes such a channel straight to the spawned function (the collector
+//     pattern).
+//
+// The facts make both shapes compositional: a pool helper in another package
+// that calls Done or Wait on a WaitGroup it was handed still counts, because
+// the call-graph summary travels with it. Anything else is a finding; a
+// goroutine that genuinely must outlive its spawner takes
+// //altovet:allow gospawn <why>.
+var GoSpawnAnalyzer = &Analyzer{
+	Name: "gospawn",
+	Doc:  "require every goroutine in internal/ to be joined (WaitGroup or channel shape) before its spawner returns",
+	Run:  runGoSpawn,
+}
+
+func runGoSpawn(pass *Pass) {
+	if !isInternal(pass.relPath()) || pass.Prog == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := pass.Prog.facts[obj]
+			if ff == nil {
+				continue
+			}
+			for _, pos := range ff.unjoinedSpawns {
+				pass.Report(pos,
+					"goroutine is never joined before %s returns; join it (WaitGroup Done/Wait or a channel the spawner drains) or move the work onto the caller's schedule", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// computeSpawnFacts runs the join analysis for every function in the program
+// and records the verdicts as facts. It runs after reachability propagation,
+// because recognizing a pool helper's Wait/Done relies on the transitive
+// waitsWG/donesWG bits.
+func (p *Program) computeSpawnFacts() {
+	for obj, fd := range p.decls {
+		var spawns []*ast.GoStmt
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				spawns = append(spawns, g)
+			}
+			return true
+		})
+		if len(spawns) == 0 {
+			continue
+		}
+		j := &joinEvidence{prog: p, info: fd.pkg.Info}
+		j.scanSpawner(fd.decl, spawns)
+		ff := p.factsFor(obj)
+		for _, g := range spawns {
+			if !j.joined(g) {
+				ff.spawnsUnjoined = true
+				ff.unjoinedSpawns = append(ff.unjoinedSpawns, g.Pos())
+			}
+		}
+	}
+}
+
+// joinEvidence gathers what the spawning function does outside its go
+// statements: which WaitGroups it may Wait on, and which channel variables it
+// receives from.
+type joinEvidence struct {
+	prog *Program
+	info *types.Info
+	// waits: the spawner (or a helper it calls, per whole-program facts) may
+	// call WaitGroup.Wait.
+	waits bool
+	// recvs: channel variables the spawner receives from or ranges over,
+	// outside any go statement.
+	recvs map[*types.Var]bool
+}
+
+// scanSpawner walks fn's body excluding the spawned goroutines themselves.
+func (j *joinEvidence) scanSpawner(fn *ast.FuncDecl, spawns []*ast.GoStmt) {
+	j.recvs = map[*types.Var]bool{}
+	inSpawn := func(n ast.Node) bool {
+		for _, g := range spawns {
+			if n.Pos() >= g.Call.Pos() && n.End() <= g.Call.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil || inSpawn(n) {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if callee := calleeFunc(j.info, x); callee != nil {
+				if isWaitGroupMethod(callee, "Wait") || j.factHas(callee, func(ff *funcFacts) bool { return ff.waitsWG }) {
+					j.waits = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				j.markChan(x.X)
+			}
+		case *ast.RangeStmt:
+			if t := j.info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					j.markChan(x.X)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// factHas consults the whole-program facts of every function a call may
+// dispatch to.
+func (j *joinEvidence) factHas(fn *types.Func, pred func(*funcFacts) bool) bool {
+	for _, target := range j.prog.resolve(fn) {
+		if ff := j.prog.facts[target]; ff != nil && pred(ff) {
+			return true
+		}
+	}
+	return false
+}
+
+// markChan records a channel variable the spawner drains.
+func (j *joinEvidence) markChan(e ast.Expr) {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v, ok := j.info.Uses[id].(*types.Var); ok {
+			j.recvs[v] = true
+		}
+	}
+}
+
+// joined decides one go statement against the gathered evidence.
+func (j *joinEvidence) joined(g *ast.GoStmt) bool {
+	// WaitGroup shape: goroutine side must reach Done, spawner side Wait.
+	if j.waits && j.goroutineDones(g) {
+		return true
+	}
+	// Channel shape: goroutine sends on / closes a channel the spawner
+	// drains.
+	return j.goroutineSignals(g)
+}
+
+// goroutineDones reports whether the goroutine body (a literal's statements,
+// or the called function's whole-program fact) may call WaitGroup.Done.
+func (j *joinEvidence) goroutineDones(g *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(j.info, call); callee != nil {
+					if isWaitGroupMethod(callee, "Done") || j.factHas(callee, func(ff *funcFacts) bool { return ff.donesWG }) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	if callee := calleeFunc(j.info, g.Call); callee != nil {
+		return j.factHas(callee, func(ff *funcFacts) bool { return ff.donesWG })
+	}
+	return false
+}
+
+// goroutineSignals reports whether the goroutine sends on or closes a channel
+// variable the spawner drains, or is handed one as an argument.
+func (j *joinEvidence) goroutineSignals(g *ast.GoStmt) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// go f(ch, ...): accept when a drained channel is passed straight in —
+		// the callee is assumed to signal on the channel it was handed.
+		for _, arg := range g.Call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if v, ok := j.info.Uses[id].(*types.Var); ok && j.recvs[v] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(x.Chan).(*ast.Ident); ok {
+				if v, ok := j.info.Uses[id].(*types.Var); ok && j.recvs[v] {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if cid, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok {
+					if v, ok := j.info.Uses[cid].(*types.Var); ok && j.recvs[v] {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Module is a loaded Go module: the unit altovet analyzes. Loading is done
@@ -26,8 +27,26 @@ type Module struct {
 	// Fset positions every file loaded for this module.
 	Fset *token.FileSet
 
-	std  types.Importer
-	pkgs map[string]*Package // memoized by import path
+	std types.Importer
+
+	// mu guards pkgs, loading and the cached program. stdMu serializes the
+	// source importer, which keeps unsynchronized state of its own; module
+	// packages type-check concurrently around it.
+	mu      sync.Mutex
+	stdMu   sync.Mutex
+	pkgs    map[string]*Package   // memoized by import path
+	loading map[string]*loadState // in-flight loads, for concurrent callers
+
+	prog      *Program
+	progEpoch int // len(pkgs) the cached program was built against
+}
+
+// loadState lets concurrent importers of the same package wait for the one
+// goroutine that is loading it.
+type loadState struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // A Package is one parsed, type-checked package.
@@ -67,7 +86,11 @@ func LoadModule(dir string) (*Module, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	m := &Module{Root: root, Path: path, Fset: fset, pkgs: map[string]*Package{}}
+	m := &Module{
+		Root: root, Path: path, Fset: fset,
+		pkgs:    map[string]*Package{},
+		loading: map[string]*loadState{},
+	}
 	m.std = importer.ForCompiler(fset, "source", nil)
 	return m, nil
 }
@@ -106,6 +129,8 @@ func (m *Module) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	m.stdMu.Lock()
+	defer m.stdMu.Unlock()
 	return m.std.Import(path)
 }
 
@@ -119,11 +144,40 @@ func (m *Module) loadImportPath(path string) (*Package, error) {
 // LoadDir parses and type-checks the package in dir under the given import
 // path. The path may be virtual: fixture packages under testdata/ are loaded
 // with paths like "altoos/internal/fixture" so that analyzer scope rules see
-// them where the fixture pretends to live. Results are memoized per path.
+// them where the fixture pretends to live. Results are memoized per path, and
+// concurrent loads of the same path coalesce: the first caller loads, the
+// rest wait. Go's import DAG is acyclic, so a loader waiting on one of its
+// imports can never be waited on by that import in turn.
 func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
+	m.mu.Lock()
 	if pkg, ok := m.pkgs[importPath]; ok {
+		m.mu.Unlock()
 		return pkg, nil
 	}
+	if st, ok := m.loading[importPath]; ok {
+		m.mu.Unlock()
+		<-st.done
+		return st.pkg, st.err
+	}
+	st := &loadState{done: make(chan struct{})}
+	m.loading[importPath] = st
+	m.mu.Unlock()
+
+	pkg, err := m.loadDirUncached(dir, importPath)
+
+	m.mu.Lock()
+	if err == nil {
+		m.pkgs[importPath] = pkg
+	}
+	delete(m.loading, importPath)
+	m.mu.Unlock()
+	st.pkg, st.err = pkg, err
+	close(st.done)
+	return pkg, err
+}
+
+// loadDirUncached does the actual parse and type-check for LoadDir.
+func (m *Module) loadDirUncached(dir, importPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("vet: %s: %w", importPath, err)
@@ -159,16 +213,14 @@ func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vet: type-checking %s: %w", importPath, err)
 	}
-	pkg := &Package{
+	return &Package{
 		ImportPath: importPath,
 		Dir:        dir,
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
 		module:     m,
-	}
-	m.pkgs[importPath] = pkg
-	return pkg, nil
+	}, nil
 }
 
 // Load resolves the given package patterns. Supported shapes, mirroring the
@@ -181,6 +233,73 @@ func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
 // With no patterns, "./..." is assumed. Directories named "testdata" and
 // hidden directories are never walked.
 func (m *Module) Load(patterns ...string) ([]*Package, error) {
+	return m.LoadParallel(1, patterns...)
+}
+
+// LoadParallel is Load across a worker pool: the matched package directories
+// are type-checked by up to workers goroutines, with shared dependencies
+// coalesced through the in-flight load table. The returned slice is in the
+// same deterministic order Load would produce, whatever the pool's schedule
+// was. workers < 2 degrades to the sequential path.
+func (m *Module) LoadParallel(workers int, patterns ...string) ([]*Package, error) {
+	dirs, err := m.patternDirs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	type target struct {
+		dir, path string
+	}
+	targets := make([]target, len(dirs))
+	for i, dir := range dirs {
+		rel, err := filepath.Rel(m.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := m.Path
+		if rel != "." {
+			path = m.Path + "/" + filepath.ToSlash(rel)
+		}
+		targets[i] = target{dir, path}
+	}
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 2 {
+		for i, t := range targets {
+			if pkgs[i], errs[i] = m.LoadDir(t.dir, t.path); errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+		return pkgs, nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				pkgs[i], errs[i] = m.LoadDir(targets[i].dir, targets[i].path)
+			}
+		}()
+	}
+	for i := range targets {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
+}
+
+// patternDirs resolves package patterns to a deduplicated directory list.
+func (m *Module) patternDirs(patterns []string) ([]string, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -213,23 +332,7 @@ func (m *Module) Load(patterns ...string) ([]*Package, error) {
 			add(filepath.Join(m.Root, filepath.FromSlash(pat)))
 		}
 	}
-	var pkgs []*Package
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(m.Root, dir)
-		if err != nil {
-			return nil, err
-		}
-		path := m.Path
-		if rel != "." {
-			path = m.Path + "/" + filepath.ToSlash(rel)
-		}
-		pkg, err := m.LoadDir(dir, path)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
-	}
-	return pkgs, nil
+	return dirs, nil
 }
 
 // packageDirs returns every directory at or under base holding at least one

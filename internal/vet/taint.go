@@ -1,0 +1,235 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The taint core is an intraprocedural reaching-definitions analysis over
+// time-domain provenance: every local variable is tracked as possibly
+// carrying a value derived from the simulated clock (taintSim), from the host
+// wall clock (taintWall), both, or neither. Taint enters at domain sources —
+// (*sim.Clock).Now and (sim.Stopwatch).Elapsed on one side, time.Now,
+// time.Since and time.Until on the other — and propagates through
+// assignments, arithmetic, conversions and (interprocedurally, via the
+// program fact table) function results: a function any of whose return values
+// derives from a source is summarized as returnsSim/returnsWall, and calls to
+// it taint their results in every other package. Summaries are computed to a
+// fixed point over the whole program, so a chain like
+//
+//	sim helper → duration math in another package → time.Sleep
+//
+// is caught even though no single function contains both the source and the
+// sink. The simtaint analyzer walks each function a second time with the
+// final summaries and reports cross-domain flows at sink call sites.
+type taint uint8
+
+const (
+	taintSim taint = 1 << iota
+	taintWall
+)
+
+// computeTaintSummaries fills in returnsSim/returnsWall for every function in
+// the program, iterating until the summaries stop changing (recursion and
+// mutual recursion converge because taint only ever grows).
+func computeTaintSummaries(p *Program) {
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range p.decls {
+			ff := p.factsFor(obj)
+			ret := (&taintWalker{prog: p, info: fd.pkg.Info}).returnTaint(fd.decl)
+			if ret&taintSim != 0 && !ff.returnsSim {
+				ff.returnsSim = true
+				changed = true
+			}
+			if ret&taintWall != 0 && !ff.returnsWall {
+				ff.returnsWall = true
+				changed = true
+			}
+		}
+	}
+}
+
+// A taintWalker carries the per-function variable state. The walk is a
+// forward pass in source order, run twice so definitions that reach a loop
+// head from the loop body are seen (a two-pass approximation of the classic
+// iterate-to-fixpoint reaching-definitions loop, sufficient for the
+// assignment shapes in this codebase).
+type taintWalker struct {
+	prog *Program
+	info *types.Info
+	vars map[*types.Var]taint
+	// sink, when non-nil, is invoked for every call statement on the second
+	// pass with the fully propagated variable state.
+	sink func(call *ast.CallExpr)
+	// ret accumulates the taint of every return expression of the outer
+	// function (function literals keep their own returns to themselves).
+	ret taint
+}
+
+// returnTaint computes the combined taint of fn's return expressions.
+func (w *taintWalker) returnTaint(fn *ast.FuncDecl) taint {
+	w.vars = map[*types.Var]taint{}
+	w.walkBody(fn.Body, true)
+	w.walkBody(fn.Body, true)
+	return w.ret
+}
+
+// check runs the two-pass walk and calls report for sink-relevant calls on
+// the final pass.
+func (w *taintWalker) check(fn *ast.FuncDecl, sink func(*ast.CallExpr)) {
+	w.vars = map[*types.Var]taint{}
+	w.walkBody(fn.Body, true)
+	w.sink = sink
+	w.walkBody(fn.Body, true)
+}
+
+// walkBody visits every statement in the block, tracking assignments and
+// visiting sinks. outer marks whether return statements belong to the
+// function under analysis (false inside function literals).
+func (w *taintWalker) walkBody(body *ast.BlockStmt, outer bool) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body shares the enclosing variable state (it closes
+			// over the same locals) but its returns are its own.
+			w.walkBody(s.Body, false)
+			return false
+		case *ast.AssignStmt:
+			w.assign(s)
+		case *ast.ReturnStmt:
+			if outer {
+				for _, e := range s.Results {
+					w.ret |= w.exprTaint(e)
+				}
+			}
+		case *ast.RangeStmt:
+			// Range variables over a tainted collection stay untracked (no
+			// duration collections exist here); nothing to do.
+		case *ast.CallExpr:
+			if w.sink != nil {
+				w.sink(s)
+			}
+		}
+		return true
+	})
+}
+
+// assign updates variable taint for one assignment statement.
+func (w *taintWalker) assign(s *ast.AssignStmt) {
+	var rhs taint
+	if len(s.Rhs) == 1 {
+		rhs = w.exprTaint(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			w.setVar(lhs, rhs)
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i < len(s.Rhs) {
+			w.setVar(lhs, w.exprTaint(s.Rhs[i]))
+		}
+	}
+}
+
+// setVar records taint for an assignable expression; only plain identifiers
+// bound to local variables are tracked.
+func (w *taintWalker) setVar(lhs ast.Expr, t taint) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := w.info.Defs[id]
+	if obj == nil {
+		obj = w.info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	// Compound assignment (d += x) merges; plain assignment still merges
+	// rather than kills — the walk is a may-analysis and a variable that ever
+	// held a domain value keeps the bit (kills would need path sensitivity to
+	// be sound).
+	w.vars[v] |= t
+}
+
+// exprTaint computes the taint of an expression under the current state.
+func (w *taintWalker) exprTaint(e ast.Expr) taint {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := w.info.Uses[x].(*types.Var); ok {
+			return w.vars[v]
+		}
+	case *ast.BinaryExpr:
+		return w.exprTaint(x.X) | w.exprTaint(x.Y)
+	case *ast.UnaryExpr:
+		return w.exprTaint(x.X)
+	case *ast.StarExpr:
+		return w.exprTaint(x.X)
+	case *ast.CallExpr:
+		return w.callTaint(x)
+	}
+	return 0
+}
+
+// callTaint computes the taint of a call's results: a domain source taints
+// directly, a conversion passes its operand through, and any other call takes
+// its callee's whole-program summary.
+func (w *taintWalker) callTaint(call *ast.CallExpr) taint {
+	// Conversion? time.Duration(x) and friends preserve provenance.
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return w.exprTaint(call.Args[0])
+	}
+	fn := calleeFunc(w.info, call)
+	if fn == nil {
+		return 0
+	}
+	if src := sourceTaint(w.prog.module, fn); src != 0 {
+		return src
+	}
+	var t taint
+	for _, target := range w.prog.resolve(fn) {
+		if ff := w.prog.facts[target]; ff != nil {
+			if ff.returnsSim {
+				t |= taintSim
+			}
+			if ff.returnsWall {
+				t |= taintWall
+			}
+		}
+	}
+	// Methods like Time.Add/Sub and Duration arithmetic helpers on the std
+	// time package derive from their receiver; approximate by passing the
+	// receiver's taint through for time-package methods.
+	if t == 0 && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			t |= w.exprTaint(sel.X)
+		}
+	}
+	return t
+}
+
+// sourceTaint classifies fn as a time-domain source.
+func sourceTaint(m *Module, fn *types.Func) taint {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return 0
+	}
+	switch pkg.Path() {
+	case m.Path + "/internal/sim":
+		switch fn.Name() {
+		case "Now", "Elapsed":
+			return taintSim
+		}
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return taintWall
+		}
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceCoverAnalyzer is the observability lint: the flight recorder must
+// never grow blind spots. An exported operation in a traced package that
+// charges simulated time but emits no trace event attributed to its own
+// package is invisible in the Chrome trace, the Swat stats table and the
+// byte-identical-trace gate — exactly the operations a fleet postmortem
+// needs. "Attributed to its own package" is the load-bearing half: pup riding
+// on the ether's send/recv events still leaves the transport layer itself
+// blind, so emission reached only in a lower layer does not count.
+//
+// The predicate is whole-program: "charges simulated time" is reachability
+// of (*sim.Clock).Advance through the call graph (including interface
+// dispatch, so a call through disk.Device counts what Drive does), and
+// "emits" is reachability of a Recorder emission site located in the
+// operation's package. Accessors and constructors never charge simulated
+// time, so they pass without special cases. A deliberate exception (offline
+// inspection hooks by design) takes //altovet:allow tracecover <why>.
+var TraceCoverAnalyzer = &Analyzer{
+	Name: "tracecover",
+	Doc:  "require exported sim-time-charging operations in traced packages to emit a package-attributed trace span or counter",
+	Run:  runTraceCover,
+}
+
+func runTraceCover(pass *Pass) {
+	rel := pass.relPath()
+	if !tracedPackages[rel] {
+		return
+	}
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			// String/Error implement fmt interfaces, not operations.
+			if fd.Name.Name == "String" || fd.Name.Name == "Error" {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := prog.facts[obj]
+			if ff == nil || !ff.simWork {
+				continue
+			}
+			if prog.emitsIn(obj, pass.Path) {
+				continue
+			}
+			pass.Report(fd.Name.Pos(),
+				"exported %s charges simulated time but emits no %s-attributed trace span or counter; the flight recorder goes blind here — add an emission or //altovet:allow tracecover <why>",
+				fd.Name.Name, rel)
+		}
+	}
+}

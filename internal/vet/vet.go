@@ -33,8 +33,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Diagnostic is one finding, positioned in the analyzed source.
@@ -71,6 +73,10 @@ type Pass struct {
 	Info  *types.Info
 	// Module describes the enclosing module, for path and lockedness queries.
 	Module *Module
+	// Prog is the whole-program view — call graph, interface map, facts —
+	// shared read-only by every pass of a run. Built once per run over all
+	// loaded packages.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -87,7 +93,9 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 // TypeOf returns the static type of e, or nil.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
-// Analyzers returns the full suite, in reporting order.
+// Analyzers returns the full suite, in reporting order: the five per-package
+// analyzers from the first generation, then the five whole-program analyzers
+// that gate the fleet era.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -95,6 +103,11 @@ func Analyzers() []*Analyzer {
 		LabelCheckAnalyzer,
 		ErrDiscardAnalyzer,
 		MutexOrderAnalyzer,
+		GoSpawnAnalyzer,
+		ChanOrderAnalyzer,
+		GlobalStateAnalyzer,
+		SimTaintAnalyzer,
+		TraceCoverAnalyzer,
 	}
 }
 
@@ -107,11 +120,79 @@ func analyzerNames() map[string]bool {
 	return m
 }
 
+// Stats summarizes one run for the vet-stats report: surviving and
+// suppressed finding counts per analyzer.
+type Stats struct {
+	Findings map[string]int // surviving diagnostics, by analyzer
+	Allowed  map[string]int // findings suppressed by an allow, by analyzer
+}
+
+func newStats() *Stats {
+	return &Stats{Findings: map[string]int{}, Allowed: map[string]int{}}
+}
+
+func (s *Stats) merge(o *Stats) {
+	for k, v := range o.Findings {
+		s.Findings[k] += v
+	}
+	for k, v := range o.Allowed {
+		s.Allowed[k] += v
+	}
+}
+
 // Run applies the given analyzers to pkg, filters findings through the
 // package's allow comments, and returns the surviving diagnostics sorted by
 // position. Malformed allow comments are appended as findings of the
 // pseudo-analyzer "allow".
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAll([]*Package{pkg}, analyzers)
+	return diags
+}
+
+// RunAll applies the analyzers to every package, sharing one whole-program
+// view (built over everything the module has loaded) and fanning the
+// per-package passes across a worker pool. The merged output is in package
+// order and position-sorted within each package — byte-identical whatever
+// the pool's schedule was.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *Stats) {
+	stats := newStats()
+	if len(pkgs) == 0 {
+		return nil, stats
+	}
+	prog := pkgs[0].module.program()
+	perPkg := make([][]Diagnostic, len(pkgs))
+	perStats := make([]*Stats, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perPkg[i], perStats[i] = runPackage(pkgs[i], analyzers, prog)
+			}
+		}()
+	}
+	for i := range pkgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	var out []Diagnostic
+	for i := range pkgs {
+		out = append(out, perPkg[i]...)
+		stats.merge(perStats[i])
+	}
+	return out, stats
+}
+
+// runPackage is one package's full analysis: every analyzer, allow
+// filtering, stale-allow detection, position sort.
+func runPackage(pkg *Package, analyzers []*Analyzer, prog *Program) ([]Diagnostic, *Stats) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -122,18 +203,25 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			Module:   pkg.module,
+			Prog:     prog,
 			diags:    &diags,
 		}
 		a.Run(pass)
 	}
+	stats := newStats()
 	allows, bad := collectAllows(pkg)
 	diags = append(diags, bad...)
 	kept := diags[:0]
 	for _, d := range diags {
 		if allows.allowed(d) {
+			stats.Allowed[d.Analyzer]++
 			continue
 		}
 		kept = append(kept, d)
+	}
+	kept = append(kept, allows.stale(analyzers)...)
+	for _, d := range kept {
+		stats.Findings[d.Analyzer]++
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i].Pos, kept[j].Pos
@@ -145,7 +233,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
-	return kept
+	return kept, stats
 }
 
 // inModule reports whether path names a package inside the analyzed module.

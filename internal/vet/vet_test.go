@@ -90,8 +90,8 @@ var C = 3
 		}
 		msgs = append(msgs, d.Message)
 	}
-	if len(msgs) != 2 {
-		t.Fatalf("got %d allow findings (%v), want 2", len(msgs), msgs)
+	if len(msgs) != 3 {
+		t.Fatalf("got %d allow findings (%v), want 3", len(msgs), msgs)
 	}
 	if !strings.Contains(msgs[0], "unknown analyzer nosuchanalyzer") {
 		t.Errorf("first finding = %q", msgs[0])
@@ -99,17 +99,22 @@ var C = 3
 	if !strings.Contains(msgs[1], "no reason") {
 		t.Errorf("second finding = %q", msgs[1])
 	}
+	// The well-formed directive suppresses nothing, so it is stale.
+	if !strings.Contains(msgs[2], "suppresses nothing") {
+		t.Errorf("third finding = %q", msgs[2])
+	}
 }
 
 // TestAllowSuppression: an allow on the line above suppresses exactly that
-// analyzer on exactly that line.
+// analyzer on exactly that line. (The wall-clock call-site ban lives in
+// simtaint now.)
 func TestAllowSuppression(t *testing.T) {
 	dir := writeFixture(t, `package fix
 
 import "time"
 
 // suppressed finding:
-//altovet:allow determinism fixture needs one justified wall-clock read
+//altovet:allow simtaint fixture needs one justified wall-clock read
 var T = time.Now()
 
 // unsuppressed finding:
@@ -120,11 +125,60 @@ var U = time.Now()
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Run(pkg, []*Analyzer{DeterminismAnalyzer})
+	diags := Run(pkg, []*Analyzer{SimTaintAnalyzer})
 	if len(diags) != 1 {
 		t.Fatalf("got %d findings, want exactly the unsuppressed one: %v", len(diags), diags)
 	}
 	if diags[0].Pos.Line != 10 {
 		t.Errorf("surviving finding on line %d, want 10", diags[0].Pos.Line)
+	}
+}
+
+// TestMultiAnalyzerAllow: one directive may scope a single reason to several
+// analyzers; it is live as long as any of them uses it.
+func TestMultiAnalyzerAllow(t *testing.T) {
+	dir := writeFixture(t, `package fix
+
+import "time"
+
+//altovet:allow simtaint,errdiscard one reason shared by two analyzers
+var T = time.Now()
+`)
+	mod := loadTestModule(t)
+	pkg, err := mod.LoadDir(dir, "altoos/internal/allowfix3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkg, Analyzers())
+	if len(diags) != 0 {
+		t.Errorf("multi-analyzer allow leaked findings: %v", diags)
+	}
+}
+
+// TestBaselineCompare: the baseline is a multiset of (file, analyzer,
+// message) keys — line numbers drift freely, duplicate messages are counted,
+// and entries that no longer fire are reported as resolved.
+func TestBaselineCompare(t *testing.T) {
+	d := func(file string, line int, msg string) JSONDiagnostic {
+		return JSONDiagnostic{File: file, Line: line, Analyzer: "x", Message: msg}
+	}
+	baseline := []JSONDiagnostic{
+		d("a.go", 10, "m1"),
+		d("a.go", 20, "m2"),
+		d("a.go", 30, "m2"),
+		d("b.go", 5, "gone"),
+	}
+	current := []JSONDiagnostic{
+		d("a.go", 99, "m1"), // moved: still covered
+		d("a.go", 21, "m2"), // one of two m2s
+		d("c.go", 1, "new"), // fresh
+	}
+	fresh, resolved := CompareBaseline(baseline, current)
+	if len(fresh) != 1 || fresh[0].File != "c.go" {
+		t.Errorf("fresh = %v, want just c.go", fresh)
+	}
+	// One m2 and the b.go entry no longer fire.
+	if resolved != 2 {
+		t.Errorf("resolved = %d, want 2", resolved)
 	}
 }
