@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet altovet vet-stats vet-baseline test race bench bench-diff trace-check crash-check fmt
+.PHONY: check build vet altovet vet-stats vet-baseline test race bench bench-diff trace-check scope-check crash-check fmt
 
-check: build vet altovet vet-stats trace-check crash-check race bench-diff
+check: build vet altovet vet-stats trace-check scope-check crash-check race bench-diff
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ race:
 trace-check:
 	$(GO) build -o /dev/null ./cmd/altotrace
 	$(GO) test -run TestTracesAreByteIdentical ./cmd/altotrace
+
+# scope-check guards the fleet observability contract: altoscope builds, and
+# the merged trace, collapsed profile and top table come out byte-identical
+# across runs, merge input orders and worker counts.
+scope-check:
+	$(GO) build -o /dev/null ./cmd/altoscope
+	$(GO) run ./cmd/altoscope -experiment e10 -check
 
 # crash-check is the §3.5 gate: a sampled sweep of crash points (clean and
 # torn) over the journaled directory workload; altocrash exits non-zero if

@@ -63,6 +63,7 @@ func TestFixtures(t *testing.T) {
 		{"sched-fileserver", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/fileserver"},
 		{"sched-crashpoint", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/crashpoint"},
 		{"sched-fsck", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/fsck"},
+		{"sched-scope", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/scope"},
 		{"wordwidth", []string{"wordwidth"}, "widthfix", "altoos/internal/widthfix"},
 		{"labelcheck", []string{"labelcheck"}, "labelfix", "altoos/internal/labelfix"},
 		{"errdiscard", []string{"errdiscard"}, "errfix", "altoos/internal/errfix"},
@@ -72,6 +73,7 @@ func TestFixtures(t *testing.T) {
 		{"globalstate", []string{"globalstate"}, "globalfix", "altoos/internal/fsck"},
 		{"simtaint-flow", []string{"simtaint"}, "taintfix", "altoos/cmd/taintfix"},
 		{"tracecover", []string{"tracecover"}, "tracefix", "altoos/internal/disk"},
+		{"tracecover-scope", []string{"tracecover"}, "tracefix", "altoos/internal/scope"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

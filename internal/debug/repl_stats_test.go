@@ -19,7 +19,7 @@ func TestREPLStats(t *testing.T) {
 	rec.Observe("disk.op.revs", 1.5)
 	w.dbg.Trace = rec
 	out := replSession(t, w, "stats\nq\n")
-	for _, want := range []string{"events", "disk.ops", "42", "disk.op.revs"} {
+	for _, want := range []string{"events", "disk.ops", "42", "disk.op.revs", "p50=", "p99="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("stats output missing %q:\n%s", want, out)
 		}

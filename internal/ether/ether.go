@@ -42,11 +42,18 @@ const MaxPayload = 256
 
 // Packet is the standardized wire representation: destination, source, a
 // type word, a checksum word, and up to a page of payload words.
+//
+// Flow is a trace sideband, not a wire field: the reliable transport carries
+// its causal flow ID as a word *inside* its payload header (charged and
+// checksummed there) and mirrors it here so the medium can stamp its own
+// send/receive/fault events onto the flow without parsing payloads. It adds
+// no serialization time and does not enter Sum.
 type Packet struct {
 	Dst     Addr
 	Src     Addr
 	Type    Word
 	Check   Word // filled by Send; verify with SumOK after Recv
+	Flow    Word // trace sideband: the transport's causal flow ID, 0 = none
 	Payload []Word
 }
 
@@ -141,6 +148,7 @@ type Station struct {
 	mu   sync.Mutex
 	in   []Packet
 	held []heldPacket // fault-delayed packets awaiting their release time
+	rec  *trace.Recorder
 }
 
 // heldPacket is a delivery the fault model is holding back: it joins the
@@ -150,10 +158,30 @@ type heldPacket struct {
 	pkt     Packet
 }
 
-// TraceRecorder implements trace.Source: a station reaches the medium's
-// recorder, so layers built over stations (the reliable transport, the file
-// server) trace without new plumbing.
-func (s *Station) TraceRecorder() *trace.Recorder { return s.net.TraceRecorder() }
+// SetRecorder gives the station its own flight recorder (nil reverts to the
+// medium's). In a fleet, each machine's station records into that machine's
+// recorder while the shared wire keeps its own — the split that lets
+// internal/scope merge per-machine timelines into one multi-process trace.
+func (s *Station) SetRecorder(r *trace.Recorder) {
+	s.mu.Lock()
+	s.rec = r
+	s.mu.Unlock()
+}
+
+// TraceRecorder implements trace.Source: the station's own recorder when one
+// is attached, else the medium's, so layers built over stations (the
+// reliable transport, the file server) trace without new plumbing. The two
+// locks are taken in sequence, never nested — the network lock must not
+// nest inside a station lock.
+func (s *Station) TraceRecorder() *trace.Recorder {
+	s.mu.Lock()
+	r := s.rec
+	s.mu.Unlock()
+	if r != nil {
+		return r
+	}
+	return s.net.TraceRecorder()
+}
 
 // Clock returns the shared network clock.
 func (s *Station) Clock() *sim.Clock { return s.net.clock }
@@ -203,13 +231,13 @@ func (s *Station) Send(p Packet) error {
 	rec := n.rec
 	if rec != nil {
 		if start < n.busyUntil {
-			rec.Emit(start, trace.KindEtherCollision, "", int64(p.Dst), int64(s.addr))
+			rec.EmitFlow(start, trace.KindEtherCollision, "", int64(p.Dst), int64(s.addr), int64(p.Flow))
 			rec.Add("ether.collision", 1)
 		}
 		if end := start + dur; end > n.busyUntil {
 			n.busyUntil = end
 		}
-		rec.EmitSpan(start, dur, trace.KindEtherSend, "", int64(p.Dst), int64(wireWords))
+		rec.EmitSpanFlow(start, dur, trace.KindEtherSend, "", int64(p.Dst), int64(wireWords), int64(p.Flow))
 		rec.Add("ether.send", 1)
 	}
 	// Copy the payload (the wire serializes, it does not alias) and stamp
@@ -236,21 +264,29 @@ func (s *Station) Send(p Packet) error {
 		d := delivery{st: st, pkt: cp, copies: 1}
 		if n.fault != nil {
 			v := n.fault.judge(len(cp.Payload))
+			// Every non-clean verdict lands on the wire's timeline as an
+			// instant stamped with the packet's flow: injected loss stays
+			// on the causal chain instead of vanishing between send and a
+			// retransmit that seems to come from nowhere.
 			if v.drop {
+				rec.EmitFlow(start, trace.KindEtherFault, "drop", int64(st.addr), v.idx, int64(cp.Flow))
 				rec.Add("ether.drop", 1)
 				continue
 			}
 			if v.dup {
 				d.copies = 2
+				rec.EmitFlow(start, trace.KindEtherFault, "dup", int64(st.addr), v.idx, int64(cp.Flow))
 				rec.Add("ether.dup", 1)
 			}
 			if v.corrupt {
 				d.pkt.Payload = append([]Word(nil), cp.Payload...)
 				v.mangle(&d.pkt)
+				rec.EmitFlow(start, trace.KindEtherFault, "corrupt", int64(st.addr), v.idx, int64(cp.Flow))
 				rec.Add("ether.corrupt", 1)
 			}
 			if v.delay > 0 {
 				d.release = arrive + v.delay
+				rec.EmitFlow(start, trace.KindEtherFault, "delay", int64(st.addr), v.idx, int64(cp.Flow))
 				rec.Add("ether.delay", 1)
 			}
 		}
@@ -301,11 +337,13 @@ func (s *Station) promoteLocked(now time.Duration) {
 	s.held = kept
 }
 
-// Recv polls the input queue, returning the oldest packet if any.
+// Recv polls the input queue, returning the oldest packet if any. The
+// delivery is recorded on the station's own recorder when one is attached —
+// in a fleet, arrivals belong to the receiving machine's timeline.
 func (s *Station) Recv() (Packet, bool) {
 	// Snapshot the recorder before taking s.mu: the network lock never
 	// nests inside a station lock.
-	rec := s.net.TraceRecorder()
+	rec := s.TraceRecorder()
 	now := s.net.clock.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -316,7 +354,7 @@ func (s *Station) Recv() (Packet, bool) {
 	p := s.in[0]
 	s.in = s.in[1:]
 	if rec != nil {
-		rec.Emit(s.net.clock.Now(), trace.KindEtherRecv, "", int64(p.Src), int64(len(p.Payload)+HeaderWords))
+		rec.EmitFlow(s.net.clock.Now(), trace.KindEtherRecv, "", int64(p.Src), int64(len(p.Payload)+HeaderWords), int64(p.Flow))
 		rec.Add("ether.recv", 1)
 	}
 	return p, true

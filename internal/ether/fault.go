@@ -111,6 +111,7 @@ func (f *FaultMedium) Stats() FaultStats {
 
 // verdict is one delivery's fate.
 type verdict struct {
+	idx     int64 // which judged delivery this was (0-based), for trace events
 	drop    bool
 	dup     bool
 	corrupt bool
@@ -127,9 +128,11 @@ func (f *FaultMedium) judge(payloadWords int) verdict {
 	f.judged++
 	f.stats.Judged++
 	if forced, ok := f.cfg.Force[idx]; ok {
-		return f.forcedVerdict(forced, payloadWords)
+		v := f.forcedVerdict(forced, payloadWords)
+		v.idx = idx
+		return v
 	}
-	var v verdict
+	v := verdict{idx: idx}
 	if f.roll(f.cfg.Drop) {
 		v.drop = true
 		f.stats.Dropped++

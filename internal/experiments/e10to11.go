@@ -33,14 +33,25 @@ type netRig struct {
 // newNetRig wires everything to one clock and one recorder, so the disk and
 // the network advance the same simulated time and trace into one stream.
 func newNetRig(n int, rec *trace.Recorder) (*netRig, error) {
+	return newNetRigFleet(n, func(string) *trace.Recorder { return rec })
+}
+
+// newNetRigFleet wires the machine room with per-machine recorders: the wire
+// is its own machine (sends, collisions and fault verdicts belong to the
+// medium), the server's disk and station record into "server", and each
+// client station into "clientN". Everything still shares one clock. Handing
+// in a constant function collapses the fleet back onto a single recorder —
+// the single-machine rig above — with identical event streams.
+func newNetRigFleet(n int, machine func(string) *trace.Recorder) (*netRig, error) {
 	clock := sim.NewClock()
 	wire := ether.New(clock)
-	wire.SetRecorder(rec)
+	wire.SetRecorder(machine("wire"))
+	srvRec := machine("server")
 	drv, err := disk.NewDrive(disk.Diablo31(), 1, clock)
 	if err != nil {
 		return nil, err
 	}
-	drv.SetRecorder(rec)
+	drv.SetRecorder(srvRec)
 	fs, err := file.Format(drv)
 	if err != nil {
 		return nil, err
@@ -52,6 +63,7 @@ func newNetRig(n int, rec *trace.Recorder) (*netRig, error) {
 	if err != nil {
 		return nil, err
 	}
+	sst.SetRecorder(srvRec)
 	rig := &netRig{
 		clock: clock,
 		wire:  wire,
@@ -62,6 +74,7 @@ func newNetRig(n int, rec *trace.Recorder) (*netRig, error) {
 		if err != nil {
 			return nil, err
 		}
+		cst.SetRecorder(machine(fmt.Sprintf("client%d", i)))
 		c := fileserver.NewClient(pup.NewEndpoint(cst, pup.Config{Seed: uint64(i + 1)}))
 		if err := c.Connect(1); err != nil {
 			return nil, err
@@ -188,8 +201,39 @@ func e10LoadedServer(tr *trace.Recorder) (*Result, error) {
 	if rec == nil {
 		rec = trace.New(1 << 16)
 	}
+	return e10Run(func(string) *trace.Recorder { return rec })
+}
+
+// e10Scoped is the fleet-aware entry point (cmd/altoscope): every machine
+// gets its own recorder, merged afterwards by internal/scope.
+func e10Scoped(machine func(string) *trace.Recorder) (*Result, error) {
+	return e10Run(machine)
+}
+
+// e10Run is the E10 workload over any recorder assignment. Counters are
+// summed across every distinct recorder the rig was given, so the numbers
+// come out the same whether the run was one machine or ten: retransmits live
+// on the client and server machines, drops on the wire.
+func e10Run(machine func(string) *trace.Recorder) (*Result, error) {
+	var recs []*trace.Recorder
+	seen := map[*trace.Recorder]bool{}
+	collect := func(name string) *trace.Recorder {
+		r := machine(name)
+		if r != nil && !seen[r] {
+			seen[r] = true
+			recs = append(recs, r)
+		}
+		return r
+	}
+	counter := func(name string) int64 {
+		var total int64
+		for _, rc := range recs {
+			total += rc.Counter(name)
+		}
+		return total
+	}
 	const clients = 8
-	r, err := newNetRig(clients, rec)
+	r, err := newNetRigFleet(clients, collect)
 	if err != nil {
 		return nil, err
 	}
@@ -230,8 +274,8 @@ func e10LoadedServer(tr *trace.Recorder) (*Result, error) {
 	if corrupt != 0 {
 		return nil, fmt.Errorf("e10: %d corrupted transfers leaked through the reliable transport", corrupt)
 	}
-	retrans := rec.Counter("pup.retransmit")
-	drops := rec.Counter("ether.drop")
+	retrans := counter("pup.retransmit")
+	drops := counter("ether.drop")
 	if retrans == 0 {
 		return nil, fmt.Errorf("e10: 10%% loss produced no retransmissions; the fault medium is not wired in")
 	}
@@ -247,7 +291,7 @@ func e10LoadedServer(tr *trace.Recorder) (*Result, error) {
 	res.add("clients x transfers", "%d x %d, %d bytes of payload", clients, len(scripts[0]), moved)
 	res.add("corrupted transfers", "%d (checksum + retransmission hid every fault)", corrupt)
 	res.add("packets dropped by the medium", "%d (plus %d duplicated, %d corrupted)",
-		drops, rec.Counter("ether.dup"), rec.Counter("ether.corrupt"))
+		drops, counter("ether.dup"), counter("ether.corrupt"))
 	res.add("retransmissions", "%d (bounded: %.2f per drop)", retrans, float64(retrans)/float64(drops))
 	res.add("sessions served", "%d concurrent, %d stores, %d fetches", st.Sessions, st.Stores, st.Fetches)
 	res.add("simulated completion time", "%.2f s", simSec)

@@ -132,27 +132,31 @@ var _ = sim.NewRand // keep the import set stable across experiment files
 
 // Runner names one experiment and its recorder-threading entry point, for
 // drivers (cmd/altotrace) that run experiments by id with tracing on.
+// Scoped, when set, is the fleet-aware variant: it draws one recorder per
+// simulated machine from the supplied function (cmd/altoscope passes
+// scope.Fleet.Machine) instead of tracing everything into one stream.
 type Runner struct {
-	ID    string
-	Title string
-	Run   func(rec *trace.Recorder) (*Result, error)
+	ID     string
+	Title  string
+	Run    func(rec *trace.Recorder) (*Result, error)
+	Scoped func(machine func(string) *trace.Recorder) (*Result, error)
 }
 
 // registry lists every experiment in order. The Run functions are the
 // unexported recorder-taking variants the public E1..E9 wrappers call.
 var registry = []Runner{
-	{"e1", "raw sequential transfer", e1RawTransfer},
-	{"e2", "allocation and free cost", e2AllocFreeCost},
-	{"e3", "scavenge time by disk size", e3Scavenge},
-	{"e4", "compaction speedup", e4Compaction},
-	{"e5", "hint-ladder costs", e5HintLadder},
-	{"e6", "world-swap timing", e6WorldSwap},
-	{"e7", "Junta memory reclaim", e7Junta},
-	{"e8", "fault injection", e8Robustness},
-	{"e9", "installed hints", e9InstalledHints},
-	{"e10", "loaded file server over a lossy wire", e10LoadedServer},
-	{"e11", "goodput vs. packet loss", e11LossSweep},
-	{"e12", "exhaustive crash-point sweep", e12CrashSweep},
+	{ID: "e1", Title: "raw sequential transfer", Run: e1RawTransfer},
+	{ID: "e2", Title: "allocation and free cost", Run: e2AllocFreeCost},
+	{ID: "e3", Title: "scavenge time by disk size", Run: e3Scavenge},
+	{ID: "e4", Title: "compaction speedup", Run: e4Compaction},
+	{ID: "e5", Title: "hint-ladder costs", Run: e5HintLadder},
+	{ID: "e6", Title: "world-swap timing", Run: e6WorldSwap},
+	{ID: "e7", Title: "Junta memory reclaim", Run: e7Junta},
+	{ID: "e8", Title: "fault injection", Run: e8Robustness},
+	{ID: "e9", Title: "installed hints", Run: e9InstalledHints},
+	{ID: "e10", Title: "loaded file server over a lossy wire", Run: e10LoadedServer, Scoped: e10Scoped},
+	{ID: "e11", Title: "goodput vs. packet loss", Run: e11LossSweep},
+	{ID: "e12", Title: "exhaustive crash-point sweep", Run: e12CrashSweep},
 }
 
 // IDs lists the experiment ids Run accepts, in order.
@@ -170,6 +174,22 @@ func Run(id string, rec *trace.Recorder) (*Result, error) {
 	for _, r := range registry {
 		if strings.EqualFold(r.ID, id) {
 			return r.Run(rec)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// RunScoped executes the experiment with per-machine recorders drawn from
+// machine (name → recorder; scope.Fleet.Machine is the canonical source).
+// Experiments without a fleet-aware variant run whole on one machine named
+// "machine", so every experiment remains drivable from cmd/altoscope.
+func RunScoped(id string, machine func(string) *trace.Recorder) (*Result, error) {
+	for _, r := range registry {
+		if strings.EqualFold(r.ID, id) {
+			if r.Scoped != nil {
+				return r.Scoped(machine)
+			}
+			return r.Run(machine("machine"))
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))

@@ -23,6 +23,7 @@ type Client struct {
 	failure error
 	data    []byte        // fetch accumulator
 	started time.Duration // transfer start on the simulated clock
+	flow    int64         // this transfer's causal flow id (0: tracing off)
 }
 
 // NewClient builds a client on a transport endpoint.
@@ -88,6 +89,11 @@ func (c *Client) begin() error {
 	}
 	c.busy, c.done, c.failure, c.data = true, false, nil, nil
 	c.started = c.now()
+	// Each transfer is one causal flow: allocated here, carried by every
+	// packet of the request (retransmits included), adopted by the server's
+	// session, and echoed on every reply and ack.
+	c.flow = c.rec().NextFlow()
+	c.conn.SetFlow(c.flow)
 	return nil
 }
 
@@ -159,8 +165,8 @@ func (c *Client) finish(err error) {
 	c.done = true
 	c.failure = err
 	if c.busy {
-		c.rec().EmitSpan(c.started, c.now()-c.started, trace.KindFSSession, "client",
-			int64(c.conn.Remote()), int64(len(c.data)))
+		c.rec().EmitSpanFlow(c.started, c.now()-c.started, trace.KindFSSession, "client",
+			int64(c.conn.Remote()), int64(len(c.data)), c.flow)
 	}
 	c.rec().Add("fs.client.done", 1)
 }

@@ -86,15 +86,20 @@ type session struct {
 	conn   *pup.Conn
 	opened time.Duration
 	moved  int64 // data bytes in either direction, for the trace span
+	flow   int64 // first client flow adopted, stamped on the session span
 
 	// outq is the pending outbound message queue; push drains it as the
 	// send window allows (backpressure, never blocking the poll loop).
 	outq [][]ether.Word
 
-	// inbound store in progress, if any.
-	storing   bool
-	storeName string
-	in        []byte
+	// inbound store in progress, if any. The store's flow and start are
+	// held from MsgStore to MsgEnd so the request span covers the whole
+	// inbound transfer plus the disk chain that lands it.
+	storing    bool
+	storeName  string
+	in         []byte
+	storeFlow  int64
+	storeStart time.Duration
 }
 
 // NewServer builds a server from a file system and a transport endpoint.
@@ -151,12 +156,14 @@ func (s *Server) Poll() (bool, error) {
 	return worked, nil
 }
 
-// closeSession retires a finished session, emitting its trace span.
+// closeSession retires a finished session, emitting its trace span. The span
+// carries the first flow the session adopted, linking the server's view back
+// to the client request that opened the exchange.
 func (s *Server) closeSession(ss *session) {
 	if rec := s.rec(); rec != nil {
 		now := s.ep.Station().Clock().Now()
-		rec.EmitSpan(ss.opened, now-ss.opened, trace.KindFSSession, "",
-			int64(ss.conn.Remote()), ss.moved)
+		rec.EmitSpanFlow(ss.opened, now-ss.opened, trace.KindFSSession, "",
+			int64(ss.conn.Remote()), ss.moved, ss.flow)
 		rec.Add("fs.session.close", 1)
 	}
 }
@@ -165,12 +172,12 @@ func (s *Server) closeSession(ss *session) {
 func (s *Server) serve(ss *session) bool {
 	worked := false
 	for {
-		msg, ok := ss.conn.Recv()
+		msg, flow, ok := ss.conn.RecvFlow()
 		if !ok {
 			break
 		}
 		worked = true
-		s.handle(ss, msg)
+		s.handle(ss, msg, flow)
 	}
 	if ss.push() {
 		worked = true
@@ -197,11 +204,19 @@ func (ss *session) push() bool {
 	return worked
 }
 
-// handle processes one client message.
-func (s *Server) handle(ss *session, msg []ether.Word) {
+// handle processes one client message. The message's flow — allocated by the
+// client, carried in every transport header — is adopted here: replies ride
+// it back, the per-request span is stamped with it, and the session span
+// keeps the first one it saw.
+func (s *Server) handle(ss *session, msg []ether.Word, flow int64) {
 	if len(msg) == 0 {
 		return
 	}
+	if ss.flow == 0 {
+		ss.flow = flow
+	}
+	// Replies queued from here on carry the request's flow on the wire.
+	ss.conn.SetFlow(flow)
 	switch msg[0] {
 	case MsgFetch:
 		name, err := ether.UnpackString(msg[1:])
@@ -209,6 +224,7 @@ func (s *Server) handle(ss *session, msg []ether.Word) {
 			ss.sendError("bad fetch request")
 			return
 		}
+		start := s.ep.Station().Clock().Now()
 		data, err := s.readFile(name)
 		if err != nil {
 			ss.sendError(err.Error())
@@ -219,6 +235,9 @@ func (s *Server) handle(ss *session, msg []ether.Word) {
 		s.stats.Fetches++
 		s.stats.BytesOut += int64(len(data))
 		if rec := s.rec(); rec != nil {
+			now := s.ep.Station().Clock().Now()
+			rec.EmitSpanFlow(start, now-start, trace.KindFSRequest, "fetch",
+				int64(ss.conn.Remote()), int64(len(data)), flow)
 			rec.Add("fs.fetch", 1)
 		}
 	case MsgStore:
@@ -228,6 +247,8 @@ func (s *Server) handle(ss *session, msg []ether.Word) {
 			return
 		}
 		ss.storing, ss.storeName, ss.in = true, name, nil
+		ss.storeFlow = flow
+		ss.storeStart = s.ep.Station().Clock().Now()
 	case MsgData:
 		if !ss.storing {
 			return // stray data: drop, as on a real wire
@@ -256,6 +277,9 @@ func (s *Server) handle(ss *session, msg []ether.Word) {
 		s.stats.Stores++
 		s.stats.BytesIn += int64(len(ss.in))
 		if rec := s.rec(); rec != nil {
+			now := s.ep.Station().Clock().Now()
+			rec.EmitSpanFlow(ss.storeStart, now-ss.storeStart, trace.KindFSRequest, "store",
+				int64(ss.conn.Remote()), int64(len(ss.in)), ss.storeFlow)
 			rec.Add("fs.store", 1)
 		}
 		ss.outq = append(ss.outq, []ether.Word{MsgOK})

@@ -35,13 +35,22 @@ func (s State) String() string {
 	return "?"
 }
 
-// outPacket is one unacked message in the send window.
+// outPacket is one unacked message in the send window. The flow id is
+// captured at Send time, so retransmissions carry the *original* flow —
+// a lost packet and its replacements form one causal chain in the trace.
 type outPacket struct {
 	seq      uint16
+	flow     uint16
 	data     []ether.Word
 	deadline time.Duration // simulated time of the next retransmission
 	rto      time.Duration // current backoff level
 	retries  int
+}
+
+// inMsg is one delivered in-order message with the flow id it arrived under.
+type inMsg struct {
+	flow uint16
+	data []ether.Word
 }
 
 // ctrlState is the retransmission state of a pending Open or Close.
@@ -71,7 +80,11 @@ type Conn struct {
 
 	// Receive side: next expected seq and the in-order delivery queue.
 	recvNext uint16
-	recvQ    [][]ether.Word
+	recvQ    []inMsg
+
+	// flow is the causal flow id stamped on outbound packets (0: none).
+	// Set per request by the layer above; see SetFlow.
+	flow uint16
 
 	// ctrl is the pending Open/Close retransmission state (kind 0: none).
 	ctrl ctrlState
@@ -94,6 +107,15 @@ func (c *Conn) Err() error { return c.err }
 // means everything sent so far has provably arrived.
 func (c *Conn) Unacked() int { return len(c.sendQ) }
 
+// SetFlow sets the causal flow id stamped on messages sent from now on
+// (trace.Recorder.NextFlow allocates them; 0 clears). Each queued message
+// keeps the flow that was current when it was sent, so retransmissions stay
+// on their original flow even after the conn moves to a new request.
+func (c *Conn) SetFlow(flow int64) { c.flow = uint16(flow) }
+
+// Flow returns the current outbound flow id.
+func (c *Conn) Flow() int64 { return int64(c.flow) }
+
 // seqLess compares sequence numbers on the 16-bit circle.
 func seqLess(a, b uint16) bool { return int16(a-b) < 0 }
 
@@ -115,6 +137,7 @@ func (c *Conn) Send(data []ether.Word) error {
 	}
 	op := outPacket{
 		seq:  c.sendSeq,
+		flow: c.flow,
 		data: append([]ether.Word(nil), data...),
 		rto:  c.ep.cfg.RTO,
 	}
@@ -125,12 +148,19 @@ func (c *Conn) Send(data []ether.Word) error {
 
 // Recv pops the next in-order received message, if any.
 func (c *Conn) Recv() ([]ether.Word, bool) {
+	data, _, ok := c.RecvFlow()
+	return data, ok
+}
+
+// RecvFlow pops the next in-order received message along with the causal
+// flow id it arrived under — how a server adopts its client's flow.
+func (c *Conn) RecvFlow() ([]ether.Word, int64, bool) {
 	if len(c.recvQ) == 0 {
-		return nil, false
+		return nil, 0, false
 	}
 	m := c.recvQ[0]
 	c.recvQ = c.recvQ[1:]
-	return m, true
+	return m.data, int64(m.flow), true
 }
 
 // Close begins a graceful close: the window is flushed first, then the
@@ -147,9 +177,11 @@ func (c *Conn) Close() error {
 	return nil
 }
 
-// transmit puts one window entry on the wire and arms its timer.
+// transmit puts one window entry on the wire and arms its timer. The entry's
+// own captured flow goes out — not the conn's current one — so a retransmit
+// fired after the conn moved on still names the request that queued it.
 func (c *Conn) transmit(op *outPacket) error {
-	if err := c.ep.sendRaw(c.remote, TypeData, c.id, op.seq, c.recvNext, op.data); err != nil {
+	if err := c.ep.sendRaw(c.remote, TypeData, c.id, op.seq, c.recvNext, op.flow, op.data); err != nil {
 		return err
 	}
 	c.ep.rec().Add("pup.data.send", 1)
@@ -162,7 +194,7 @@ func (c *Conn) sendCtrl(kind ether.Word) error {
 	if c.ctrlKind() != kind {
 		c.ctrl = ctrlState{kind: kind, rto: c.ep.cfg.RTO}
 	}
-	if err := c.ep.sendRaw(c.remote, kind, c.id, 0, c.recvNext, nil); err != nil {
+	if err := c.ep.sendRaw(c.remote, kind, c.id, 0, c.recvNext, c.flow, nil); err != nil {
 		return err
 	}
 	c.ctrl.deadline = c.ep.clock.Now() + c.ctrl.rto
@@ -176,12 +208,12 @@ func (c *Conn) ctrlKind() ether.Word { return c.ctrl.kind }
 // dropped — duplicates are re-acked (the ack the sender missed), and
 // overtakers (a delayed packet jumped the queue) are left for the sender's
 // timers, go-back-N style.
-func (c *Conn) handleData(seq, ack uint16, data []ether.Word) error {
+func (c *Conn) handleData(seq, ack, flow uint16, data []ether.Word) error {
 	c.handleAck(ack)
 	rec := c.ep.rec()
 	switch {
 	case seq == c.recvNext:
-		c.recvQ = append(c.recvQ, append([]ether.Word(nil), data...))
+		c.recvQ = append(c.recvQ, inMsg{flow: flow, data: append([]ether.Word(nil), data...)})
 		c.recvNext++
 		rec.Add("pup.data.recv", 1)
 	case seqLess(seq, c.recvNext):
@@ -191,8 +223,9 @@ func (c *Conn) handleData(seq, ack uint16, data []ether.Word) error {
 	}
 	// Ack what we hold, whatever just happened: a duplicate means our
 	// previous ack was lost, an overtaker means the sender needs to hear
-	// where we really are.
-	return c.ep.sendRaw(c.remote, TypeAck, c.id, 0, c.recvNext, nil)
+	// where we really are. The ack echoes the inbound flow, keeping the
+	// round trip on one causal chain.
+	return c.ep.sendRaw(c.remote, TypeAck, c.id, 0, c.recvNext, flow, nil)
 }
 
 // handleAck applies a cumulative ack: everything below ack leaves the

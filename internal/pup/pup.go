@@ -59,8 +59,13 @@ const (
 )
 
 // headerWords is the transport header inside the ether payload:
-// connection id, sequence number, cumulative ack.
-const headerWords = 3
+// connection id, sequence number, cumulative ack, causal flow id. The flow
+// word rides in the charged, checksummed payload — it is real header, not
+// metadata — and is mirrored into ether.Packet.Flow so the medium can stamp
+// its own events (sends, collisions, fault verdicts) onto the same flow.
+// Acks echo the flow of the packet they acknowledge, so a retransmitted
+// request and the ack that finally quenches it render as one causal chain.
+const headerWords = 4
 
 // MaxData is the data capacity of one transport packet, in words.
 const MaxData = ether.MaxPayload - headerWords
@@ -270,11 +275,11 @@ func (e *Endpoint) dispatch(pkt ether.Packet) error {
 	if len(pkt.Payload) < headerWords {
 		return nil // not ours, or truncated beyond use
 	}
-	id, seq, ack := pkt.Payload[0], pkt.Payload[1], pkt.Payload[2]
+	id, seq, ack, flow := pkt.Payload[0], pkt.Payload[1], pkt.Payload[2], pkt.Payload[3]
 	c := e.conns[connKey{pkt.Src, id}]
 	switch pkt.Type {
 	case TypeOpen:
-		return e.handleOpen(pkt.Src, id, c)
+		return e.handleOpen(pkt.Src, id, flow, c)
 	case TypeOpenAck:
 		if c != nil && c.state == StateOpening {
 			c.state = StateOpen
@@ -285,7 +290,7 @@ func (e *Endpoint) dispatch(pkt ether.Packet) error {
 		if c == nil {
 			return nil // conn unknown (not yet open, or long gone): sender retries
 		}
-		return c.handleData(seq, ack, pkt.Payload[headerWords:])
+		return c.handleData(seq, ack, flow, pkt.Payload[headerWords:])
 	case TypeAck:
 		if c != nil {
 			c.handleAck(ack)
@@ -298,7 +303,7 @@ func (e *Endpoint) dispatch(pkt ether.Packet) error {
 		}
 		// Acknowledge even for unknown connections: the peer may be
 		// retransmitting a Close whose ack was lost after we reaped.
-		return e.sendRaw(pkt.Src, TypeCloseAck, id, 0, 0, nil)
+		return e.sendRaw(pkt.Src, TypeCloseAck, id, 0, 0, flow, nil)
 	case TypeCloseAck:
 		if c != nil && c.state == StateClosing {
 			c.state = StateClosed
@@ -311,7 +316,7 @@ func (e *Endpoint) dispatch(pkt ether.Packet) error {
 }
 
 // handleOpen creates (or re-confirms) an inbound connection.
-func (e *Endpoint) handleOpen(from ether.Addr, id uint16, c *Conn) error {
+func (e *Endpoint) handleOpen(from ether.Addr, id, flow uint16, c *Conn) error {
 	if c == nil {
 		if !e.listening {
 			return nil
@@ -322,15 +327,17 @@ func (e *Endpoint) handleOpen(from ether.Addr, id uint16, c *Conn) error {
 		e.rec().Add("pup.accept", 1)
 	}
 	// OpenAck is stateless on this side: a duplicated Open (the first ack
-	// was lost) just elicits another.
-	return e.sendRaw(from, TypeOpenAck, id, 0, 0, nil)
+	// was lost) just elicits another. It echoes the Open's flow.
+	return e.sendRaw(from, TypeOpenAck, id, 0, 0, flow, nil)
 }
 
 // sendRaw transmits one transport packet. Every send charges wire time on
-// the shared clock, which is also what drives the timers forward.
-func (e *Endpoint) sendRaw(to ether.Addr, typ ether.Word, id, seq, ack uint16, data []ether.Word) error {
+// the shared clock, which is also what drives the timers forward. The flow
+// word is both carried in the payload header and mirrored onto the packet's
+// trace sideband for the medium's own events.
+func (e *Endpoint) sendRaw(to ether.Addr, typ ether.Word, id, seq, ack, flow uint16, data []ether.Word) error {
 	payload := make([]ether.Word, headerWords+len(data))
-	payload[0], payload[1], payload[2] = id, seq, ack
+	payload[0], payload[1], payload[2], payload[3] = id, seq, ack, flow
 	copy(payload[headerWords:], data)
-	return e.st.Send(ether.Packet{Dst: to, Type: typ, Payload: payload})
+	return e.st.Send(ether.Packet{Dst: to, Type: typ, Flow: flow, Payload: payload})
 }

@@ -188,6 +188,123 @@ func TestDuplicateAck(t *testing.T) {
 	}
 }
 
+// TestRetransmitCarriesOriginalFlow: the flow word is captured when the
+// message enters the send queue, so the retransmission after a forced drop
+// is the *same* causal flow — the server's copy, the wire's fault verdict
+// and the eventual delivery all reference the ID the client stamped.
+func TestRetransmitCarriesOriginalFlow(t *testing.T) {
+	net, srv, cli, rec := pair(t, Config{})
+	const flow = 777
+	// Delivery order: Open(0), first data(1). Drop the data; the client
+	// must retransmit it under the original flow.
+	net.InjectFaults(ether.FaultConfig{
+		Force: map[int64]ether.Fault{1: ether.FaultDrop},
+	})
+
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetFlow(flow)
+	if err := conn.Send([]ether.Word{42}); err != nil {
+		t.Fatal(err)
+	}
+
+	var acc *Conn
+	var got []ether.Word
+	gotFlow := int64(-1)
+	pump(t, srv, cli, 100000, func() bool {
+		if acc == nil {
+			acc, _ = srv.Accept()
+		}
+		if acc != nil {
+			if m, f, ok := acc.RecvFlow(); ok {
+				got, gotFlow = m, f
+			}
+		}
+		return got != nil
+	})
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v, want [42]", got)
+	}
+	if gotFlow != flow {
+		t.Errorf("delivered flow = %d, want %d (retransmission lost the flow)", gotFlow, flow)
+	}
+	if n := rec.Counter("pup.retransmit"); n < 1 {
+		t.Fatalf("pup.retransmit = %d, want >= 1", n)
+	}
+	// The wire's drop verdict names the flow it interrupted.
+	dropOnFlow := false
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindEtherFault && ev.Name == "drop" && ev.Flow == flow {
+			dropOnFlow = true
+		}
+	}
+	if !dropOnFlow {
+		t.Error("no drop verdict carries the original flow")
+	}
+}
+
+// TestDuplicateCarriesOriginalFlow: a duplicated data packet is the same
+// wire bytes twice, so both deliveries — and the dup verdict itself — stay
+// on the flow the sender stamped.
+func TestDuplicateCarriesOriginalFlow(t *testing.T) {
+	net, srv, cli, rec := pair(t, Config{})
+	const flow = 613
+	// Delivery order: Open(0), first data(1). Duplicate the data packet.
+	net.InjectFaults(ether.FaultConfig{
+		Force: map[int64]ether.Fault{1: ether.FaultDup},
+	})
+
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetFlow(flow)
+	if err := conn.Send([]ether.Word{7}); err != nil {
+		t.Fatal(err)
+	}
+
+	var acc *Conn
+	var got []ether.Word
+	gotFlow := int64(-1)
+	pump(t, srv, cli, 100000, func() bool {
+		if acc == nil {
+			acc, _ = srv.Accept()
+		}
+		if acc != nil {
+			if m, f, ok := acc.RecvFlow(); ok {
+				got, gotFlow = m, f
+			}
+		}
+		return got != nil && len(conn.sendQ) == 0
+	})
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("got %v, want [7] exactly once", got)
+	}
+	if gotFlow != flow {
+		t.Errorf("delivered flow = %d, want %d", gotFlow, flow)
+	}
+	dups, recvsOnFlow := 0, 0
+	for _, ev := range rec.Events() {
+		switch {
+		case ev.Kind == trace.KindEtherFault && ev.Name == "dup":
+			dups++
+			if ev.Flow != flow {
+				t.Errorf("dup verdict flow = %d, want %d", ev.Flow, flow)
+			}
+		case ev.Kind == trace.KindEtherRecv && ev.Flow == flow:
+			recvsOnFlow++
+		}
+	}
+	if dups != 1 {
+		t.Errorf("dup verdicts = %d, want 1", dups)
+	}
+	if recvsOnFlow < 2 {
+		t.Errorf("only %d deliveries carry the flow, want >= 2 (original + duplicate)", recvsOnFlow)
+	}
+}
+
 func TestWindowFullBackpressure(t *testing.T) {
 	_, srv, cli, _ := pair(t, Config{Window: 4})
 	conn, err := cli.Dial(1)

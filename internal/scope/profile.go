@@ -1,0 +1,246 @@
+package scope
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"altoos/internal/trace"
+)
+
+// The sim-time profiler. Every span a machine recorded is an interval of
+// simulated time attributed to one category/name pair ("disk/op",
+// "fileserver/request"); nesting on the timeline — a disk op inside a chain
+// inside a store request — is the call hierarchy the paper's timing
+// arguments talk about. foldProfile rebuilds that hierarchy from the
+// intervals alone: spans sorted by (start asc, end desc, ring position) are
+// pushed through a stack, a span nests under the innermost open span that
+// contains it, and whatever the children don't cover is the parent's self
+// time. Cumulative time of the roots equals the machine's whole accounted
+// span time by construction, so the ≥95%-accounted acceptance bar reduces
+// to roots-vs-union arithmetic, which the tests pin.
+
+// ProfileNode is one category/name in a machine's fold.
+type ProfileNode struct {
+	Name     string // "category/name"
+	Count    int64
+	Self     time.Duration // Cum minus the children's Cum
+	Cum      time.Duration
+	Children []*ProfileNode
+
+	childTime time.Duration
+	index     map[string]*ProfileNode
+}
+
+// MachineProfile is one machine's hierarchical sim-time profile.
+type MachineProfile struct {
+	Machine string
+	Roots   []*ProfileNode
+	Spans   int           // spans folded
+	Total   time.Duration // sum of root cumulative times
+	Covered time.Duration // union of all span intervals on the timeline
+}
+
+// child returns (creating) the named child node.
+func (n *ProfileNode) child(key string) *ProfileNode {
+	if c, ok := n.index[key]; ok {
+		return c
+	}
+	c := &ProfileNode{Name: key, index: map[string]*ProfileNode{}}
+	if n.index == nil {
+		n.index = map[string]*ProfileNode{}
+	}
+	n.index[key] = c
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// finalize computes self times and orders children by name, recursively.
+func (n *ProfileNode) finalize() {
+	n.Self = n.Cum - n.childTime
+	sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].Name < n.Children[j].Name })
+	for _, c := range n.Children {
+		c.finalize()
+	}
+}
+
+// foldProfile builds one machine's profile from its recorded events.
+func foldProfile(machine string, events []trace.Event) *MachineProfile {
+	type span struct {
+		start, end time.Duration
+		key        string
+		ring       int
+	}
+	spans := make([]span, 0, len(events))
+	for i, ev := range events {
+		if ev.Dur <= 0 {
+			continue
+		}
+		name := ev.Name
+		if name == "" {
+			name = ev.Kind.String()
+		}
+		spans = append(spans, span{
+			start: ev.T,
+			end:   ev.T + ev.Dur,
+			key:   ev.Kind.Category() + "/" + name,
+			ring:  i,
+		})
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		if spans[i].end != spans[j].end {
+			return spans[i].end > spans[j].end // wider first: parents precede children
+		}
+		return spans[i].ring < spans[j].ring
+	})
+
+	p := &MachineProfile{Machine: machine, Spans: len(spans)}
+	root := &ProfileNode{index: map[string]*ProfileNode{}}
+	type frame struct {
+		node *ProfileNode
+		end  time.Duration
+	}
+	var stack []frame
+	var curEnd time.Duration // sweep for the interval union
+	for _, s := range spans {
+		if s.end > curEnd {
+			if s.start > curEnd {
+				p.Covered += s.end - s.start
+			} else {
+				p.Covered += s.end - curEnd
+			}
+			curEnd = s.end
+		}
+
+		for len(stack) > 0 && stack[len(stack)-1].end <= s.start {
+			stack = stack[:len(stack)-1]
+		}
+		parent := root
+		if len(stack) > 0 && stack[len(stack)-1].end >= s.end {
+			top := stack[len(stack)-1].node
+			if top.Name == s.key {
+				// Recursion collapse: a span contained in a same-key span is
+				// the same activity seen again (concurrent server sessions
+				// enclose one another on the timeline); the enclosing node
+				// already accounts the interval, so only the count grows.
+				top.Count++
+				stack = append(stack, frame{node: top, end: s.end})
+				continue
+			}
+			parent = top
+		}
+		// A span the innermost open interval only partially covers does not
+		// nest (concurrent activities interleave); it becomes a root.
+		n := parent.child(s.key)
+		n.Count++
+		n.Cum += s.end - s.start
+		parent.childTime += s.end - s.start
+		stack = append(stack, frame{node: n, end: s.end})
+	}
+	root.finalize()
+	p.Roots = root.Children
+	for _, r := range p.Roots {
+		p.Total += r.Cum
+	}
+	return p
+}
+
+// walk visits every node depth-first with its semicolon-joined path.
+func walk(prefix string, nodes []*ProfileNode, visit func(path string, n *ProfileNode)) {
+	for _, n := range nodes {
+		path := n.Name
+		if prefix != "" {
+			path = prefix + ";" + n.Name
+		}
+		visit(path, n)
+		walk(path, n.Children, visit)
+	}
+}
+
+// WriteCollapsed writes the profiles in collapsed-stack flamegraph format:
+// one "machine;frame;frame <self-nanoseconds>" line per stack with nonzero
+// self time, sorted, so the file is byte-identical however the fold ran.
+// Feed it to any flamegraph renderer; stripping the leading machine frame
+// aggregates the fleet into one graph.
+func WriteCollapsed(w io.Writer, profiles []*MachineProfile) error {
+	var lines []string
+	for _, p := range profiles {
+		walk("", p.Roots, func(path string, n *ProfileNode) {
+			if n.Self > 0 {
+				lines = append(lines, fmt.Sprintf("%s;%s %d", p.Machine, path, n.Self.Nanoseconds()))
+			}
+		})
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topRow is one aggregated row of the fleet's top table.
+type topRow struct {
+	path  string
+	count int64
+	self  time.Duration
+	cum   time.Duration
+}
+
+// WriteTop writes the fleet-aggregated top-N table by self time: the same
+// category/name path summed across machines, heaviest self time first.
+func WriteTop(w io.Writer, profiles []*MachineProfile, n int) error {
+	byPath := map[string]*topRow{}
+	var order []string
+	var total time.Duration
+	for _, p := range profiles {
+		total += p.Total
+		walk("", p.Roots, func(path string, node *ProfileNode) {
+			r, ok := byPath[path]
+			if !ok {
+				r = &topRow{path: path}
+				byPath[path] = r
+				order = append(order, path)
+			}
+			r.count += node.Count
+			r.self += node.Self
+			r.cum += node.Cum
+		})
+	}
+	rows := make([]*topRow, len(order))
+	for i, path := range order {
+		rows[i] = byPath[path]
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].self != rows[j].self {
+			return rows[i].self > rows[j].self
+		}
+		return rows[i].path < rows[j].path
+	})
+	if n > 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	if _, err := fmt.Fprintf(w, "%12s %8s %12s %8s  %s\n", "self(ms)", "self%", "cum(ms)", "count", "stack"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.self) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "%12.3f %7.2f%% %12.3f %8d  %s\n",
+			ms(r.self), pct, ms(r.cum), r.count, strings.ReplaceAll(r.path, ";", " > ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ms renders a duration in milliseconds for the tables.
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }

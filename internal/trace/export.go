@@ -38,7 +38,7 @@ type chromeEvent struct {
 
 // lanes maps a category to its thread id, so each subsystem renders as one
 // named lane. Order here is display order in the viewer.
-var lanes = []string{"disk", "scavenge", "zone", "stream", "swap", "ether"}
+var lanes = []string{"disk", "scavenge", "zone", "stream", "swap", "ether", "fileserver", "crashpoint"}
 
 func laneOf(cat string) int {
 	for i, c := range lanes {
@@ -48,6 +48,14 @@ func laneOf(cat string) int {
 	}
 	return len(lanes) + 1
 }
+
+// Lanes returns the category lanes in display order, for exporters outside
+// the package (the fleet merger names the same lanes per machine).
+func Lanes() []string { return append([]string(nil), lanes...) }
+
+// LaneIndex returns the 1-based thread id a category renders on; unknown
+// categories share the lane after the named ones.
+func LaneIndex(cat string) int { return laneOf(cat) }
 
 // usec converts simulated time to trace_event microseconds.
 func usec(d time.Duration) float64 { return float64(d) / 1e3 }
@@ -76,6 +84,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	}
 
 	events := r.Events() // nil receiver yields an empty trace
+	dropped := r.Snapshot().Dropped
 	// Name the lanes first, so the viewer shows subsystems, not numbers.
 	for i, cat := range lanes {
 		// thread_name metadata wants a string arg; emit it by hand since
@@ -83,10 +92,21 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		b := fmt.Sprintf(`{"name":"thread_name","cat":"__metadata","ph":"M","ts":0,"pid":1,"tid":%d,"args":{"name":%q}}`,
 			i+1, cat)
 		sep := ",\n"
-		if len(events) == 0 && i == len(lanes)-1 {
+		if dropped == 0 && len(events) == 0 && i == len(lanes)-1 {
 			sep = "\n"
 		}
 		if _, err := io.WriteString(bw, b+sep); err != nil {
+			return err
+		}
+	}
+	// A ring that evicted self-describes it up front: a truncated trace must
+	// be distinguishable from a short run without consulting the metrics
+	// snapshot. The instant lands at ts 0 with process scope, ahead of every
+	// surviving event.
+	if dropped > 0 {
+		ev := chromeEvent{Name: "ring-evicted", Cat: "__metadata", Ph: "i", Pid: 1, Tid: 0,
+			Scope: "p", Args: map[string]int64{"dropped": dropped}}
+		if err := writeEv(ev, len(events) == 0); err != nil {
 			return err
 		}
 	}
@@ -102,6 +122,9 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		}
 		if ce.Name == "" {
 			ce.Name = ev.Kind.String()
+		}
+		if ev.Flow != 0 {
+			ce.Args["flow"] = ev.Flow
 		}
 		if ev.Dur > 0 {
 			d := usec(ev.Dur)
@@ -132,13 +155,19 @@ type BucketSnap struct {
 	Count int64   `json:"count"`
 }
 
-// HistSnap is one histogram in a metrics snapshot.
+// HistSnap is one histogram in a metrics snapshot. P50/P90/P99 are derived
+// from the log₂ buckets: each is the upper bound of the bucket where the
+// cumulative count crosses the quantile, clamped to the observed [Min, Max]
+// — a deterministic integer computation, so snapshots stay byte-identical.
 type HistSnap struct {
 	Name    string       `json:"name"`
 	Count   int64        `json:"count"`
 	Sum     float64      `json:"sum"`
 	Min     float64      `json:"min"`
 	Max     float64      `json:"max"`
+	P50     float64      `json:"p50"`
+	P90     float64      `json:"p90"`
+	P99     float64      `json:"p99"`
 	Buckets []BucketSnap `json:"buckets,omitempty"`
 }
 
@@ -148,6 +177,31 @@ func (h HistSnap) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// quantile returns the bucket-derived estimate for the q-th percentile
+// (q in 0..100): the upper bound of the first bucket whose cumulative count
+// reaches ceil(q% of Count), clamped to the observed extremes.
+func (h HistSnap) quantile(q int64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		// cum/Count >= q/100, in integers to keep the comparison exact.
+		if cum*100 >= h.Count*q {
+			v := b.Lt
+			if v > h.Max {
+				v = h.Max
+			}
+			if v < h.Min {
+				v = h.Min
+			}
+			return v
+		}
+	}
+	return h.Max
 }
 
 // Metrics is a point-in-time copy of the recorder's aggregates.
@@ -180,6 +234,7 @@ func (r *Recorder) Snapshot() Metrics {
 				hs.Buckets = append(hs.Buckets, BucketSnap{Lt: float64(int64(1) << i), Count: c})
 			}
 		}
+		hs.P50, hs.P90, hs.P99 = hs.quantile(50), hs.quantile(90), hs.quantile(99)
 		m.Histograms = append(m.Histograms, hs)
 	}
 	sort.Slice(m.Histograms, func(i, j int) bool { return m.Histograms[i].Name < m.Histograms[j].Name })
@@ -219,8 +274,8 @@ func (m Metrics) WriteText(w io.Writer) error {
 		}
 	}
 	for _, h := range m.Histograms {
-		if _, err := fmt.Fprintf(w, "%-*s n=%d mean=%.2f min=%.2f max=%.2f\n",
-			width, h.Name, h.Count, h.Mean(), h.Min, h.Max); err != nil {
+		if _, err := fmt.Fprintf(w, "%-*s n=%d mean=%.2f min=%.2f max=%.2f p50=%.2f p90=%.2f p99=%.2f\n",
+			width, h.Name, h.Count, h.Mean(), h.Min, h.Max, h.P50, h.P90, h.P99); err != nil {
 			return err
 		}
 	}

@@ -85,6 +85,17 @@ const (
 	// its injected power failure, then Scavenger repair and fsck verdict
 	// (span; name: workload; args: crash point, invariant violations found).
 	KindCrashExplore
+	// KindEtherFault is one fault verdict the medium handed a delivery:
+	// drop, dup, corrupt or delay (instant; name: the verdict; args: the
+	// destination address and the judged-delivery index). The event carries
+	// the packet's flow ID, so injected loss shows up as extra arrows on
+	// the same causal chain instead of vanishing silently.
+	KindEtherFault
+	// KindFSRequest is one file-server request served: a fetch or store,
+	// request message to reply queued (span; name: "fetch" or "store";
+	// args: the peer's station address, data bytes moved). Carries the flow
+	// ID the client allocated, linking the server's work to the request.
+	KindFSRequest
 
 	numKinds
 )
@@ -115,6 +126,8 @@ var kindInfo = [numKinds]struct {
 	KindDiskChain:      {"chain", "disk", "ops", "failures"},
 	KindFSSession:      {"session", "fileserver", "peer", "bytes"},
 	KindCrashExplore:   {"explore", "crashpoint", "point", "violations"},
+	KindEtherFault:     {"fault", "ether", "dst", "judged"},
+	KindFSRequest:      {"request", "fileserver", "peer", "bytes"},
 }
 
 // String implements fmt.Stringer.
@@ -144,7 +157,10 @@ func (k Kind) ArgNames() (a0, a1 string) {
 // Event is one recorded occurrence. T is simulated time; Dur is zero for
 // instants and positive for spans. Name carries kind-specific detail (the
 // operation shape, a phase or file name); A0/A1 carry numeric detail whose
-// meaning the kind's ArgNames declare.
+// meaning the kind's ArgNames declare. Flow, when nonzero, is the causal
+// flow ID the event belongs to: events sharing a flow — a client request,
+// its wire deliveries (retransmits included), the server work it caused —
+// form one chain, rendered as arrows in the merged fleet trace.
 type Event struct {
 	T    time.Duration
 	Dur  time.Duration
@@ -152,6 +168,7 @@ type Event struct {
 	Name string
 	A0   int64
 	A1   int64
+	Flow int64
 }
 
 // DefaultEvents is the ring capacity used when New is given none.
@@ -171,6 +188,13 @@ type Recorder struct {
 	dropped  int64
 	counters map[string]int64
 	hists    map[string]*histogram
+
+	// Flow allocation state: the domain (one per machine in a fleet, set
+	// by scope.Fleet) and the per-recorder allocation sequence. Flows are
+	// handed out under mu, in emission order — never from wall clock or
+	// math/rand — so two runs allocate identical IDs.
+	flowDomain uint16
+	flowSeq    uint16
 }
 
 // New creates a recorder holding up to capacity events (DefaultEvents if
@@ -218,6 +242,69 @@ func (r *Recorder) EmitSpan(start, dur time.Duration, k Kind, name string, a0, a
 	r.record(Event{T: start, Dur: dur, Kind: k, Name: name, A0: a0, A1: a1})
 }
 
+// EmitFlow records an instant event stamped with a causal flow ID.
+func (r *Recorder) EmitFlow(now time.Duration, k Kind, name string, a0, a1, flow int64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{T: now, Kind: k, Name: name, A0: a0, A1: a1, Flow: flow})
+}
+
+// EmitSpanFlow records a completed interval stamped with a causal flow ID.
+func (r *Recorder) EmitSpanFlow(start, dur time.Duration, k Kind, name string, a0, a1, flow int64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{T: start, Dur: dur, Kind: k, Name: name, A0: a0, A1: a1, Flow: flow})
+}
+
+// FlowBits is the width of a wire flow ID: flows travel in one 16-bit
+// transport header word, so the whole ID — domain and sequence — must fit a
+// Word. The low FlowSeqBits carry the per-recorder sequence; the bits above
+// them carry the machine's flow domain.
+const (
+	FlowBits      = 16
+	FlowSeqBits   = 10
+	flowSeqMask   = (1 << FlowSeqBits) - 1
+	maxFlowDomain = (1 << (FlowBits - FlowSeqBits)) - 1
+)
+
+// SetFlowDomain assigns the recorder's flow domain — the high bits of every
+// flow ID it allocates. A fleet gives each machine's recorder a distinct
+// domain (scope.Fleet does this in creation order) so flows allocated on
+// different machines never collide when merged. Domains above the 6-bit
+// capacity wrap; the single-machine default is domain 0.
+func (r *Recorder) SetFlowDomain(d int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.flowDomain = uint16(d) & maxFlowDomain
+	r.mu.Unlock()
+}
+
+// NextFlow allocates the next causal flow ID: the recorder's flow domain in
+// the high bits, its allocation sequence in the low ten. The sequence is
+// advanced under the recorder's lock, interleaved deterministically with
+// the emission stream — never wall clock, never math/rand — and skips zero
+// (zero means "no flow"). It wraps after 1023 live allocations per domain,
+// which bounds wire flow IDs to one 16-bit header word; flows are short
+// (one request each), so a wrapped ID's earlier life has long since closed.
+// A nil recorder allocates 0: with tracing off, flow stamping no-ops.
+func (r *Recorder) NextFlow() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	r.flowSeq = (r.flowSeq + 1) & flowSeqMask
+	if r.flowSeq == 0 {
+		r.flowSeq = 1
+	}
+	f := int64(r.flowDomain)<<FlowSeqBits | int64(r.flowSeq)
+	r.mu.Unlock()
+	return f
+}
+
 // Span is an open interval begun on a clock; End closes and records it.
 // The zero Span (and any Span begun on a nil Recorder) is a no-op.
 type Span struct {
@@ -226,6 +313,7 @@ type Span struct {
 	k      Kind
 	name   string
 	a0, a1 int64
+	flow   int64
 	start  time.Duration
 }
 
@@ -238,12 +326,20 @@ func (r *Recorder) Begin(c *sim.Clock, k Kind, name string, a0, a1 int64) Span {
 	return Span{r: r, c: c, k: k, name: name, a0: a0, a1: a1, start: c.Now()}
 }
 
+// BeginFlow opens a span bound to a causal flow ID.
+func (r *Recorder) BeginFlow(c *sim.Clock, k Kind, name string, a0, a1, flow int64) Span {
+	if r == nil || c == nil {
+		return Span{}
+	}
+	return Span{r: r, c: c, k: k, name: name, a0: a0, a1: a1, flow: flow, start: c.Now()}
+}
+
 // End closes the span at its clock's current time and records it.
 func (s Span) End() {
 	if s.r == nil {
 		return
 	}
-	s.r.EmitSpan(s.start, s.c.Now()-s.start, s.k, s.name, s.a0, s.a1)
+	s.r.EmitSpanFlow(s.start, s.c.Now()-s.start, s.k, s.name, s.a0, s.a1, s.flow)
 }
 
 // EndWith closes the span, overriding its numeric arguments — for results
@@ -252,7 +348,7 @@ func (s Span) EndWith(a0, a1 int64) {
 	if s.r == nil {
 		return
 	}
-	s.r.EmitSpan(s.start, s.c.Now()-s.start, s.k, s.name, a0, a1)
+	s.r.EmitSpanFlow(s.start, s.c.Now()-s.start, s.k, s.name, a0, a1, s.flow)
 }
 
 // Add bumps a named counter.
@@ -329,6 +425,7 @@ func (r *Recorder) Reset() {
 	r.full = false
 	r.emitted = 0
 	r.dropped = 0
+	r.flowSeq = 0
 	r.counters = map[string]int64{}
 	r.hists = map[string]*histogram{}
 	r.mu.Unlock()

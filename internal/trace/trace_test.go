@@ -123,17 +123,88 @@ func TestChromeTraceShape(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
 	}
-	// 6 lane-name metadata events + 2 real ones.
-	if len(doc.TraceEvents) != 8 {
-		t.Fatalf("got %d trace events, want 8", len(doc.TraceEvents))
+	// One lane-name metadata event per named lane + 2 real ones.
+	if want := len(lanes) + 2; len(doc.TraceEvents) != want {
+		t.Fatalf("got %d trace events, want %d", len(doc.TraceEvents), want)
 	}
-	span := doc.TraceEvents[6]
+	span := doc.TraceEvents[len(lanes)]
 	if span["ph"] != "X" || span["ts"].(float64) != 40000 || span["dur"].(float64) != 5000 {
 		t.Errorf("span event wrong: %v", span)
 	}
-	inst := doc.TraceEvents[7]
+	inst := doc.TraceEvents[len(lanes)+1]
 	if inst["ph"] != "i" || inst["cat"] != "disk" {
 		t.Errorf("instant event wrong: %v", inst)
+	}
+}
+
+// TestHistogramPercentiles pins the bucket-derived quantiles: each is the
+// upper bound of the log₂ bucket where the cumulative count crosses the
+// quantile, clamped to the observed extremes — integer math only, so two
+// snapshots of the same samples agree to the byte.
+func TestHistogramPercentiles(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 50; i++ {
+		r.Observe("lat", 1) // bucket lt=2
+	}
+	for i := 0; i < 40; i++ {
+		r.Observe("lat", 4) // bucket lt=8
+	}
+	for i := 0; i < 10; i++ {
+		r.Observe("lat", 100) // bucket lt=128, clamped to max
+	}
+	h := r.Snapshot().Histograms[0]
+	if h.P50 != 2 || h.P90 != 8 || h.P99 != 100 {
+		t.Errorf("p50/p90/p99 = %v/%v/%v, want 2/8/100", h.P50, h.P90, h.P99)
+	}
+
+	// A single sub-unit sample: every percentile clamps to the one value.
+	r2 := New(4)
+	r2.Observe("one", 0.5)
+	if h := r2.Snapshot().Histograms[0]; h.P50 != 0.5 || h.P99 != 0.5 {
+		t.Errorf("single-sample percentiles = %v/%v, want 0.5/0.5", h.P50, h.P99)
+	}
+
+	text := r.Snapshot().Text()
+	for _, want := range []string{"p50=2.00", "p90=8.00", "p99=100.00"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text snapshot missing %q:\n%s", want, text)
+		}
+	}
+	var jb bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), `"p50": 2`) {
+		t.Errorf("JSON snapshot missing p50:\n%s", jb.String())
+	}
+}
+
+// TestChromeTraceSelfDescribesEviction: a ring that wrapped must say so in
+// its own export — a metadata instant carrying the dropped count — so a
+// truncated timeline is never mistaken for a quiet machine.
+func TestChromeTraceSelfDescribesEviction(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(time.Duration(i)*time.Millisecond, KindDiskOp, "op", int64(i), 0)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"ring-evicted"`, `"dropped":6`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("export of a wrapped ring lacks %s:\n%s", want, buf.String())
+		}
+	}
+	// And a ring that did not wrap stays silent about eviction.
+	var quiet bytes.Buffer
+	q := New(4)
+	q.Emit(0, KindDiskOp, "op", 1, 0)
+	if err := q.WriteChromeTrace(&quiet); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(quiet.String(), "ring-evicted") {
+		t.Error("export of an unwrapped ring claims eviction")
 	}
 }
 

@@ -334,6 +334,7 @@ var determinismGated = map[string]bool{
 	"internal/fileserver": true,
 	"internal/crashpoint": true,
 	"internal/fsck":       true,
+	"internal/scope":      true,
 }
 
 // tracedPackages lists the module-relative packages under the tracecover
@@ -345,6 +346,7 @@ var tracedPackages = map[string]bool{
 	"internal/fileserver": true,
 	"internal/scavenge":   true,
 	"internal/crashpoint": true,
+	"internal/scope":      true,
 }
 
 // isInternal reports whether rel (a module-relative package path) lies under
