@@ -45,10 +45,13 @@ trace-check:
 
 # scope-check guards the fleet observability contract: altoscope builds, and
 # the merged trace, collapsed profile and top table come out byte-identical
-# across runs, merge input orders and worker counts.
+# across runs, merge input orders and worker counts. E10 covers the file
+# server fleet; E13 covers the 26-machine saturation fleet (bounded ring so
+# the two dozen recorders stay cheap).
 scope-check:
 	$(GO) build -o /dev/null ./cmd/altoscope
 	$(GO) run ./cmd/altoscope -experiment e10 -check
+	$(GO) run ./cmd/altoscope -experiment e13 -events 8192 -check
 
 # crash-check is the §3.5 gate: a sampled sweep of crash points (clean and
 # torn) over the journaled directory workload; altocrash exits non-zero if

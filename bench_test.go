@@ -91,11 +91,14 @@ func BenchmarkE10LoadedServer(b *testing.B) {
 		"sim_seconds", "goodput_words_per_sec", "retransmits")
 }
 
-// BenchmarkE11LossSweep — §1: goodput against packet loss, 0% to 20%.
+// BenchmarkE11LossSweep — §1: steady-state goodput against packet loss,
+// 0% to 20%, plus the waste metrics: what fraction of data words were
+// resent, and what fraction of the phase the wire sat idle.
 func BenchmarkE11LossSweep(b *testing.B) {
 	report(b, experiments.E11LossSweep,
 		"goodput_words_per_sec_loss0", "goodput_words_per_sec_loss10",
-		"goodput_words_per_sec_loss20", "retransmits_loss20")
+		"goodput_words_per_sec_loss20", "retransmits_loss20",
+		"retransmitted_words_ratio_loss20", "wire_idle_frac_loss20")
 }
 
 // BenchmarkE12CrashSweep — §3.5: every crash point of the journaled-insert
@@ -104,4 +107,12 @@ func BenchmarkE11LossSweep(b *testing.B) {
 func BenchmarkE12CrashSweep(b *testing.B) {
 	report(b, experiments.E12CrashSweep,
 		"crash_points_total", "violations_total", "recovered_pct")
+}
+
+// BenchmarkE13Saturation — §1: two dozen flows saturate one 10%-loss
+// segment; AIMD keeps them live and fair (Jain's index) with zero
+// corrupted deliveries.
+func BenchmarkE13Saturation(b *testing.B) {
+	report(b, experiments.E13Saturation,
+		"jain_fairness_pct", "goodput_words_per_sec_total", "retransmits")
 }

@@ -58,8 +58,10 @@ func main() {
 		"E9":  experiments.E9InstalledHints,
 		"E10": experiments.E10LoadedServer,
 		"E11": experiments.E11LossSweep,
+		"E12": experiments.E12CrashSweep,
+		"E13": experiments.E13Saturation,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 
 	want := flag.Args()
 	if len(want) == 0 {

@@ -31,7 +31,7 @@ func runOnce(t *testing.T, id string) (traceJSON, metricsJSON []byte) {
 // timed exclusively off the simulated clock, so two runs of the same
 // experiment must export exactly the same bytes, trace and metrics alike.
 func TestTracesAreByteIdentical(t *testing.T) {
-	for _, id := range []string{"e1", "e2", "e8", "e10", "e12"} {
+	for _, id := range []string{"e1", "e2", "e8", "e10", "e12", "e13"} {
 		t.Run(id, func(t *testing.T) {
 			t1, m1 := runOnce(t, id)
 			t2, m2 := runOnce(t, id)

@@ -74,6 +74,10 @@ func TestFixtures(t *testing.T) {
 		{"simtaint-flow", []string{"simtaint"}, "taintfix", "altoos/cmd/taintfix"},
 		{"tracecover", []string{"tracecover"}, "tracefix", "altoos/internal/disk"},
 		{"tracecover-scope", []string{"tracecover"}, "tracefix", "altoos/internal/scope"},
+		// The transport-v2 rewrite made pup and fileserver the heaviest
+		// emitters; the gate must keep firing under their virtual paths.
+		{"tracecover-pup", []string{"tracecover"}, "tracefix", "altoos/internal/pup"},
+		{"tracecover-fileserver", []string{"tracecover"}, "tracefix", "altoos/internal/fileserver"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

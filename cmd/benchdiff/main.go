@@ -135,12 +135,12 @@ func direction(unit string) metricDir {
 	case "ns/op", "B/op", "allocs/op", "MB/s":
 		return hostDependent
 	}
-	for _, kw := range []string{"per_sec", "speedup", "advantage", "_pct", "words_freed"} {
+	for _, kw := range []string{"per_sec", "speedup", "advantage", "_pct", "words_freed", "goodput"} {
 		if strings.Contains(unit, kw) {
 			return higherBetter
 		}
 	}
-	for _, kw := range []string{"seconds", "ms", "revs", "overhead", "retries", "retransmits", "cold", "violations"} {
+	for _, kw := range []string{"seconds", "ms", "revs", "overhead", "retries", "retransmits", "cold", "violations", "_ratio", "idle_frac"} {
 		if strings.Contains(unit, kw) {
 			return lowerBetter
 		}

@@ -107,20 +107,25 @@ func TestNothingToCompare(t *testing.T) {
 
 func TestDirectionTable(t *testing.T) {
 	cases := map[string]metricDir{
-		"ns/op":                     hostDependent,
-		"B/op":                      hostDependent,
-		"allocs/op":                 hostDependent,
-		"scavenge_seconds_Diablo31": lowerBetter,
-		"ms/page_consecutive":       lowerBetter,
-		"alloc_overhead_revs":       lowerBetter,
-		"cold_ms":                   lowerBetter,
-		"map_lie_retries":           lowerBetter,
-		"words_per_sec":             higherBetter,
-		"aged_speedup":              higherBetter,
-		"warm_advantage":            higherBetter,
-		"wild_writes_rejected_pct":  higherBetter,
-		"max_words_freed":           higherBetter,
-		"full_resident_words":       informational,
+		"ns/op":                            hostDependent,
+		"B/op":                             hostDependent,
+		"allocs/op":                        hostDependent,
+		"scavenge_seconds_Diablo31":        lowerBetter,
+		"ms/page_consecutive":              lowerBetter,
+		"alloc_overhead_revs":              lowerBetter,
+		"cold_ms":                          lowerBetter,
+		"map_lie_retries":                  lowerBetter,
+		"words_per_sec":                    higherBetter,
+		"aged_speedup":                     higherBetter,
+		"warm_advantage":                   higherBetter,
+		"wild_writes_rejected_pct":         higherBetter,
+		"max_words_freed":                  higherBetter,
+		"goodput_words_per_sec_loss10":     higherBetter,
+		"goodput_words_per_sec_total":      higherBetter,
+		"jain_fairness_pct":                higherBetter,
+		"retransmitted_words_ratio_loss20": lowerBetter,
+		"wire_idle_frac_loss20":            lowerBetter,
+		"full_resident_words":              informational,
 	}
 	for unit, want := range cases {
 		if got := direction(unit); got != want {

@@ -97,7 +97,8 @@ func main() {
 	}
 
 	// Client: read each document from disk and queue it on the connection.
-	// Three documents fit the send window; acks drain it during the run.
+	// The congestion window opens from two packets as acks arrive, so the
+	// client polls both machines until Avail reports room before queueing.
 	for i := range docs {
 		r, err := client.OpenStream(fmt.Sprintf("doc%d.txt", i), altoos.ReadMode)
 		if err != nil {
@@ -109,6 +110,10 @@ func main() {
 		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		for conn.Avail() == 0 {
+			cep.Poll()
+			sep.Poll()
 		}
 		if err := conn.Send(packString(string(body))); err != nil {
 			log.Fatal(err)

@@ -239,6 +239,7 @@ func (s *Station) Send(p Packet) error {
 		}
 		rec.EmitSpanFlow(start, dur, trace.KindEtherSend, "", int64(p.Dst), int64(wireWords), int64(p.Flow))
 		rec.Add("ether.send", 1)
+		rec.Add("ether.words", int64(wireWords))
 	}
 	// Copy the payload (the wire serializes, it does not alias) and stamp
 	// the checksum word over the serialized content.

@@ -1,0 +1,248 @@
+package experiments
+
+// E13 saturates one ether segment: two dozen stations each push a sustained
+// stream at a single sink over a 10%-loss wire. The paper's open-system
+// claim (§1) implies the shared wire is a commons — the transport must keep
+// every flow live and give each a fair share without any central allocator,
+// exactly what AIMD congestion control promises. Fairness is reported as
+// Jain's index over per-flow goodput; the experiment fails outright if any
+// delivered word differs from what its sender put in.
+
+import (
+	"fmt"
+	"time"
+
+	"altoos/internal/ether"
+	"altoos/internal/pup"
+	"altoos/internal/sim"
+	"altoos/internal/trace"
+)
+
+const (
+	e13Senders  = 24
+	e13Messages = 64
+	// Each message fills one maximal packet: saturation means full frames.
+	e13MsgWords = pup.MaxData
+)
+
+// e13Word is the deterministic content pattern; the sink revalidates every
+// word of every delivered message against it.
+func e13Word(sender, msg, i int) ether.Word {
+	return ether.Word((sender*31 + msg*7 + i*3) & 0xFFFF)
+}
+
+// E13Saturation runs the saturation + fairness experiment.
+func E13Saturation() (*Result, error) { return e13Saturation(nil) }
+
+func e13Saturation(tr *trace.Recorder) (*Result, error) {
+	rec := tr
+	if rec == nil {
+		rec = trace.New(1 << 16)
+	}
+	return e13Run(func(string) *trace.Recorder { return rec })
+}
+
+// e13Scoped is the fleet-aware entry point (cmd/altoscope): the wire, the
+// sink and all 24 senders each trace into their own recorder.
+func e13Scoped(machine func(string) *trace.Recorder) (*Result, error) {
+	return e13Run(machine)
+}
+
+func e13Run(machine func(string) *trace.Recorder) (*Result, error) {
+	var recs []*trace.Recorder
+	seen := map[*trace.Recorder]bool{}
+	collect := func(name string) *trace.Recorder {
+		r := machine(name)
+		if r != nil && !seen[r] {
+			seen[r] = true
+			recs = append(recs, r)
+		}
+		return r
+	}
+	counter := func(name string) int64 {
+		var total int64
+		for _, rc := range recs {
+			total += rc.Counter(name)
+		}
+		return total
+	}
+
+	clock := sim.NewClock()
+	wire := ether.New(clock)
+	wire.SetRecorder(collect("wire"))
+	sinkSt, err := wire.Attach(1)
+	if err != nil {
+		return nil, err
+	}
+	sinkSt.SetRecorder(collect("sink"))
+	sink := pup.NewEndpoint(sinkSt, pup.Config{})
+	sink.Listen()
+	wire.InjectFaults(ether.FaultConfig{
+		Seed:    13,
+		Drop:    ether.Rate{Num: 1, Den: 10},
+		Corrupt: ether.Rate{Num: 1, Den: 50},
+	})
+
+	type sender struct {
+		ep   *pup.Endpoint
+		conn *pup.Conn
+		sent int
+	}
+	senders := make([]*sender, e13Senders)
+	for i := range senders {
+		st, err := wire.Attach(ether.Addr((2 + i) & 0xFFFF))
+		if err != nil {
+			return nil, err
+		}
+		mrec := collect(fmt.Sprintf("sender%02d", i))
+		ep := pup.NewEndpoint(st, pup.Config{Seed: uint64(i + 1)})
+		conn, err := ep.Dial(1)
+		if err != nil {
+			return nil, err
+		}
+		// One trace flow per stream, allocated on the sender's own machine,
+		// carried in every header — retransmissions included.
+		if mrec != nil {
+			conn.SetFlow(mrec.NextFlow())
+		} else {
+			conn.SetFlow(int64(i + 1))
+		}
+		senders[i] = &sender{ep: ep, conn: conn}
+	}
+
+	// Drive everything round robin: the sink accepts and drains, each
+	// sender keeps its window full until its stream is done. Per-flow
+	// completion is the sim time the sink delivered the flow's last
+	// message, in order and intact.
+	accepted := make([]*pup.Conn, e13Senders)
+	delivered := make([]int, e13Senders)
+	completion := make([]time.Duration, e13Senders)
+	finished, corrupt := 0, 0
+	msg := make([]ether.Word, e13MsgWords)
+	for polls := 0; finished < e13Senders; polls++ {
+		if polls >= 4_000_000 {
+			return nil, fmt.Errorf("e13: saturation run never completed (%d/%d flows)", finished, e13Senders)
+		}
+		if _, err := sink.Poll(); err != nil {
+			return nil, err
+		}
+		for {
+			conn, ok := sink.Accept()
+			if !ok {
+				break
+			}
+			accepted[int(conn.Remote())-2] = conn
+		}
+		for i, conn := range accepted {
+			if conn == nil {
+				continue
+			}
+			for {
+				m, ok := conn.Recv()
+				if !ok {
+					break
+				}
+				if len(m) != e13MsgWords {
+					corrupt++
+				} else {
+					for j, w := range m {
+						if w != e13Word(i, delivered[i], j) {
+							corrupt++
+							break
+						}
+					}
+				}
+				delivered[i]++
+				if delivered[i] == e13Messages {
+					completion[i] = clock.Now()
+					finished++
+				}
+			}
+		}
+		for i, s := range senders {
+			if _, err := s.ep.Poll(); err != nil {
+				return nil, err
+			}
+			for s.sent < e13Messages && s.conn.Avail() > 0 {
+				for j := range msg {
+					msg[j] = e13Word(i, s.sent, j)
+				}
+				if err := s.conn.Send(msg); err != nil {
+					return nil, fmt.Errorf("e13 sender %d: %w", i, err)
+				}
+				s.sent++
+			}
+		}
+	}
+	total := clock.Now()
+	if corrupt != 0 {
+		return nil, fmt.Errorf("e13: %d corrupted deliveries leaked through the transport", corrupt)
+	}
+
+	// Tear down cleanly so the conns' final state is part of the trace.
+	for _, s := range senders {
+		if err := s.conn.Close(); err != nil {
+			return nil, err
+		}
+	}
+	for polls := 0; ; polls++ {
+		if polls >= 1_000_000 {
+			return nil, fmt.Errorf("e13: close handshakes never completed")
+		}
+		open := false
+		for _, s := range senders {
+			if _, err := s.ep.Poll(); err != nil {
+				return nil, err
+			}
+			if s.conn.State() != pup.StateClosed {
+				open = true
+			}
+		}
+		if _, err := sink.Poll(); err != nil {
+			return nil, err
+		}
+		if !open {
+			break
+		}
+	}
+
+	// Per-flow goodput and Jain's fairness index: J = (Σx)² / (n·Σx²),
+	// 1.0 when every flow got an equal share, 1/n when one flow starved
+	// the rest.
+	const flowWords = e13Messages * e13MsgWords
+	xs := make([]float64, e13Senders)
+	var sum, sumSq float64
+	minX, maxX := 0.0, 0.0
+	for i, t := range completion {
+		xs[i] = flowWords / t.Seconds()
+		sum += xs[i]
+		sumSq += xs[i] * xs[i]
+		if i == 0 || xs[i] < minX {
+			minX = xs[i]
+		}
+		if i == 0 || xs[i] > maxX {
+			maxX = xs[i]
+		}
+	}
+	jain := sum * sum / (float64(e13Senders) * sumSq)
+	goodput := float64(e13Senders*flowWords) / total.Seconds()
+	retrans := counter("pup.retransmit")
+	drops := counter("ether.drop")
+
+	res := &Result{
+		ID:    "E13",
+		Title: "segment saturation: two dozen flows share one lossy wire",
+		Claim: "§1: the network is a shared facility — flows must coexist without a central allocator",
+	}
+	res.add("flows x messages", "%d x %d full packets (%d words each)", e13Senders, e13Messages, e13MsgWords)
+	res.add("corrupted deliveries", "%d (checksum + retransmission hid every fault)", corrupt)
+	res.add("packets dropped/corrupted by the medium", "%d / %d", drops, counter("ether.corrupt"))
+	res.add("retransmissions", "%d", retrans)
+	res.add("aggregate goodput", "%.0f words/s over %.2f s simulated", goodput, total.Seconds())
+	res.add("per-flow goodput", "min %.0f, max %.0f words/s", minX, maxX)
+	res.add("Jain fairness index", "%.4f (1.0 = perfectly fair)", jain)
+	res.metric("jain_fairness_pct", 100*jain)
+	res.metric("goodput_words_per_sec_total", goodput)
+	res.metric("retransmits", float64(retrans))
+	return res, nil
+}

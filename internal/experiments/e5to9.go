@@ -511,7 +511,7 @@ func All() ([]*Result, error) {
 	funcs := []func() (*Result, error){
 		E1RawTransfer, E2AllocFreeCost, E3Scavenge, E4Compaction,
 		E5HintLadder, E6WorldSwap, E7Junta, E8Robustness, E9InstalledHints,
-		E10LoadedServer, E11LossSweep, E12CrashSweep,
+		E10LoadedServer, E11LossSweep, E12CrashSweep, E13Saturation,
 	}
 	out := make([]*Result, 0, len(funcs))
 	for _, f := range funcs {

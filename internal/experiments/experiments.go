@@ -157,6 +157,7 @@ var registry = []Runner{
 	{ID: "e10", Title: "loaded file server over a lossy wire", Run: e10LoadedServer, Scoped: e10Scoped},
 	{ID: "e11", Title: "goodput vs. packet loss", Run: e11LossSweep},
 	{ID: "e12", Title: "exhaustive crash-point sweep", Run: e12CrashSweep},
+	{ID: "e13", Title: "segment saturation and fairness", Run: e13Saturation, Scoped: e13Scoped},
 }
 
 // IDs lists the experiment ids Run accepts, in order.

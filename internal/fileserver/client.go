@@ -111,7 +111,8 @@ func (c *Client) Poll() (bool, error) {
 		c.finish(cerr)
 		return worked, nil
 	}
-	for len(c.outq) > 0 {
+	// Avail batches the pushes; ErrWindowFull stays as a backstop only.
+	for len(c.outq) > 0 && c.conn.Avail() > 0 {
 		err := c.conn.Send(c.outq[0])
 		if errors.Is(err, pup.ErrWindowFull) {
 			break

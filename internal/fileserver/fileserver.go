@@ -185,11 +185,12 @@ func (s *Server) serve(ss *session) bool {
 	return worked
 }
 
-// push sends queued messages until the window refuses; other errors kill
-// the connection (its own state reports why).
+// push sends queued messages while the window has room; other errors kill
+// the connection (its own state reports why). Avail batches the sends —
+// ErrWindowFull stays as a backstop only.
 func (ss *session) push() bool {
 	worked := false
-	for len(ss.outq) > 0 {
+	for len(ss.outq) > 0 && ss.conn.Avail() > 0 {
 		err := ss.conn.Send(ss.outq[0])
 		if errors.Is(err, pup.ErrWindowFull) {
 			break
@@ -225,6 +226,10 @@ func (s *Server) handle(ss *session, msg []ether.Word, flow int64) {
 			return
 		}
 		start := s.ep.Station().Clock().Now()
+		// The disk read blocks every poll for tens of milliseconds; flush
+		// the delayed ack first so the client's RTT estimator never sees a
+		// disk stall where a wire round trip should be.
+		ss.conn.FlushAck()
 		data, err := s.readFile(name)
 		if err != nil {
 			ss.sendError(err.Error())
@@ -269,6 +274,9 @@ func (s *Server) handle(ss *session, msg []ether.Word, flow int64) {
 			ss.sendError("store length mismatch")
 			return
 		}
+		// As with fetch: ack the tail of the store before the long write
+		// so the client does not retransmit into a silent disk stall.
+		ss.conn.FlushAck()
 		if err := s.writeFile(ss.storeName, ss.in); err != nil {
 			ss.sendError(err.Error())
 			return

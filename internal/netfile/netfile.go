@@ -150,6 +150,16 @@ func (c *Client) Poll() (bool, error) {
 // Done reports whether the transfer completed (or failed).
 func (c *Client) Done() bool { return c.inner != nil && c.inner.Done() }
 
+// Avail reports the remaining send-window capacity of the underlying
+// connection — how many messages Poll can push this round without tripping
+// backpressure. Zero before any transfer begins or once the conn is dead.
+func (c *Client) Avail() int {
+	if c.inner == nil {
+		return 0
+	}
+	return c.inner.Conn().Avail()
+}
+
 // Result returns the fetched bytes (nil for a store) once Done.
 func (c *Client) Result() ([]byte, error) {
 	if c.inner == nil {

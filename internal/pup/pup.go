@@ -13,17 +13,36 @@
 // of the same workload retransmit the same packets at the same simulated
 // times (cmd/altotrace asserts the property byte-for-byte).
 //
-// Reliability mechanics, EFTP-style but windowed:
+// Reliability mechanics, v2 — selective repeat instead of go-back-N:
 //
 //   - every data packet carries a 16-bit sequence number; the receiver
-//     accepts only the next expected one, re-acking duplicates and
-//     discarding overtakers (go-back-N, no reassembly buffer);
-//   - acks are cumulative: ack=n means "I hold everything below n";
-//   - the sender keeps at most Config.Window unacked packets; a full
-//     window surfaces ErrWindowFull as backpressure, never blocks;
-//   - an unacked packet is retransmitted when its deadline (simulated
-//     time) passes, with exponential backoff up to Config.MaxRTO, and a
-//     conn that exhausts Config.MaxRetries dies with ErrRetriesExhausted;
+//     delivers in order but holds out-of-order arrivals in a reassembly
+//     buffer instead of discarding them, so one lost packet costs one
+//     retransmission, not the whole window;
+//   - acks are cumulative (ack=n means "I hold everything below n") and
+//     additionally carry a 32-bit SACK mask naming exactly which packets
+//     above the ack the receiver already buffered; the sender retransmits
+//     only the holes;
+//   - acks are delayed and batched: one ack per Config.AckEvery in-order
+//     packets or per Config.AckDelay of simulated time, whichever first;
+//     duplicates, reordering and hole fills ack immediately (the sender
+//     needs the news), and every outbound data packet piggybacks the
+//     current ack state for free;
+//   - three duplicate acks trigger a fast retransmit of the first hole
+//     without waiting for a timer (and halve the congestion window);
+//   - the retransmission timeout adapts: each clean RTT sample (Karn's
+//     rule — never from a retransmitted packet) feeds Jacobson's
+//     estimator, RTO = srtt + 4·rttvar clamped to [MinRTO, MaxRTO], with
+//     exponential backoff per packet while it keeps timing out;
+//   - the sender's effective window is min(cwnd, peer's advertised
+//     window, Config.Window): cwnd is an integer AIMD congestion window
+//     (slow start from InitCwnd, +1 per acked window above ssthresh,
+//     halved on fast retransmit, collapsed to 1 on timeout), and the
+//     advertised window is how the receiver's unread buffer pushes back
+//     on the sender. A full window surfaces ErrWindowFull — and
+//     Conn.Avail says how many sends will fit, so callers can batch;
+//   - a conn that exhausts Config.MaxRetries of consecutive silence dies
+//     with ErrRetriesExhausted; any ack progress forgives the count;
 //   - connections open and close by handshake (Open/OpenAck,
 //     Close/CloseAck); both control packets ride the same timers, and
 //     both handshakes are idempotent so duplicated or re-ordered control
@@ -48,9 +67,9 @@ const (
 	TypeOpen ether.Word = 0x50 + iota
 	// TypeOpenAck confirms it.
 	TypeOpenAck
-	// TypeData carries one message: header (id, seq, ack) plus data words.
+	// TypeData carries one message: header plus data words.
 	TypeData
-	// TypeAck acknowledges cumulatively: header only, ack = next expected.
+	// TypeAck acknowledges: header only, cumulative ack + SACK mask.
 	TypeAck
 	// TypeClose begins the close handshake.
 	TypeClose
@@ -59,24 +78,43 @@ const (
 )
 
 // headerWords is the transport header inside the ether payload:
-// connection id, sequence number, cumulative ack, causal flow id. The flow
-// word rides in the charged, checksummed payload — it is real header, not
-// metadata — and is mirrored into ether.Packet.Flow so the medium can stamp
-// its own events (sends, collisions, fault verdicts) onto the same flow.
-// Acks echo the flow of the packet they acknowledge, so a retransmitted
-// request and the ack that finally quenches it render as one causal chain.
-const headerWords = 4
+//
+//	[0] connection id
+//	[1] sequence number (data packets; 0 on acks and control)
+//	[2] cumulative ack: next sequence the sender of this packet expects
+//	[3] advertised receive window, in packets (flow control)
+//	[4] SACK mask, low 16 bits: bit i set = "I hold ack+1+i"
+//	[5] SACK mask, high 16 bits (together they cover ack+1 .. ack+32)
+//	[6] causal flow id
+//
+// Every word rides in the charged, checksummed payload — context costs
+// payload, exactly like the flow word before it. The flow is mirrored into
+// ether.Packet.Flow so the medium can stamp its own events (sends,
+// collisions, fault verdicts) onto the same flow; acks echo the flow of
+// the packet they acknowledge, so a retransmitted request and the ack that
+// finally quenches it render as one causal chain.
+const headerWords = 7
+
+// sackSpan is how many sequence numbers above the cumulative ack the two
+// SACK words can name. The receive window defaults to the same value, so
+// by default every buffered out-of-order packet is announced.
+const sackSpan = 32
 
 // MaxData is the data capacity of one transport packet, in words.
 const MaxData = ether.MaxPayload - headerWords
+
+// dupAckThreshold is how many duplicate acks trigger a fast retransmit —
+// TCP's classic three: fewer, and simple reordering would spuriously
+// retransmit; more, and a real loss waits longer than it must.
+const dupAckThreshold = 3
 
 // Errors.
 var (
 	// ErrRetriesExhausted reports a connection killed by its retry cap:
 	// the remote end stayed silent through every backoff level.
 	ErrRetriesExhausted = errors.New("pup: retransmit retries exhausted")
-	// ErrWindowFull is send-side backpressure: the window holds
-	// Config.Window unacked packets. Poll until acks drain it.
+	// ErrWindowFull is send-side backpressure: the effective window
+	// (congestion x flow control) is full. Poll until acks drain it.
 	ErrWindowFull = errors.New("pup: send window full")
 	// ErrClosed reports a send on a closing or closed connection.
 	ErrClosed = errors.New("pup: connection closed")
@@ -86,14 +124,28 @@ var (
 
 // Config tunes an Endpoint. The zero value selects the defaults.
 type Config struct {
-	// Window is the maximum number of unacked data packets per
-	// connection (default 8).
+	// Window caps the number of unacked data packets per connection no
+	// matter what cwnd and the peer allow (default 32).
 	Window int
-	// RTO is the initial retransmission timeout in simulated time
-	// (default 40 ms — above a few full windows' serialization on the
-	// 3 Mb/s wire, so a loaded medium does not trip timers by itself).
+	// RecvWindow is the per-connection receive budget, in packets:
+	// undelivered in-order messages plus buffered out-of-order ones.
+	// It is advertised on every outbound packet; the advertisement is
+	// floored at one packet so a closed window can never deadlock the
+	// conversation (the one-in-flight trickle re-opens it as the
+	// application drains). Default 32 (= sackSpan, so every buffered
+	// packet is SACK-visible).
+	RecvWindow int
+	// RTO is the retransmission timeout used before the first RTT
+	// sample lands (default 40 ms — above a few full windows'
+	// serialization on the 3 Mb/s wire). Once samples flow, the
+	// Jacobson estimator replaces it.
 	RTO time.Duration
-	// MaxRTO caps the exponential backoff (default 120 ms).
+	// MinRTO floors the adaptive timeout: below it, scheduling jitter
+	// between polls would fire timers on packets that are merely
+	// waiting their turn (default 10 ms).
+	MinRTO time.Duration
+	// MaxRTO caps the adaptive timeout and its exponential backoff
+	// (default 120 ms).
 	MaxRTO time.Duration
 	// MaxRetries is the per-packet retransmission cap; one more silence
 	// kills the connection with ErrRetriesExhausted (default 10).
@@ -103,6 +155,15 @@ type Config struct {
 	// poll loop; without it a silent wire would freeze simulated time
 	// and no timeout could ever fire (default 200 µs).
 	IdleTick time.Duration
+	// AckDelay is how long a lone in-order data packet may wait for
+	// company (or a reply to piggyback on) before it is acked anyway
+	// (default 2 ms).
+	AckDelay time.Duration
+	// AckEvery acks every Nth in-order data packet immediately, bounding
+	// how much news a delayed ack can sit on (default 4).
+	AckEvery int
+	// InitCwnd is the initial congestion window, in packets (default 2).
+	InitCwnd int
 	// Seed seeds connection-id generation (mixed with the station
 	// address, so equal seeds on different stations stay distinct).
 	Seed uint64
@@ -110,10 +171,16 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
-		c.Window = 8
+		c.Window = 32
+	}
+	if c.RecvWindow <= 0 {
+		c.RecvWindow = sackSpan
 	}
 	if c.RTO <= 0 {
 		c.RTO = 40 * time.Millisecond
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 10 * time.Millisecond
 	}
 	if c.MaxRTO <= 0 {
 		c.MaxRTO = 120 * time.Millisecond
@@ -123,6 +190,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTick <= 0 {
 		c.IdleTick = 200 * time.Microsecond
+	}
+	if c.AckDelay <= 0 {
+		c.AckDelay = 2 * time.Millisecond
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 4
+	}
+	if c.InitCwnd <= 0 {
+		c.InitCwnd = 2
 	}
 	return c
 }
@@ -197,13 +273,30 @@ func (e *Endpoint) Dial(remote ether.Addr) (*Conn, error) {
 			break
 		}
 	}
-	c := &Conn{ep: e, remote: remote, id: id, state: StateOpening}
+	c := e.newConn(remote, id, StateOpening, false)
 	e.add(c)
 	if err := c.sendCtrl(TypeOpen); err != nil {
 		return nil, err
 	}
 	e.rec().Add("pup.open", 1)
 	return c, nil
+}
+
+// newConn builds a connection with its windows at their initial positions:
+// cwnd at InitCwnd, ssthresh at the window cap (slow start probes upward
+// until loss says stop), and the peer's window assumed open until its
+// first advertisement arrives.
+func (e *Endpoint) newConn(remote ether.Addr, id uint16, st State, accepted bool) *Conn {
+	return &Conn{
+		ep:       e,
+		remote:   remote,
+		id:       id,
+		state:    st,
+		accepted: accepted,
+		cwnd:     e.cfg.InitCwnd,
+		ssthresh: e.cfg.Window,
+		peerAwnd: e.cfg.RecvWindow,
+	}
 }
 
 // add registers a connection in both indexes.
@@ -213,11 +306,11 @@ func (e *Endpoint) add(c *Conn) {
 }
 
 // Poll is the endpoint's activity: it drains the station's input queue,
-// fires due retransmission timers, and reaps dead connections. It returns
-// whether it did any work, so activity-switching loops can tell busy from
-// idle; when it did none but timers are pending it advances the simulated
-// clock by one IdleTick (the spin cost that lets timeouts fire on a silent
-// wire).
+// fires due retransmission and delayed-ack timers, and reaps dead
+// connections. It returns whether it did any work, so activity-switching
+// loops can tell busy from idle; when it did none but timers are pending
+// it advances the simulated clock by one IdleTick (the spin cost that lets
+// timeouts fire on a silent wire).
 func (e *Endpoint) Poll() (bool, error) {
 	worked := false
 	// Drain the whole input queue: a server station under load takes
@@ -266,7 +359,9 @@ func (e *Endpoint) reap() {
 
 // dispatch routes one inbound packet. Damaged packets (checksum mismatch)
 // are dropped here — corruption becomes loss, and loss is what the timers
-// already repair.
+// already repair. Any packet from a live peer carries ack state (cumulative
+// ack, advertised window, SACK mask), processed before the packet's own
+// business.
 func (e *Endpoint) dispatch(pkt ether.Packet) error {
 	if !pkt.SumOK() {
 		e.rec().Add("pup.checksum.drop", 1)
@@ -275,7 +370,10 @@ func (e *Endpoint) dispatch(pkt ether.Packet) error {
 	if len(pkt.Payload) < headerWords {
 		return nil // not ours, or truncated beyond use
 	}
-	id, seq, ack, flow := pkt.Payload[0], pkt.Payload[1], pkt.Payload[2], pkt.Payload[3]
+	id, seq := pkt.Payload[0], pkt.Payload[1]
+	ack, awnd := pkt.Payload[2], int(pkt.Payload[3])
+	sackLo, sackHi := pkt.Payload[4], pkt.Payload[5]
+	flow := pkt.Payload[6]
 	c := e.conns[connKey{pkt.Src, id}]
 	switch pkt.Type {
 	case TypeOpen:
@@ -283,6 +381,7 @@ func (e *Endpoint) dispatch(pkt ether.Packet) error {
 	case TypeOpenAck:
 		if c != nil && c.state == StateOpening {
 			c.state = StateOpen
+			c.peerAwnd = awnd
 			c.ctrl = ctrlState{}
 		}
 		return nil
@@ -290,10 +389,13 @@ func (e *Endpoint) dispatch(pkt ether.Packet) error {
 		if c == nil {
 			return nil // conn unknown (not yet open, or long gone): sender retries
 		}
-		return c.handleData(seq, ack, flow, pkt.Payload[headerWords:])
+		if err := c.handleAckInfo(ack, awnd, sackLo, sackHi); err != nil {
+			return err
+		}
+		return c.handleData(seq, flow, pkt.Payload[headerWords:])
 	case TypeAck:
 		if c != nil {
-			c.handleAck(ack)
+			return c.handleAckInfo(ack, awnd, sackLo, sackHi)
 		}
 		return nil
 	case TypeClose:
@@ -303,7 +405,7 @@ func (e *Endpoint) dispatch(pkt ether.Packet) error {
 		}
 		// Acknowledge even for unknown connections: the peer may be
 		// retransmitting a Close whose ack was lost after we reaped.
-		return e.sendRaw(pkt.Src, TypeCloseAck, id, 0, 0, flow, nil)
+		return e.sendStateless(pkt.Src, TypeCloseAck, id, flow)
 	case TypeCloseAck:
 		if c != nil && c.state == StateClosing {
 			c.state = StateClosed
@@ -321,23 +423,43 @@ func (e *Endpoint) handleOpen(from ether.Addr, id, flow uint16, c *Conn) error {
 		if !e.listening {
 			return nil
 		}
-		c = &Conn{ep: e, remote: from, id: id, state: StateOpen, accepted: true}
+		c = e.newConn(from, id, StateOpen, true)
 		e.add(c)
 		e.backlog = append(e.backlog, c)
 		e.rec().Add("pup.accept", 1)
 	}
-	// OpenAck is stateless on this side: a duplicated Open (the first ack
-	// was lost) just elicits another. It echoes the Open's flow.
-	return e.sendRaw(from, TypeOpenAck, id, 0, 0, flow, nil)
+	// The OpenAck rides the connection's real header, so the dialer learns
+	// our receive window before its first data burst. A duplicated Open
+	// (the first ack was lost) just elicits another.
+	return e.sendPacket(c, TypeOpenAck, 0, flow, nil)
 }
 
-// sendRaw transmits one transport packet. Every send charges wire time on
-// the shared clock, which is also what drives the timers forward. The flow
-// word is both carried in the payload header and mirrored onto the packet's
-// trace sideband for the medium's own events.
-func (e *Endpoint) sendRaw(to ether.Addr, typ ether.Word, id, seq, ack, flow uint16, data []ether.Word) error {
+// sendPacket transmits one packet on a connection, stamping the full ack
+// state — cumulative ack, advertised window, SACK mask — into the header.
+// Every outbound packet is therefore also an ack: a data packet or control
+// packet going the other way satisfies any pending delayed ack, which is
+// cleared here. Every send charges wire time on the shared clock, which is
+// also what drives the timers forward.
+func (e *Endpoint) sendPacket(c *Conn, typ ether.Word, seq, flow uint16, data []ether.Word) error {
+	awnd := c.awnd()
+	sackLo, sackHi := c.sackMask()
 	payload := make([]ether.Word, headerWords+len(data))
-	payload[0], payload[1], payload[2], payload[3] = id, seq, ack, flow
+	payload[0], payload[1], payload[2] = c.id, seq, c.recvNext
+	payload[3], payload[4], payload[5] = ether.Word(awnd), sackLo, sackHi
+	payload[6] = flow
 	copy(payload[headerWords:], data)
+	c.ackPending = 0
+	c.ackArmed = false
+	return e.st.Send(ether.Packet{Dst: c.remote, Type: typ, Flow: flow, Payload: payload})
+}
+
+// sendStateless answers for a connection this endpoint no longer (or never)
+// holds: no ack state to report, the window advertisement is the config
+// default. Used for CloseAcks to reaped connections.
+func (e *Endpoint) sendStateless(to ether.Addr, typ ether.Word, id, flow uint16) error {
+	payload := make([]ether.Word, headerWords)
+	payload[0] = id
+	payload[3] = ether.Word(e.cfg.RecvWindow)
+	payload[6] = flow
 	return e.st.Send(ether.Packet{Dst: to, Type: typ, Flow: flow, Payload: payload})
 }

@@ -2,7 +2,9 @@ package pup
 
 import (
 	"errors"
+	"reflect"
 	"testing"
+	"time"
 
 	"altoos/internal/ether"
 	"altoos/internal/trace"
@@ -147,11 +149,13 @@ func TestRetransmitAfterTimeout(t *testing.T) {
 }
 
 func TestDuplicateAck(t *testing.T) {
-	net, srv, cli, rec := pair(t, Config{})
-	// Delivery order: Open(0), Data seq0(1), Data seq1(2), OpenAck(3),
-	// Ack for seq0(4), Ack for seq1(5). Duplicate the first ack: the second
-	// copy arrives while seq1 is still unacked and must count as a dup ack,
-	// not pop anything twice.
+	// AckEvery 1 turns off ack batching, so each data packet elicits its
+	// own ack and the wire schedule is exactly: Open(0), Data seq0(1),
+	// Data seq1(2), OpenAck(3), Ack for seq0(4), Ack for seq1(5).
+	// Duplicate the first ack: the second copy arrives while seq1 is still
+	// unacked and must count as a dup ack, not pop anything twice — and
+	// one dup ack is far below the fast-retransmit threshold.
+	net, srv, cli, rec := pair(t, Config{AckEvery: 1})
 	net.InjectFaults(ether.FaultConfig{
 		Force: map[int64]ether.Fault{4: ether.FaultDup},
 	})
@@ -184,7 +188,7 @@ func TestDuplicateAck(t *testing.T) {
 		t.Fatalf("pup.dup.ack = %d, want 1", n)
 	}
 	if n := rec.Counter("pup.retransmit"); n != 0 {
-		t.Fatalf("pup.retransmit = %d, want 0 (dup ack must not trigger one)", n)
+		t.Fatalf("pup.retransmit = %d, want 0 (one dup ack must not trigger one)", n)
 	}
 }
 
@@ -306,23 +310,359 @@ func TestDuplicateCarriesOriginalFlow(t *testing.T) {
 }
 
 func TestWindowFullBackpressure(t *testing.T) {
-	_, srv, cli, _ := pair(t, Config{Window: 4})
+	// InitCwnd at the hard cap takes congestion control out of the
+	// picture: the fourth send fills the configured window exactly.
+	_, srv, cli, _ := pair(t, Config{Window: 4, InitCwnd: 4})
 	conn, err := cli.Dial(1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if a := conn.Avail(); a != 4 {
+		t.Fatalf("Avail before sending = %d, want 4", a)
+	}
 	for i := 0; i < 4; i++ {
-		if err := conn.Send([]ether.Word{ether.Word(i)}); err != nil {
+		if err := conn.Send([]ether.Word{ether.Word(i & 0xFFFF)}); err != nil {
 			t.Fatalf("send %d within window: %v", i, err)
 		}
+	}
+	if a := conn.Avail(); a != 0 {
+		t.Fatalf("Avail at full window = %d, want 0", a)
 	}
 	if err := conn.Send([]ether.Word{9}); !errors.Is(err, ErrWindowFull) {
 		t.Fatalf("send past window: got %v, want ErrWindowFull", err)
 	}
 	// Draining the acks reopens the window.
 	pump(t, srv, cli, 1000, func() bool { return len(conn.sendQ) == 0 })
+	if a := conn.Avail(); a != 4 {
+		t.Fatalf("Avail after drain = %d, want 4", a)
+	}
 	if err := conn.Send([]ether.Word{9}); err != nil {
 		t.Fatalf("send after drain: %v", err)
+	}
+}
+
+// TestAvailAndDelayedAck: Avail reports the effective window (congestion
+// window included, so a fresh conn offers InitCwnd, not the hard cap), and
+// a lone pair of in-order packets is acked once, by the delayed-ack timer,
+// not twice.
+func TestAvailAndDelayedAck(t *testing.T) {
+	_, srv, cli, rec := pair(t, Config{Window: 8})
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := conn.Avail(); a != 2 {
+		t.Fatalf("fresh conn Avail = %d, want InitCwnd = 2", a)
+	}
+	if err := conn.Send([]ether.Word{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]ether.Word{2}); err != nil {
+		t.Fatal(err)
+	}
+	if a := conn.Avail(); a != 0 {
+		t.Fatalf("Avail with cwnd in flight = %d, want 0", a)
+	}
+	pump(t, srv, cli, 1000, func() bool { return len(conn.sendQ) == 0 })
+	// Two acked packets double the window in slow start: 2 -> 4.
+	if a := conn.Avail(); a != 4 {
+		t.Fatalf("Avail after slow-start round = %d, want 4", a)
+	}
+	// Both packets arrived in order, below AckEvery: exactly one ack went
+	// out, and it was the delayed one.
+	if n := rec.Counter("pup.ack.sent"); n != 1 {
+		t.Fatalf("pup.ack.sent = %d, want 1 (batched)", n)
+	}
+	if n := rec.Counter("pup.ack.delayed"); n != 1 {
+		t.Fatalf("pup.ack.delayed = %d, want 1", n)
+	}
+}
+
+// holeThenSACK is the selective-repeat core scenario: four packets, the
+// second dropped. The receiver must buffer the overtakers, SACK them, and
+// the sender must retransmit exactly the hole — one packet, where
+// go-back-N resent three. Shared with the replay-identity test.
+func holeThenSACK(t *testing.T) (*trace.Recorder, time.Duration) {
+	t.Helper()
+	// InitCwnd 8 lets all four sends fly before the first ack.
+	net, srv, cli, rec := pair(t, Config{InitCwnd: 8})
+	// Delivery order: Open(0), Data seq0(1), seq1(2), seq2(3), seq3(4).
+	net.InjectFaults(ether.FaultConfig{
+		Force: map[int64]ether.Fault{2: ether.FaultDrop},
+	})
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := conn.Send([]ether.Word{ether.Word(i & 0xFFFF)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var acc *Conn
+	var got [][]ether.Word
+	pump(t, srv, cli, 100000, func() bool {
+		if acc == nil {
+			acc, _ = srv.Accept()
+		}
+		if acc != nil {
+			for {
+				m, ok := acc.Recv()
+				if !ok {
+					break
+				}
+				got = append(got, m)
+			}
+		}
+		return len(got) == 4 && len(conn.sendQ) == 0
+	})
+	for i, m := range got {
+		if len(m) != 1 || m[0] != ether.Word(i) {
+			t.Fatalf("message %d misordered: %v", i, m)
+		}
+	}
+	if n := rec.Counter("pup.retransmit"); n != 1 {
+		t.Fatalf("pup.retransmit = %d, want exactly 1 (only the hole)", n)
+	}
+	if n := rec.Counter("pup.ooo.buffered"); n != 2 {
+		t.Fatalf("pup.ooo.buffered = %d, want 2 (seq2 and seq3 held)", n)
+	}
+	if n := rec.Counter("pup.data.recv"); n != 4 {
+		t.Fatalf("pup.data.recv = %d, want 4", n)
+	}
+	// The timeout collapsed cwnd to 1 and halved ssthresh to its floor;
+	// the recovery ack (3 packets) then grew it back: 1 -> 2 in slow
+	// start, then one congestion-avoidance increment. Pinned exactly.
+	if conn.cwnd != 3 || conn.ssthresh != 2 {
+		t.Fatalf("cwnd/ssthresh after recovery = %d/%d, want 3/2", conn.cwnd, conn.ssthresh)
+	}
+	return rec, net.Clock().Now()
+}
+
+func TestHoleThenSACKReassembly(t *testing.T) { holeThenSACK(t) }
+
+// fastRetransmit drops one packet of six: the acks for the four overtakers
+// repeat the same cumulative ack (with growing SACK masks), and the third
+// duplicate triggers the retransmission with no timer involved.
+// Shared with the replay-identity test.
+func fastRetransmit(t *testing.T) (*trace.Recorder, time.Duration) {
+	t.Helper()
+	// AckEvery 1: per-packet acks, so each overtaker past the hole is one
+	// duplicate ack. Delivery order: Open(0), seq0(1), seq1(2) ... seq5(6).
+	net, srv, cli, rec := pair(t, Config{InitCwnd: 8, AckEvery: 1})
+	net.InjectFaults(ether.FaultConfig{
+		Force: map[int64]ether.Fault{2: ether.FaultDrop},
+	})
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := conn.Send([]ether.Word{ether.Word(i & 0xFFFF)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var acc *Conn
+	var got [][]ether.Word
+	pump(t, srv, cli, 100000, func() bool {
+		if acc == nil {
+			acc, _ = srv.Accept()
+		}
+		if acc != nil {
+			for {
+				m, ok := acc.Recv()
+				if !ok {
+					break
+				}
+				got = append(got, m)
+			}
+		}
+		return len(got) == 6 && len(conn.sendQ) == 0
+	})
+	for i, m := range got {
+		if len(m) != 1 || m[0] != ether.Word(i) {
+			t.Fatalf("message %d misordered: %v", i, m)
+		}
+	}
+	if n := rec.Counter("pup.retransmit.fast"); n != 1 {
+		t.Fatalf("pup.retransmit.fast = %d, want 1", n)
+	}
+	if n := rec.Counter("pup.retransmit.rto"); n != 0 {
+		t.Fatalf("pup.retransmit.rto = %d, want 0 (no timer may fire)", n)
+	}
+	if n := rec.Counter("pup.retransmit"); n != 1 {
+		t.Fatalf("pup.retransmit = %d, want exactly 1", n)
+	}
+	// Four overtakers = four duplicate acks; the retransmission fires on
+	// the third, and the fourth is absorbed without a second resend.
+	if n := rec.Counter("pup.dup.ack"); n != 4 {
+		t.Fatalf("pup.dup.ack = %d, want 4", n)
+	}
+	// Multiplicative decrease at loss: five in flight halve to 2/2; the
+	// recovery ack (five packets) buys two congestion-avoidance
+	// increments: 2 -> 4. Pinned exactly.
+	if conn.cwnd != 4 || conn.ssthresh != 2 {
+		t.Fatalf("cwnd/ssthresh after recovery = %d/%d, want 4/2", conn.cwnd, conn.ssthresh)
+	}
+	return rec, net.Clock().Now()
+}
+
+func TestFastRetransmit(t *testing.T) { fastRetransmit(t) }
+
+// cwndTrajectory pins the loss-free growth curve exactly: slow start adds
+// one packet per acked packet from InitCwnd to the window cap, and the cap
+// holds. Shared with the replay-identity test.
+func cwndTrajectory(t *testing.T) (*trace.Recorder, time.Duration) {
+	t.Helper()
+	net, srv, cli, rec := pair(t, Config{Window: 8, AckEvery: 1})
+	conn, err := cli.Dial(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc *Conn
+	var trajectory []int
+	last := conn.cwnd
+	sent, delivered := 0, 0
+	const msgs = 10
+	pump(t, srv, cli, 100000, func() bool {
+		if acc == nil {
+			acc, _ = srv.Accept()
+		}
+		// Lock-step: one message per round trip, so every ack pops exactly
+		// one packet and every cwnd change is observed individually.
+		if sent < msgs && len(conn.sendQ) == 0 {
+			if err := conn.Send([]ether.Word{ether.Word(sent & 0xFFFF)}); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		if acc != nil {
+			for {
+				_, ok := acc.Recv()
+				if !ok {
+					break
+				}
+				delivered++
+			}
+		}
+		if conn.cwnd != last {
+			trajectory = append(trajectory, conn.cwnd)
+			last = conn.cwnd
+		}
+		return delivered == msgs && len(conn.sendQ) == 0
+	})
+	want := []int{3, 4, 5, 6, 7, 8}
+	if !reflect.DeepEqual(trajectory, want) {
+		t.Fatalf("cwnd trajectory = %v, want %v", trajectory, want)
+	}
+	return rec, net.Clock().Now()
+}
+
+func TestCwndTrajectoryPinned(t *testing.T) { cwndTrajectory(t) }
+
+// rtoAdaptation runs the same five-message exchange over a perfect wire
+// and over one that delays every delivery by 15 ms, and checks the
+// estimator moved the timeout to match — down near the floor when round
+// trips are cheap, above the round trip (with no spurious retransmission)
+// when they are slow. Shared with the replay-identity test.
+func rtoAdaptation(t *testing.T) (*trace.Recorder, time.Duration) {
+	t.Helper()
+	exchange := func(cfg ether.FaultConfig, inject bool) (*Conn, *trace.Recorder, time.Duration) {
+		net, srv, cli, rec := pair(t, Config{AckEvery: 1})
+		if inject {
+			net.InjectFaults(cfg)
+		}
+		conn, err := cli.Dial(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc *Conn
+		sent, delivered := 0, 0
+		pump(t, srv, cli, 400000, func() bool {
+			if acc == nil {
+				acc, _ = srv.Accept()
+			}
+			// One message at a time: each round trip is one clean sample.
+			if sent < 5 && sent == delivered {
+				if err := conn.Send([]ether.Word{ether.Word(sent & 0xFFFF)}); err != nil {
+					t.Fatal(err)
+				}
+				sent++
+			}
+			if acc != nil {
+				if _, ok := acc.Recv(); ok {
+					delivered++
+				}
+			}
+			return delivered == 5
+		})
+		return conn, rec, net.Clock().Now()
+	}
+
+	fast, _, _ := exchange(ether.FaultConfig{}, false)
+	if !fast.rttValid {
+		t.Fatal("no RTT sample landed on a loss-free exchange")
+	}
+	if got := fast.rto(); got >= 40*time.Millisecond {
+		t.Fatalf("adapted RTO = %v, want below the 40ms pre-sample default", got)
+	}
+
+	delayCfg := ether.FaultConfig{
+		Delay:     ether.Rate{Num: 1, Den: 1},
+		DelayTime: 15 * time.Millisecond,
+	}
+	slow, rec, clock := exchange(delayCfg, true)
+	// Every delivery waits 15 ms each way: the smoothed RTT must land just
+	// above 30 ms, and the timeout must ride above it — high enough that
+	// not one spurious retransmission fired.
+	if slow.srtt < 30*time.Millisecond || slow.srtt > 40*time.Millisecond {
+		t.Fatalf("srtt under 2x15ms scripted delay = %v, want ~30-40ms", slow.srtt)
+	}
+	if got := slow.rto(); got <= slow.srtt {
+		t.Fatalf("RTO %v at or below srtt %v", got, slow.srtt)
+	}
+	if n := rec.Counter("pup.retransmit"); n != 0 {
+		t.Fatalf("pup.retransmit = %d, want 0 (the adapted RTO must clear the delay)", n)
+	}
+	if fast.rto() >= slow.rto() {
+		t.Fatalf("RTO did not adapt: fast wire %v >= delayed wire %v", fast.rto(), slow.rto())
+	}
+	return rec, clock
+}
+
+func TestRTOAdaptation(t *testing.T) { rtoAdaptation(t) }
+
+// TestEdgeCaseReplayByteIdentity re-runs every Force-scripted edge case and
+// demands the second run's trace is event-for-event identical to the first
+// — the altotrace property, held at the unit level where the edge cases
+// live.
+func TestEdgeCaseReplayByteIdentity(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(*testing.T) (*trace.Recorder, time.Duration)
+	}{
+		{"hole-then-sack", holeThenSACK},
+		{"fast-retransmit", fastRetransmit},
+		{"cwnd-trajectory", cwndTrajectory},
+		{"rto-adaptation", rtoAdaptation},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			rec1, clock1 := sc.run(t)
+			rec2, clock2 := sc.run(t)
+			if clock1 != clock2 {
+				t.Fatalf("replay diverged: clock %v vs %v", clock1, clock2)
+			}
+			ev1, ev2 := rec1.Events(), rec2.Events()
+			if len(ev1) != len(ev2) {
+				t.Fatalf("replay diverged: %d events vs %d", len(ev1), len(ev2))
+			}
+			for i := range ev1 {
+				if !reflect.DeepEqual(ev1[i], ev2[i]) {
+					t.Fatalf("replay diverged at event %d: %+v vs %+v", i, ev1[i], ev2[i])
+				}
+			}
+		})
 	}
 }
 
@@ -387,7 +727,7 @@ func TestDeterministicReplay(t *testing.T) {
 				acc, _ = srv.Accept()
 			}
 			if next < 20 {
-				if conn.Send([]ether.Word{ether.Word(next)}) == nil {
+				if conn.Send([]ether.Word{ether.Word(next & 0xFFFF)}) == nil {
 					next++
 				}
 			}
