@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet altovet vet-stats vet-baseline test race bench bench-diff trace-check scope-check crash-check fmt
+.PHONY: check build vet altovet vet-stats vet-baseline test race bench bench-diff trace-check scope-check fleet-check crash-check fmt
 
-check: build vet altovet vet-stats trace-check scope-check crash-check race bench-diff
+check: build vet altovet vet-stats trace-check scope-check fleet-check crash-check race bench-diff
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,13 @@ scope-check:
 	$(GO) build -o /dev/null ./cmd/altoscope
 	$(GO) run ./cmd/altoscope -experiment e10 -check
 	$(GO) run ./cmd/altoscope -experiment e13 -events 8192 -check
+
+# fleet-check guards the parallel scheduler's contract: altofleet builds, and
+# a 100-Alto fan-in produces byte-identical per-machine event streams and
+# metrics across repeated runs and across worker-pool widths (1 vs 8).
+fleet-check:
+	$(GO) build -o /dev/null ./cmd/altofleet
+	$(GO) run ./cmd/altofleet -check -machines 100 -events 16384
 
 # crash-check is the §3.5 gate: a sampled sweep of crash points (clean and
 # torn) over the journaled directory workload; altocrash exits non-zero if

@@ -10,6 +10,7 @@ package altoos
 
 import (
 	"testing"
+	"time"
 
 	"altoos/internal/experiments"
 )
@@ -115,4 +116,34 @@ func BenchmarkE12CrashSweep(b *testing.B) {
 func BenchmarkE13Saturation(b *testing.B) {
 	report(b, experiments.E13Saturation,
 		"jain_fairness_pct", "goodput_words_per_sec_total", "retransmits")
+}
+
+// BenchmarkE14FleetFanIn — §1: a hundred Altos boot and fan in on one file
+// server, scheduled by the windowed parallel fleet engine. The simulated
+// quantities (sim_seconds, scheduler_steps, retransmits) are deterministic;
+// events_per_sec and speedup_x8 measure the host — the schedule executed at
+// one worker vs eight — and carry benchdiff's relaxed wall-coupled
+// tolerance. On a single-core host the speedup reads ~1.0 by construction.
+func BenchmarkE14FleetFanIn(b *testing.B) {
+	var last *experiments.Result
+	var wall1, wall8 time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		r, err := experiments.E14FanIn(100, 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall1 = time.Since(t0)
+		t0 = time.Now()
+		if _, err := experiments.E14FanIn(100, 8, nil); err != nil {
+			b.Fatal(err)
+		}
+		wall8 = time.Since(t0)
+		last = r
+	}
+	for _, k := range []string{"sim_seconds", "scheduler_steps", "retransmits"} {
+		b.ReportMetric(last.Metrics[k], k)
+	}
+	b.ReportMetric(last.Metrics["scheduler_steps"]/wall8.Seconds(), "events_per_sec")
+	b.ReportMetric(wall1.Seconds()/wall8.Seconds(), "speedup_x8")
 }

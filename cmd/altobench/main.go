@@ -60,8 +60,9 @@ func main() {
 		"E11": experiments.E11LossSweep,
 		"E12": experiments.E12CrashSweep,
 		"E13": experiments.E13Saturation,
+		"E14": experiments.E14FleetFanIn,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 
 	want := flag.Args()
 	if len(want) == 0 {

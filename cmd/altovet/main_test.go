@@ -64,11 +64,13 @@ func TestFixtures(t *testing.T) {
 		{"sched-crashpoint", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/crashpoint"},
 		{"sched-fsck", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/fsck"},
 		{"sched-scope", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/scope"},
+		{"sched-fleet", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/fleet"},
 		{"wordwidth", []string{"wordwidth"}, "widthfix", "altoos/internal/widthfix"},
 		{"labelcheck", []string{"labelcheck"}, "labelfix", "altoos/internal/labelfix"},
 		{"errdiscard", []string{"errdiscard"}, "errfix", "altoos/internal/errfix"},
 		{"mutexorder", []string{"mutexorder"}, "lockfix", "altoos/internal/lockfix"},
 		{"gospawn", []string{"gospawn"}, "spawnfix", "altoos/internal/spawnfix"},
+		{"gospawn-fleet", []string{"gospawn"}, "spawnfix", "altoos/internal/fleet"},
 		{"chanorder", []string{"chanorder"}, "chanfix", "altoos/internal/disk"},
 		{"globalstate", []string{"globalstate"}, "globalfix", "altoos/internal/fsck"},
 		{"simtaint-flow", []string{"simtaint"}, "taintfix", "altoos/cmd/taintfix"},

@@ -133,3 +133,38 @@ func TestDirectionTable(t *testing.T) {
 		}
 	}
 }
+
+func TestWallCoupledTolerance(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_2026-01-01.json", `goos: linux
+BenchmarkE14FleetFanIn 	1	937026 ns/op	158.5 sim_seconds	37730 scheduler_steps	40000 events_per_sec	1.00 speedup_x8
+PASS
+`)
+	// Host-coupled throughput down 30%: inside the relaxed 50% band.
+	write(t, dir, "BENCH_2026-01-02.json", `goos: linux
+BenchmarkE14FleetFanIn 	1	937026 ns/op	158.5 sim_seconds	37730 scheduler_steps	28000 events_per_sec	0.80 speedup_x8
+PASS
+`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("30%% wall-coupled drift exited %d, want 0\n%s", code, out.String())
+	}
+	// A collapse (70% down) is a real engine regression and must fail.
+	write(t, dir, "BENCH_2026-01-03.json", `goos: linux
+BenchmarkE14FleetFanIn 	1	937026 ns/op	158.5 sim_seconds	37730 scheduler_steps	12000 events_per_sec	0.80 speedup_x8
+PASS
+`)
+	out.Reset()
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("70%% wall-coupled collapse exited %d, want 1\n%s", code, out.String())
+	}
+	// The simulated metrics keep the tight default tolerance.
+	write(t, dir, "BENCH_2026-01-04.json", `goos: linux
+BenchmarkE14FleetFanIn 	1	937026 ns/op	170.0 sim_seconds	37730 scheduler_steps	12000 events_per_sec	0.80 speedup_x8
+PASS
+`)
+	out.Reset()
+	if code := run([]string{"-dir", dir, "-tolerance", "2"}, &out, &errOut); code != 1 {
+		t.Fatalf("sim_seconds regression exited %d, want 1\n%s", code, out.String())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"altoos/internal/sim"
@@ -36,6 +37,14 @@ const WireTime = 16 * time.Second / 3_000_000
 
 // HeaderWords is the packet header size on the wire (dst, src, type, check).
 const HeaderWords = 4
+
+// MinLatency is the shortest possible gap between a send starting and any
+// station observing its arrival: the serialization time of a bare header.
+// It is the lookahead bound of conservative parallel simulation — two
+// machines whose next events are closer together than MinLatency cannot be
+// run concurrently without risking a causality violation, and two that are
+// farther apart can.
+const MinLatency = HeaderWords * WireTime
 
 // MaxPayload bounds a packet to roughly the Alto's packet buffer: one page.
 const MaxPayload = 256
@@ -91,8 +100,13 @@ type Network struct {
 	mu       sync.Mutex
 	clock    *sim.Clock
 	stations map[Addr]*Station
-	sent     int64
-	words    int64
+	// order holds the attached stations sorted by address. Broadcast
+	// delivery and fault-verdict draws walk this slice, never the map, so
+	// fan-out order is (address, arrival sequence) by construction — it
+	// cannot regress to map iteration order when stations join dynamically.
+	order []*Station
+	sent  int64
+	words int64
 
 	// rec is the attached flight recorder (nil: tracing off). busyUntil is
 	// the simulated time the wire frees up; a send that begins earlier is
@@ -106,6 +120,36 @@ type Network struct {
 	// are drawn under mu, in address order, so the PRNG consumption order —
 	// and with it every drop, dup, delay and bit-flip — replays exactly.
 	fault *FaultMedium
+
+	// fleet switches the medium into fleet mode: stations run on their own
+	// clocks, every delivery is a scheduled event released at its arrival
+	// time, fault verdicts come from per-sender PRNG streams, and wire
+	// trace events land on the *sender's* recorder. horizon is the current
+	// lockstep window's upper bound: no station observes an arrival at or
+	// beyond it, which is what makes delivery independent of how machine
+	// executions interleave on the host. See internal/fleet.
+	fleet   bool
+	horizon atomic.Int64 // window horizon in ns; only consulted in fleet mode
+}
+
+// SetFleetMode switches the medium between the shared-clock single-machine
+// model (false, the default) and the fleet event model (true). In fleet
+// mode the collision probe and queue-depth gauge are off — both read
+// cross-machine state whose momentary value depends on host interleaving —
+// and the delivery horizon starts unbounded until a scheduler sets it.
+func (n *Network) SetFleetMode(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fleet = on
+	n.horizon.Store(int64(^uint64(0) >> 1)) // unbounded until SetHorizon
+}
+
+// SetHorizon publishes the current lockstep window's upper bound. Stations
+// only promote deliveries whose arrival time is strictly below it, so a
+// machine whose local clock has raced past the window cannot observe a
+// packet that a concurrently executing machine may or may not have sent yet.
+func (n *Network) SetHorizon(t time.Duration) {
+	n.horizon.Store(int64(t))
 }
 
 // SetRecorder attaches a flight recorder to the medium (nil detaches).
@@ -145,16 +189,27 @@ type Station struct {
 	net  *Network
 	addr Addr
 
+	// clk is the station's own clock in fleet mode (nil: the network's
+	// shared clock). txSeq counts this station's sends; it is guarded by
+	// the *network* mutex because it is assigned on the send path, and it
+	// orders same-arrival-time deliveries from the same sender.
+	clk   *sim.Clock
+	txSeq uint64
+
 	mu   sync.Mutex
 	in   []Packet
-	held []heldPacket // fault-delayed packets awaiting their release time
+	held []heldPacket // scheduled deliveries awaiting their release time
 	rec  *trace.Recorder
 }
 
-// heldPacket is a delivery the fault model is holding back: it joins the
-// input queue the first time the station polls at or after release.
+// heldPacket is a delivery awaiting its release time: fault-delayed packets
+// in the shared-clock model, every delivery in fleet mode. It joins the
+// input queue the first time the station polls at or after release, in
+// (release, source address, sender sequence) order.
 type heldPacket struct {
 	release time.Duration
+	src     Addr
+	seq     uint64 // the sender's txSeq for this packet
 	pkt     Packet
 }
 
@@ -183,8 +238,20 @@ func (s *Station) TraceRecorder() *trace.Recorder {
 	return s.net.TraceRecorder()
 }
 
-// Clock returns the shared network clock.
-func (s *Station) Clock() *sim.Clock { return s.net.clock }
+// Clock returns the station's clock: its own in fleet mode, else the shared
+// network clock.
+func (s *Station) Clock() *sim.Clock {
+	if s.clk != nil {
+		return s.clk
+	}
+	return s.net.clock
+}
+
+// SetClock gives the station its own clock, making sends and receives charge
+// and read that machine's time instead of the network's. Set it before any
+// traffic; in a fleet each machine's station is bound to that machine's
+// clock at build time.
+func (s *Station) SetClock(c *sim.Clock) { s.clk = c }
 
 // Attach adds a station at addr (which must be nonzero and unused).
 func (n *Network) Attach(addr Addr) (*Station, error) {
@@ -198,6 +265,10 @@ func (n *Network) Attach(addr Addr) (*Station, error) {
 	}
 	s := &Station{net: n, addr: addr}
 	n.stations[addr] = s
+	at := sort.Search(len(n.order), func(i int) bool { return n.order[i].addr > addr })
+	n.order = append(n.order, nil)
+	copy(n.order[at+1:], n.order[at:])
+	n.order[at] = s
 	return s, nil
 }
 
@@ -206,36 +277,60 @@ func (s *Station) Detach() {
 	s.net.mu.Lock()
 	defer s.net.mu.Unlock()
 	delete(s.net.stations, s.addr)
+	for i, st := range s.net.order {
+		if st == s {
+			s.net.order = append(s.net.order[:i], s.net.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // Addr returns the station's address.
 func (s *Station) Addr() Addr { return s.addr }
 
-// Send transmits a packet (source filled in), charging wire time.
+// Send transmits a packet (source filled in), charging wire time against
+// the sender's clock.
 func (s *Station) Send(p Packet) error {
 	if len(p.Payload) > MaxPayload {
 		return fmt.Errorf("%w: %d words", ErrTooBig, len(p.Payload))
 	}
 	p.Src = s.addr
+	// Snapshot the sender's recorder before taking the network lock (the
+	// network lock never nests inside a station lock); fleet mode stamps
+	// wire events onto the sending machine's timeline.
+	srec := s.TraceRecorder()
+	clock := s.Clock()
 	n := s.net
 	n.mu.Lock()
 	if n.stations[s.addr] != s {
 		n.mu.Unlock()
 		return ErrNoStation
 	}
+	fleet := n.fleet
 	n.sent++
 	n.words += int64(len(p.Payload) + HeaderWords)
 	wireWords := len(p.Payload) + HeaderWords
 	dur := time.Duration(wireWords) * WireTime
-	start := n.clock.Now()
+	start := clock.Now()
+	s.txSeq++
+	seq := s.txSeq
 	rec := n.rec
+	if fleet {
+		rec = srec
+	}
 	if rec != nil {
-		if start < n.busyUntil {
-			rec.EmitFlow(start, trace.KindEtherCollision, "", int64(p.Dst), int64(s.addr), int64(p.Flow))
-			rec.Add("ether.collision", 1)
-		}
-		if end := start + dur; end > n.busyUntil {
-			n.busyUntil = end
+		// The collision probe compares against the last send's end time,
+		// cross-machine state that is only meaningful on a shared clock;
+		// in fleet mode the stations' clocks are mutually unordered, so
+		// the probe is off.
+		if !fleet {
+			if start < n.busyUntil {
+				rec.EmitFlow(start, trace.KindEtherCollision, "", int64(p.Dst), int64(s.addr), int64(p.Flow))
+				rec.Add("ether.collision", 1)
+			}
+			if end := start + dur; end > n.busyUntil {
+				n.busyUntil = end
+			}
 		}
 		rec.EmitSpanFlow(start, dur, trace.KindEtherSend, "", int64(p.Dst), int64(wireWords), int64(p.Flow))
 		rec.Add("ether.send", 1)
@@ -246,25 +341,24 @@ func (s *Station) Send(p Packet) error {
 	cp := p
 	cp.Payload = append([]Word(nil), p.Payload...)
 	cp.Check = cp.Sum()
-	// Destinations in address order: the fault model draws verdicts from a
-	// shared deterministic PRNG, so the draw order must not depend on Go's
-	// randomized map iteration.
+	// Destinations in address order: n.order is maintained sorted, so the
+	// fan-out — and with it the fault model's verdict draw order — is
+	// (address, arrival sequence) by construction.
 	var dsts []*Station
-	for a, st := range n.stations {
+	for _, st := range n.order {
 		if st == s {
 			continue
 		}
-		if p.Dst == Broadcast || p.Dst == a {
+		if p.Dst == Broadcast || p.Dst == st.addr {
 			dsts = append(dsts, st)
 		}
 	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i].addr < dsts[j].addr })
 	arrive := start + dur
 	dels := make([]delivery, 0, len(dsts))
 	for _, st := range dsts {
 		d := delivery{st: st, pkt: cp, copies: 1}
 		if n.fault != nil {
-			v := n.fault.judge(len(cp.Payload))
+			v := n.fault.judge(s.addr, fleet, len(cp.Payload))
 			// Every non-clean verdict lands on the wire's timeline as an
 			// instant stamped with the packet's flow: injected loss stays
 			// on the causal chain instead of vanishing between send and a
@@ -295,19 +389,31 @@ func (s *Station) Send(p Packet) error {
 	}
 	n.mu.Unlock()
 
-	n.clock.Advance(dur)
+	clock.Advance(dur)
 	for _, d := range dels {
+		release := d.release
+		if fleet && release == 0 {
+			// Fleet mode: every delivery is a scheduled event released at
+			// its arrival time. The receiver — on its own clock — promotes
+			// it when its time passes arrival, never earlier, so delivery
+			// does not depend on which machine's code ran first on the host.
+			release = arrive
+		}
 		d.st.mu.Lock()
 		for c := 0; c < d.copies; c++ {
-			if d.release > 0 {
-				d.st.held = append(d.st.held, heldPacket{release: d.release, pkt: d.pkt})
+			if release > 0 {
+				d.st.held = append(d.st.held, heldPacket{release: release, src: s.addr, seq: seq, pkt: d.pkt})
 			} else {
 				d.st.in = append(d.st.in, d.pkt)
 			}
 		}
 		depth := len(d.st.in)
 		d.st.mu.Unlock()
-		rec.Observe("ether.queue.depth", float64(depth))
+		if !fleet {
+			// The queue-depth gauge reads the receiver's momentary backlog,
+			// which under concurrent senders depends on host interleaving.
+			rec.Observe("ether.queue.depth", float64(depth))
+		}
 	}
 	return nil
 }
@@ -321,21 +427,75 @@ type delivery struct {
 	release time.Duration
 }
 
-// promoteLocked moves fault-delayed packets whose release time has passed
-// into the input queue. Caller holds s.mu.
+// promoteLocked moves held packets whose release time has passed into the
+// input queue, in (release, source address, sender sequence) order — a
+// total order over deliveries that does not depend on the order concurrent
+// senders appended them. In fleet mode a packet additionally stays held
+// until the lockstep window's horizon covers its arrival, so a machine
+// whose clock overran the window cannot observe a racing delivery.
+// Caller holds s.mu.
 func (s *Station) promoteLocked(now time.Duration) {
 	if len(s.held) == 0 {
 		return
 	}
+	limit := now
+	s.net.fleetLimit(&limit)
+	var due []heldPacket
 	kept := s.held[:0]
 	for _, h := range s.held {
-		if h.release <= now {
-			s.in = append(s.in, h.pkt)
+		if h.release <= limit {
+			due = append(due, h)
 		} else {
 			kept = append(kept, h)
 		}
 	}
 	s.held = kept
+	sort.Slice(due, func(i, j int) bool {
+		a, b := due[i], due[j]
+		if a.release != b.release {
+			return a.release < b.release
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, h := range due {
+		s.in = append(s.in, h.pkt)
+	}
+}
+
+// fleetLimit caps *limit at just below the window horizon when the medium
+// is in fleet mode. In the shared-clock model the limit is the caller's
+// clock reading, untouched.
+func (n *Network) fleetLimit(limit *time.Duration) {
+	if !n.fleet {
+		return
+	}
+	if h := time.Duration(n.horizon.Load()); h-1 < *limit {
+		*limit = h - 1 // strictly below the horizon
+	}
+}
+
+// EarliestArrival reports the earliest observable or scheduled delivery on
+// the station: zero (and true) if packets are already queued, else the
+// minimum release time among held deliveries. The fleet scheduler reads it
+// at every window barrier to wake machines that are blocked waiting for
+// traffic.
+func (s *Station) EarliestArrival() (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.in) > 0 {
+		return 0, true
+	}
+	var best time.Duration
+	ok := false
+	for _, h := range s.held {
+		if !ok || h.release < best {
+			best, ok = h.release, true
+		}
+	}
+	return best, ok
 }
 
 // Recv polls the input queue, returning the oldest packet if any. The
@@ -345,7 +505,7 @@ func (s *Station) Recv() (Packet, bool) {
 	// Snapshot the recorder before taking s.mu: the network lock never
 	// nests inside a station lock.
 	rec := s.TraceRecorder()
-	now := s.net.clock.Now()
+	now := s.Clock().Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.promoteLocked(now)
@@ -355,7 +515,7 @@ func (s *Station) Recv() (Packet, bool) {
 	p := s.in[0]
 	s.in = s.in[1:]
 	if rec != nil {
-		rec.EmitFlow(s.net.clock.Now(), trace.KindEtherRecv, "", int64(p.Src), int64(len(p.Payload)+HeaderWords), int64(p.Flow))
+		rec.EmitFlow(now, trace.KindEtherRecv, "", int64(p.Src), int64(len(p.Payload)+HeaderWords), int64(p.Flow))
 		rec.Add("ether.recv", 1)
 	}
 	return p, true
@@ -364,7 +524,7 @@ func (s *Station) Recv() (Packet, bool) {
 // Pending reports queued packet count (fault-delayed packets count once
 // their release time has passed).
 func (s *Station) Pending() int {
-	now := s.net.clock.Now()
+	now := s.Clock().Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.promoteLocked(now)

@@ -148,3 +148,138 @@ func TestUnpackRejectsDamage(t *testing.T) {
 		t.Error("accepted truncated string")
 	}
 }
+
+// TestHeldPromotionSortsByArrival: packets whose release times pass together
+// promote in (release, source address, sender sequence) order, not in the
+// order the fault model happened to append them.
+func TestHeldPromotionSortsByArrival(t *testing.T) {
+	n := New(nil)
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	c, _ := n.Attach(3)
+	// Delay station 1's first send by 5 ms and station 2's by 1 ms: the
+	// second send is appended to held later but releases earlier.
+	n.InjectFaults(FaultConfig{
+		DelayTime: 5 * time.Millisecond,
+		Force:     map[int64]Fault{0: FaultDelay},
+	})
+	if err := a.Send(Packet{Dst: 3, Type: 100}); err != nil {
+		t.Fatal(err)
+	}
+	n.InjectFaults(FaultConfig{
+		DelayTime: time.Millisecond,
+		Force:     map[int64]Fault{0: FaultDelay},
+	})
+	if err := b.Send(Packet{Dst: 3, Type: 200}); err != nil {
+		t.Fatal(err)
+	}
+	n.ClearFaults()
+	n.Clock().Advance(time.Second) // both releases long past
+	p1, ok1 := c.Recv()
+	p2, ok2 := c.Recv()
+	if !ok1 || !ok2 {
+		t.Fatalf("expected two promoted packets, got %v %v", ok1, ok2)
+	}
+	if p1.Type != 200 || p2.Type != 100 {
+		t.Fatalf("promotion order (%d, %d), want the earlier release (200) first", p1.Type, p2.Type)
+	}
+}
+
+// TestFleetDeliveryWaitsForArrival: in fleet mode a delivery is a scheduled
+// event — the receiver, on its own clock, sees nothing until its time
+// reaches the packet's arrival time.
+func TestFleetDeliveryWaitsForArrival(t *testing.T) {
+	n := New(nil)
+	n.SetFleetMode(true)
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	ca, cb := sim.NewClock(), sim.NewClock()
+	a.SetClock(ca)
+	b.SetClock(cb)
+	if err := a.Send(Packet{Dst: 2, Payload: []Word{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	arrive := ca.Now() // sender's clock advanced by the wire time
+	if arrive == 0 {
+		t.Fatal("send charged no wire time to the sender's clock")
+	}
+	if cb.Now() != 0 {
+		t.Fatal("send advanced the receiver's clock")
+	}
+	if _, ok := b.Recv(); ok {
+		t.Fatal("packet visible before the receiver's clock reached arrival")
+	}
+	if got, ok := b.EarliestArrival(); !ok || got != arrive {
+		t.Fatalf("EarliestArrival() = %v, %v; want %v, true", got, ok, arrive)
+	}
+	cb.AdvanceTo(arrive)
+	if _, ok := b.Recv(); !ok {
+		t.Fatal("packet not promoted once the receiver's clock reached arrival")
+	}
+}
+
+// TestFleetHorizonGatesDelivery: a machine whose clock overran the lockstep
+// window cannot observe arrivals at or beyond the horizon, even though its
+// own clock has passed them — the rule that keeps delivery independent of
+// host interleaving.
+func TestFleetHorizonGatesDelivery(t *testing.T) {
+	n := New(nil)
+	n.SetFleetMode(true)
+	a, _ := n.Attach(1)
+	b, _ := n.Attach(2)
+	ca, cb := sim.NewClock(), sim.NewClock()
+	a.SetClock(ca)
+	b.SetClock(cb)
+	if err := a.Send(Packet{Dst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	arrive := ca.Now()
+	cb.AdvanceTo(arrive + time.Millisecond) // receiver overran the window
+	n.SetHorizon(arrive)                    // horizon not yet past arrival
+	if _, ok := b.Recv(); ok {
+		t.Fatal("packet promoted at the horizon; promotion must be strictly below it")
+	}
+	n.SetHorizon(arrive + 1)
+	if _, ok := b.Recv(); !ok {
+		t.Fatal("packet not promoted once the horizon passed arrival")
+	}
+}
+
+// TestFleetPerSenderFaultStreams: with per-sender verdict streams, one
+// sender's fault pattern is a function of its own send sequence alone —
+// unaffected by how much traffic other senders put on the wire.
+func TestFleetPerSenderFaultStreams(t *testing.T) {
+	run := func(otherTraffic int) []bool {
+		n := New(nil)
+		n.SetFleetMode(true)
+		n.SetHorizon(1 << 60)
+		a, _ := n.Attach(1)
+		x, _ := n.Attach(2)
+		b, _ := n.Attach(3)
+		a.SetClock(sim.NewClock())
+		x.SetClock(sim.NewClock())
+		b.SetClock(sim.NewClock())
+		n.InjectFaults(FaultConfig{Seed: 7, Drop: Rate{Num: 1, Den: 3}})
+		var pattern []bool
+		for i := 0; i < 32; i++ {
+			for j := 0; j < otherTraffic; j++ {
+				if err := x.Send(Packet{Dst: 3}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := n.fault.stats.Dropped
+			if err := a.Send(Packet{Dst: 3}); err != nil {
+				t.Fatal(err)
+			}
+			pattern = append(pattern, n.fault.stats.Dropped > before)
+		}
+		_ = b
+		return pattern
+	}
+	quiet, noisy := run(0), run(5)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("send %d: drop verdict changed (%v vs %v) because of unrelated traffic", i, quiet[i], noisy[i])
+		}
+	}
+}

@@ -67,9 +67,33 @@ type FaultMedium struct {
 	// Guarded by the owning Network's mu: judge is only called from Send
 	// with the lock held.
 	cfg    FaultConfig
+	shared faultStream
+	// streams holds the per-sender verdict streams used in fleet mode,
+	// where concurrent senders would otherwise interleave draws from the
+	// shared PRNG in host order. Each sender's stream is seeded from the
+	// config seed and the sender's address, and is consumed only in that
+	// sender's program order — keyed lookups only, never ranged.
+	streams map[Addr]*faultStream
+	stats   FaultStats
+}
+
+// faultStream is one deterministic verdict sequence: a seeded PRNG plus the
+// count of verdicts drawn from it (the index Force keys against).
+type faultStream struct {
 	rnd    *sim.Rand
 	judged int64
-	stats  FaultStats
+}
+
+// streamFor returns the verdict stream for one sender, creating it on first
+// use. Derivation folds the address into the seed with the 64-bit golden
+// ratio so adjacent addresses get well-separated sequences.
+func (f *FaultMedium) streamFor(src Addr) *faultStream {
+	if st, ok := f.streams[src]; ok {
+		return st
+	}
+	st := &faultStream{rnd: sim.NewRand(f.cfg.Seed ^ (uint64(src)+1)*0x9E3779B97F4A7C15)}
+	f.streams[src] = st
+	return st
 }
 
 // FaultStats counts what the medium actually did.
@@ -87,7 +111,11 @@ func (n *Network) InjectFaults(cfg FaultConfig) *FaultMedium {
 	if cfg.DelayTime <= 0 {
 		cfg.DelayTime = DefaultDelay
 	}
-	f := &FaultMedium{cfg: cfg, rnd: sim.NewRand(cfg.Seed)}
+	f := &FaultMedium{
+		cfg:     cfg,
+		shared:  faultStream{rnd: sim.NewRand(cfg.Seed)},
+		streams: map[Addr]*faultStream{},
+	}
 	n.mu.Lock()
 	n.fault = f
 	n.mu.Unlock()
@@ -122,32 +150,40 @@ type verdict struct {
 
 // judge rolls the dice for one delivery attempt. Called under the owning
 // Network's mu, in destination-address order — the two facts that make the
-// PRNG sequence, and so the whole fault pattern, reproducible.
-func (f *FaultMedium) judge(payloadWords int) verdict {
-	idx := f.judged
-	f.judged++
+// PRNG sequence, and so the whole fault pattern, reproducible. In the
+// shared-clock model every verdict comes from one stream in global send
+// order; with perSender set (fleet mode) each sender consumes its own
+// derived stream in its own program order, which is deterministic even when
+// senders execute concurrently on the host.
+func (f *FaultMedium) judge(src Addr, perSender bool, payloadWords int) verdict {
+	st := &f.shared
+	if perSender {
+		st = f.streamFor(src)
+	}
+	idx := st.judged
+	st.judged++
 	f.stats.Judged++
 	if forced, ok := f.cfg.Force[idx]; ok {
-		v := f.forcedVerdict(forced, payloadWords)
+		v := f.forcedVerdict(st, forced, payloadWords)
 		v.idx = idx
 		return v
 	}
 	v := verdict{idx: idx}
-	if f.roll(f.cfg.Drop) {
+	if st.roll(f.cfg.Drop) {
 		v.drop = true
 		f.stats.Dropped++
 		return v
 	}
-	if f.roll(f.cfg.Dup) {
+	if st.roll(f.cfg.Dup) {
 		v.dup = true
 		f.stats.Dupped++
 	}
-	if f.roll(f.cfg.Corrupt) {
+	if st.roll(f.cfg.Corrupt) {
 		v.corrupt = true
-		f.aimBit(&v, payloadWords)
+		st.aimBit(&v, payloadWords)
 		f.stats.Corrupted++
 	}
-	if f.roll(f.cfg.Delay) {
+	if st.roll(f.cfg.Delay) {
 		v.delay = f.cfg.DelayTime
 		f.stats.Delayed++
 	}
@@ -155,7 +191,7 @@ func (f *FaultMedium) judge(payloadWords int) verdict {
 }
 
 // forcedVerdict builds the verdict for a scripted fault.
-func (f *FaultMedium) forcedVerdict(forced Fault, payloadWords int) verdict {
+func (f *FaultMedium) forcedVerdict(st *faultStream, forced Fault, payloadWords int) verdict {
 	var v verdict
 	switch forced {
 	case FaultDrop:
@@ -166,7 +202,7 @@ func (f *FaultMedium) forcedVerdict(forced Fault, payloadWords int) verdict {
 		f.stats.Dupped++
 	case FaultCorrupt:
 		v.corrupt = true
-		f.aimBit(&v, payloadWords)
+		st.aimBit(&v, payloadWords)
 		f.stats.Corrupted++
 	case FaultDelay:
 		v.delay = f.cfg.DelayTime
@@ -176,18 +212,18 @@ func (f *FaultMedium) forcedVerdict(forced Fault, payloadWords int) verdict {
 }
 
 // roll draws one boolean at the given rate; zero rates draw nothing.
-func (f *FaultMedium) roll(r Rate) bool {
+func (st *faultStream) roll(r Rate) bool {
 	if r.zero() {
 		return false
 	}
-	return f.rnd.Bool(r.Num, r.Den)
+	return st.rnd.Bool(r.Num, r.Den)
 }
 
 // aimBit picks which bit corruption flips.
-func (f *FaultMedium) aimBit(v *verdict, payloadWords int) {
-	v.bit = f.rnd.Intn(16)
+func (st *faultStream) aimBit(v *verdict, payloadWords int) {
+	v.bit = st.rnd.Intn(16)
 	if payloadWords > 0 {
-		v.word = f.rnd.Intn(payloadWords)
+		v.word = st.rnd.Intn(payloadWords)
 	}
 }
 

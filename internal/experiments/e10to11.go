@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"altoos/internal/ether"
 	"altoos/internal/file"
 	"altoos/internal/fileserver"
+	"altoos/internal/fleet"
 	"altoos/internal/pup"
 	"altoos/internal/sim"
 	"altoos/internal/trace"
@@ -93,58 +95,80 @@ type netOp struct {
 	data  []byte
 }
 
-// runScripts drives every client through its op list concurrently, round
-// robin with the server — the loaded-server shape: one poll loop, many
-// sessions. It returns the number of corrupted fetches (payload mismatches
-// the reliable transport failed to hide) and the total data bytes moved.
+// runScripts drives every client through its op list concurrently, as
+// actors on a coupled fleet engine round-robined with the server — the
+// loaded-server shape: one poll per machine per round, many sessions. It
+// returns the number of corrupted fetches (payload mismatches the reliable
+// transport failed to hide) and the total data bytes moved.
 func (r *netRig) runScripts(scripts [][]netOp) (corrupt int, bytesMoved int64, err error) {
-	idx := make([]int, len(scripts))
-	started := make([]bool, len(scripts))
-	for polls := 0; polls < 4_000_000; polls++ {
-		if _, err := r.srv.Poll(); err != nil {
-			return corrupt, bytesMoved, err
-		}
-		running := false
-		for i, c := range r.clients {
-			if _, err := c.Poll(); err != nil {
-				return corrupt, bytesMoved, err
-			}
-			if idx[i] >= len(scripts[i]) {
-				continue
-			}
-			running = true
-			op := scripts[i][idx[i]]
-			if !started[i] {
-				if op.store {
-					err = c.Store(op.name, op.data)
-				} else {
-					err = c.Fetch(op.name)
-				}
-				if err != nil {
-					return corrupt, bytesMoved, err
-				}
-				started[i] = true
-				continue
-			}
-			if !c.Done() {
-				continue
-			}
-			got, err := c.Result()
-			if err != nil {
-				return corrupt, bytesMoved, fmt.Errorf("client %d %s %q: %w", i, opName(op), op.name, err)
-			}
-			if !op.store && !bytes.Equal(got, op.data) {
-				corrupt++
-			}
-			bytesMoved += int64(len(op.data))
-			idx[i]++
-			started[i] = false
-		}
+	// Round state shared between the actors: machines run one at a time on
+	// a coupled engine, and the exit decision is made between rounds —
+	// exactly the hand-written loop this replaces.
+	running, stop := false, false
+	eng := fleet.NewCoupled(fleet.AfterRound(func() {
 		if !running {
-			return corrupt, bytesMoved, nil
+			stop = true
 		}
+		running = false
+	}))
+	eng.Add(fleet.MachineConfig{Name: "server", Program: func(m *fleet.Machine) error {
+		for !stop {
+			if _, err := r.srv.Poll(); err != nil {
+				return err
+			}
+			m.Yield()
+		}
+		return nil
+	}})
+	for i := range r.clients {
+		i := i
+		c := r.clients[i]
+		idx, started := 0, false
+		eng.Add(fleet.MachineConfig{Name: fmt.Sprintf("client%d", i), Program: func(m *fleet.Machine) error {
+			for !stop {
+				if _, err := c.Poll(); err != nil {
+					return err
+				}
+				if idx < len(scripts[i]) {
+					running = true
+					op := scripts[i][idx]
+					switch {
+					case !started:
+						var err error
+						if op.store {
+							err = c.Store(op.name, op.data)
+						} else {
+							err = c.Fetch(op.name)
+						}
+						if err != nil {
+							return err
+						}
+						started = true
+					case c.Done():
+						got, err := c.Result()
+						if err != nil {
+							return fmt.Errorf("client %d %s %q: %w", i, opName(op), op.name, err)
+						}
+						if !op.store && !bytes.Equal(got, op.data) {
+							corrupt++
+						}
+						bytesMoved += int64(len(op.data))
+						idx++
+						started = false
+					}
+				}
+				m.Yield()
+			}
+			return nil
+		}})
 	}
-	return corrupt, bytesMoved, fmt.Errorf("experiments: transfers never completed")
+	if err := eng.Run(); err != nil {
+		if errors.Is(err, fleet.ErrRoundCap) {
+			return corrupt, bytesMoved, fmt.Errorf("experiments: transfers never completed")
+		}
+		return corrupt, bytesMoved, err
+	}
+	return corrupt, bytesMoved, nil
 }
 
 func opName(op netOp) string {
@@ -154,32 +178,54 @@ func opName(op netOp) string {
 	return "fetch"
 }
 
-// closeAll closes every client connection and polls until the server has
-// retired the sessions, so the per-session trace spans are emitted.
+// closeAll closes every client connection and runs a coupled teardown
+// fleet — clients first, server last, the legacy round order — until the
+// server has retired the sessions, so the per-session trace spans are
+// emitted.
 func (r *netRig) closeAll() error {
 	for _, c := range r.clients {
 		if err := c.Close(); err != nil {
 			return err
 		}
 	}
-	for polls := 0; polls < 1_000_000; polls++ {
-		open := false
-		for _, c := range r.clients {
-			if _, err := c.Poll(); err != nil {
+	open, stop := false, false
+	eng := fleet.NewCoupled(fleet.MaxRounds(1_000_000), fleet.AfterRound(func() {
+		if !open && r.srv.Stats().Active == 0 {
+			stop = true
+		}
+		open = false
+	}))
+	for i, c := range r.clients {
+		c := c
+		eng.Add(fleet.MachineConfig{Name: fmt.Sprintf("client%d", i), Program: func(m *fleet.Machine) error {
+			for !stop {
+				if _, err := c.Poll(); err != nil {
+					return err
+				}
+				if c.Conn().State() != pup.StateClosed {
+					open = true
+				}
+				m.Yield()
+			}
+			return nil
+		}})
+	}
+	eng.Add(fleet.MachineConfig{Name: "server", Program: func(m *fleet.Machine) error {
+		for !stop {
+			if _, err := r.srv.Poll(); err != nil {
 				return err
 			}
-			if c.Conn().State() != pup.StateClosed {
-				open = true
-			}
+			m.Yield()
 		}
-		if _, err := r.srv.Poll(); err != nil {
-			return err
+		return nil
+	}})
+	if err := eng.Run(); err != nil {
+		if errors.Is(err, fleet.ErrRoundCap) {
+			return fmt.Errorf("experiments: sessions never closed")
 		}
-		if !open && r.srv.Stats().Active == 0 {
-			return nil
-		}
+		return err
 	}
-	return fmt.Errorf("experiments: sessions never closed")
+	return nil
 }
 
 // netPattern builds deterministic transfer content.

@@ -9,10 +9,12 @@ package experiments
 // delivered word differs from what its sender put in.
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"altoos/internal/ether"
+	"altoos/internal/fleet"
 	"altoos/internal/pup"
 	"altoos/internal/sim"
 	"altoos/internal/trace"
@@ -110,100 +112,140 @@ func e13Run(machine func(string) *trace.Recorder) (*Result, error) {
 		senders[i] = &sender{ep: ep, conn: conn}
 	}
 
-	// Drive everything round robin: the sink accepts and drains, each
-	// sender keeps its window full until its stream is done. Per-flow
-	// completion is the sim time the sink delivered the flow's last
-	// message, in order and intact.
+	// Drive everything as actors on a coupled fleet engine: the sink
+	// accepts and drains, each sender keeps its window full until its
+	// stream is done, one activation per machine per round in creation
+	// order — the hand-written poll loop this replaces. Per-flow completion
+	// is the sim time the sink delivered the flow's last message, in order
+	// and intact.
 	accepted := make([]*pup.Conn, e13Senders)
 	delivered := make([]int, e13Senders)
 	completion := make([]time.Duration, e13Senders)
 	finished, corrupt := 0, 0
 	msg := make([]ether.Word, e13MsgWords)
-	for polls := 0; finished < e13Senders; polls++ {
-		if polls >= 4_000_000 {
-			return nil, fmt.Errorf("e13: saturation run never completed (%d/%d flows)", finished, e13Senders)
+	stop := false
+	eng := fleet.NewCoupled(fleet.AfterRound(func() {
+		if finished >= e13Senders {
+			stop = true
 		}
-		if _, err := sink.Poll(); err != nil {
-			return nil, err
-		}
-		for {
-			conn, ok := sink.Accept()
-			if !ok {
-				break
-			}
-			accepted[int(conn.Remote())-2] = conn
-		}
-		for i, conn := range accepted {
-			if conn == nil {
-				continue
+	}))
+	eng.Add(fleet.MachineConfig{Name: "sink", Program: func(m *fleet.Machine) error {
+		for !stop {
+			if _, err := sink.Poll(); err != nil {
+				return err
 			}
 			for {
-				m, ok := conn.Recv()
+				conn, ok := sink.Accept()
 				if !ok {
 					break
 				}
-				if len(m) != e13MsgWords {
-					corrupt++
-				} else {
-					for j, w := range m {
-						if w != e13Word(i, delivered[i], j) {
-							corrupt++
-							break
+				accepted[int(conn.Remote())-2] = conn
+			}
+			for i, conn := range accepted {
+				if conn == nil {
+					continue
+				}
+				for {
+					data, ok := conn.Recv()
+					if !ok {
+						break
+					}
+					if len(data) != e13MsgWords {
+						corrupt++
+					} else {
+						for j, w := range data {
+							if w != e13Word(i, delivered[i], j) {
+								corrupt++
+								break
+							}
 						}
 					}
-				}
-				delivered[i]++
-				if delivered[i] == e13Messages {
-					completion[i] = clock.Now()
-					finished++
+					delivered[i]++
+					if delivered[i] == e13Messages {
+						completion[i] = clock.Now()
+						finished++
+					}
 				}
 			}
+			m.Yield()
 		}
-		for i, s := range senders {
-			if _, err := s.ep.Poll(); err != nil {
-				return nil, err
-			}
-			for s.sent < e13Messages && s.conn.Avail() > 0 {
-				for j := range msg {
-					msg[j] = e13Word(i, s.sent, j)
+		return nil
+	}})
+	for i, s := range senders {
+		i, s := i, s
+		eng.Add(fleet.MachineConfig{Name: fmt.Sprintf("sender%02d", i), Program: func(m *fleet.Machine) error {
+			for !stop {
+				if _, err := s.ep.Poll(); err != nil {
+					return err
 				}
-				if err := s.conn.Send(msg); err != nil {
-					return nil, fmt.Errorf("e13 sender %d: %w", i, err)
+				for s.sent < e13Messages && s.conn.Avail() > 0 {
+					for j := range msg {
+						msg[j] = e13Word(i, s.sent, j)
+					}
+					if err := s.conn.Send(msg); err != nil {
+						return fmt.Errorf("e13 sender %d: %w", i, err)
+					}
+					s.sent++
 				}
-				s.sent++
+				m.Yield()
 			}
+			return nil
+		}})
+	}
+	if err := eng.Run(); err != nil {
+		if errors.Is(err, fleet.ErrRoundCap) {
+			return nil, fmt.Errorf("e13: saturation run never completed (%d/%d flows)", finished, e13Senders)
 		}
+		return nil, err
 	}
 	total := clock.Now()
 	if corrupt != 0 {
 		return nil, fmt.Errorf("e13: %d corrupted deliveries leaked through the transport", corrupt)
 	}
 
-	// Tear down cleanly so the conns' final state is part of the trace.
+	// Tear down cleanly so the conns' final state is part of the trace:
+	// senders first, sink last, the legacy round order.
 	for _, s := range senders {
 		if err := s.conn.Close(); err != nil {
 			return nil, err
 		}
 	}
-	for polls := 0; ; polls++ {
-		if polls >= 1_000_000 {
+	open, closed := false, false
+	down := fleet.NewCoupled(fleet.MaxRounds(1_000_000), fleet.AfterRound(func() {
+		if !open {
+			closed = true
+		}
+		open = false
+	}))
+	for i, s := range senders {
+		s := s
+		down.Add(fleet.MachineConfig{Name: fmt.Sprintf("sender%02d", i), Program: func(m *fleet.Machine) error {
+			for !closed {
+				if _, err := s.ep.Poll(); err != nil {
+					return err
+				}
+				if s.conn.State() != pup.StateClosed {
+					open = true
+				}
+				m.Yield()
+			}
+			return nil
+		}})
+	}
+	down.Add(fleet.MachineConfig{Name: "sink", Program: func(m *fleet.Machine) error {
+		for !closed {
+			if _, err := sink.Poll(); err != nil {
+				return err
+			}
+			m.Yield()
+		}
+		return nil
+	}})
+	if err := down.Run(); err != nil {
+		if errors.Is(err, fleet.ErrRoundCap) {
 			return nil, fmt.Errorf("e13: close handshakes never completed")
 		}
-		open := false
-		for _, s := range senders {
-			if _, err := s.ep.Poll(); err != nil {
-				return nil, err
-			}
-			if s.conn.State() != pup.StateClosed {
-				open = true
-			}
-		}
-		if _, err := sink.Poll(); err != nil {
-			return nil, err
-		}
-		if !open {
-			break
-		}
+		return nil, err
 	}
 
 	// Per-flow goodput and Jain's fairness index: J = (Σx)² / (n·Σx²),

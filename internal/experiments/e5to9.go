@@ -512,6 +512,7 @@ func All() ([]*Result, error) {
 		E1RawTransfer, E2AllocFreeCost, E3Scavenge, E4Compaction,
 		E5HintLadder, E6WorldSwap, E7Junta, E8Robustness, E9InstalledHints,
 		E10LoadedServer, E11LossSweep, E12CrashSweep, E13Saturation,
+		E14FleetFanIn,
 	}
 	out := make([]*Result, 0, len(funcs))
 	for _, f := range funcs {

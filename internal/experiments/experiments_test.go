@@ -210,7 +210,7 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 13 {
+	if len(results) != 14 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	for _, r := range results {

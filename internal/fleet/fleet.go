@@ -1,0 +1,387 @@
+// Package fleet is the deterministic discrete-event scheduler that runs
+// many interacting Altos on one virtual time axis. It succeeds the
+// single-machine sim.Clock discipline: each machine is an actor that runs
+// until it blocks on a timer, a disk rotation, or an ether delivery, then
+// yields its next wake time into the engine's event queue.
+//
+// The engine executes in conservative lockstep. At every barrier it orders
+// the pending wake entries by (sim-time, machine sequence) — the event
+// queue — and opens a window [T, T+L) from the earliest wake T, where the
+// lookahead L is the ether's minimum propagation latency
+// (ether.MinLatency): no send starting inside the window can arrive inside
+// it, so every machine whose wake falls in the window can run concurrently
+// without risking a causality violation. Machines execute across a worker
+// pool via the crashpoint/scope atomic-cursor pattern; because each
+// activation depends only on the machine's own state and on arrivals
+// certified by the window horizon (see Network.SetHorizon), a run is
+// byte-identically replayable across repeated runs and across -workers
+// counts.
+//
+// The engine also runs in coupled mode (NewCoupled): all machines share one
+// clock and are stepped round-robin in creation order, one activation per
+// round. That is exactly the hand-interleaved polling loop the experiments
+// used to write out longhand, so existing experiments port onto the
+// substrate as actors without changing their simulated-time results.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"altoos/internal/ether"
+)
+
+// never is the wake time of a machine blocked with no pending deadline:
+// it runs again only when a delivery is scheduled for it (or the fleet
+// drains, for daemons).
+const never = time.Duration(1<<63 - 1)
+
+// Errors.
+var (
+	// ErrRoundCap reports that the engine exceeded its round budget
+	// without the fleet finishing.
+	ErrRoundCap = errors.New("fleet: round cap exceeded")
+	// ErrStalled reports a fleet where some non-daemon machine blocked
+	// forever: every live machine waits on a delivery and no delivery is
+	// scheduled.
+	ErrStalled = errors.New("fleet: stalled")
+)
+
+// Engine schedules a set of machines over simulated time.
+type Engine struct {
+	coupled    bool
+	lookahead  time.Duration
+	workers    int
+	maxRounds  int
+	afterRound func()
+	net        *ether.Network
+
+	machines []*Machine
+	draining bool
+	horizon  time.Duration
+	steps    atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// Workers sets the worker-pool width for windowed execution (default 1).
+// The schedule is byte-identical for every width; workers only change how
+// much of a window runs wall-clock-concurrently.
+func Workers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// Lookahead overrides the window width (default ether.MinLatency). It must
+// not exceed the true minimum propagation latency of the medium the fleet
+// communicates over, or causality can be violated.
+func Lookahead(d time.Duration) Option {
+	return func(e *Engine) {
+		if d > 0 {
+			e.lookahead = d
+		}
+	}
+}
+
+// MaxRounds bounds the number of scheduling rounds (windows, or coupled
+// round-robin sweeps) before the engine gives up with ErrRoundCap. The
+// default is 4,000,000 — the poll budget the hand-written experiment loops
+// used.
+func MaxRounds(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.maxRounds = n
+		}
+	}
+}
+
+// AfterRound installs a hook called at the end of every coupled round, the
+// place legacy experiment loops made their exit decisions. Machines observe
+// the outcome (typically a shared stop flag) at the top of their next
+// activation.
+func AfterRound(f func()) Option {
+	return func(e *Engine) { e.afterRound = f }
+}
+
+// Medium hands the engine the network the fleet communicates over. The
+// engine switches it into fleet mode and publishes every window's horizon
+// to it, which is what gates deliveries to certified arrivals.
+func Medium(n *ether.Network) Option {
+	return func(e *Engine) { e.net = n }
+}
+
+// New creates a windowed (parallel lockstep) engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		lookahead: ether.MinLatency,
+		workers:   1,
+		maxRounds: 4_000_000,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.net != nil {
+		e.net.SetFleetMode(true)
+	}
+	return e
+}
+
+// NewCoupled creates a coupled (shared-clock, round-robin) engine.
+func NewCoupled(opts ...Option) *Engine {
+	e := &Engine{coupled: true, workers: 1, maxRounds: 4_000_000}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Add registers a machine with the engine. Machines are stepped and
+// tie-broken in creation order; creation order is part of the schedule and
+// must itself be deterministic.
+func (e *Engine) Add(cfg MachineConfig) *Machine {
+	if !e.coupled && cfg.Clock == nil {
+		panic("fleet: windowed machines require their own Clock")
+	}
+	m := &Machine{
+		name:    cfg.Name,
+		idx:     len(e.machines),
+		daemon:  cfg.Daemon,
+		clock:   cfg.Clock,
+		st:      cfg.Station,
+		program: cfg.Program,
+		wake:    cfg.StartAt,
+		horizon: never,
+		resume:  make(chan resumeMsg),
+		yield:   make(chan struct{}),
+	}
+	e.machines = append(e.machines, m)
+	return m
+}
+
+// Run executes the fleet to completion: every non-daemon machine's program
+// has returned, daemons have been drained, or an error or budget stop
+// occurred. It must be called exactly once.
+func (e *Engine) Run() (err error) {
+	for _, m := range e.machines {
+		e.wg.Add(1)
+		go func(m *Machine) {
+			defer e.wg.Done()
+			m.runner()
+		}(m)
+	}
+	if e.coupled {
+		err = e.loopCoupled()
+	} else {
+		err = e.loopWindows()
+	}
+	if err != nil {
+		e.abortAll()
+	}
+	e.wg.Wait()
+	return err
+}
+
+// loopCoupled steps every live machine once per round, in creation order,
+// exactly as the hand-written experiment loops did.
+func (e *Engine) loopCoupled() error {
+	for round := 0; ; round++ {
+		if round >= e.maxRounds {
+			return fmt.Errorf("%w after %d rounds", ErrRoundCap, round)
+		}
+		live := false
+		for _, m := range e.machines {
+			if m.done {
+				continue
+			}
+			live = true
+			e.stepAt(m, 0)
+			if m.done && m.err != nil {
+				return m.err
+			}
+		}
+		if !live {
+			return nil
+		}
+		if e.afterRound != nil {
+			e.afterRound()
+		}
+	}
+}
+
+// loopWindows is the conservative parallel schedule: order pending wakes,
+// open a lookahead window from the earliest, run every machine inside it.
+func (e *Engine) loopWindows() error {
+	for round := 0; ; round++ {
+		batch, live, daemonsOnly := e.pending()
+		if live == 0 {
+			return nil
+		}
+		if round >= e.maxRounds {
+			return fmt.Errorf("%w after %d windows", ErrRoundCap, round)
+		}
+		if len(batch) == 0 {
+			// Every live machine is blocked on a delivery that will never
+			// come. For a fleet of pure daemons that is the normal end:
+			// drain them so they can observe Draining and return.
+			if daemonsOnly {
+				if e.draining {
+					return fmt.Errorf("fleet: daemons %s did not exit on drain", e.liveNames())
+				}
+				e.draining = true
+				e.horizon = never
+				for _, m := range e.machines {
+					if !m.done {
+						e.stepAt(m, m.clock.Now())
+						if m.done && m.err != nil {
+							return m.err
+						}
+					}
+				}
+				continue
+			}
+			return fmt.Errorf("%w: %s blocked forever", ErrStalled, e.liveNames())
+		}
+		horizon := batch[0].effWake + e.lookahead
+		e.horizon = horizon
+		if e.net != nil {
+			e.net.SetHorizon(horizon)
+		}
+		cut := len(batch)
+		for i, m := range batch {
+			if m.effWake >= horizon {
+				cut = i
+				break
+			}
+		}
+		e.runBatch(batch[:cut])
+		if err := e.firstError(); err != nil {
+			return err
+		}
+	}
+}
+
+// pending recomputes every live machine's effective wake — its yielded
+// deadline, capped by the earliest delivery scheduled for its station —
+// and returns the live machines as the event queue, ordered by
+// (sim-time, machine sequence).
+func (e *Engine) pending() (batch []*Machine, live int, daemonsOnly bool) {
+	daemonsOnly = true
+	for _, m := range e.machines {
+		if m.done {
+			continue
+		}
+		live++
+		if !m.daemon {
+			daemonsOnly = false
+		}
+		w := m.wake
+		if m.st != nil {
+			if a, ok := m.st.EarliestArrival(); ok {
+				if now := m.clock.Now(); a < now {
+					a = now
+				}
+				if a < w {
+					w = a
+				}
+			}
+		}
+		m.effWake = w
+		if w < never {
+			batch = append(batch, m)
+		}
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].effWake != batch[j].effWake {
+			return batch[i].effWake < batch[j].effWake
+		}
+		return batch[i].idx < batch[j].idx
+	})
+	return batch, live, daemonsOnly
+}
+
+// runBatch executes one window's machines. With one worker they run
+// serially in event order; with more, a worker pool claims machines off an
+// atomic cursor — the same slot-addressed pattern the crash explorer uses —
+// and the window barrier is the pool's WaitGroup.
+func (e *Engine) runBatch(batch []*Machine) {
+	n := e.workers
+	if n > len(batch) {
+		n = len(batch)
+	}
+	if n <= 1 {
+		for _, m := range batch {
+			e.stepAt(m, m.effWake)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= len(batch) {
+					return
+				}
+				e.stepAt(batch[i], batch[i].effWake)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// stepAt resumes one parked machine at the given wake time and blocks until
+// it parks again (or its program returns).
+func (e *Engine) stepAt(m *Machine, wake time.Duration) {
+	e.steps.Add(1)
+	m.resume <- resumeMsg{wake: wake, horizon: e.horizon, draining: e.draining}
+	<-m.yield
+}
+
+// Steps returns the number of machine activations the engine has performed.
+// The count is a pure function of the schedule, so it is identical across
+// runs and worker counts — the deterministic numerator for events/second.
+func (e *Engine) Steps() int64 { return e.steps.Load() }
+
+// firstError returns the failed machine's error, lowest creation index
+// first so the choice does not depend on which worker finished when.
+func (e *Engine) firstError() error {
+	for _, m := range e.machines {
+		if m.done && m.err != nil {
+			return m.err
+		}
+	}
+	return nil
+}
+
+// abortAll unwinds every machine that has not finished.
+func (e *Engine) abortAll() {
+	for _, m := range e.machines {
+		if !m.done {
+			m.resume <- resumeMsg{abort: true}
+		}
+	}
+}
+
+// liveNames lists the unfinished machines for error messages.
+func (e *Engine) liveNames() string {
+	var names []string
+	for _, m := range e.machines {
+		if !m.done {
+			names = append(names, m.name)
+		}
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,301 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"altoos/internal/ether"
+	"altoos/internal/sim"
+)
+
+// ringRun builds a fleet of n machines on one medium, each sending msgs
+// packets around a ring while receiving its neighbour's, with deliberately
+// uneven local work so the machines' clocks drift apart. It returns one
+// log line per observed event, machines concatenated in creation order —
+// the byte-level artifact the determinism tests compare.
+func ringRun(t *testing.T, n, msgs, workers int) string {
+	t.Helper()
+	net := ether.New(nil)
+	logs := make([][]string, n)
+	eng := New(Workers(workers), Medium(net))
+	for i := 0; i < n; i++ {
+		i := i
+		clk := sim.NewClock()
+		st, err := net.Attach(ether.Addr(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.SetClock(clk)
+		next := ether.Addr((i+1)%n + 1)
+		eng.Add(MachineConfig{
+			Name:    fmt.Sprintf("m%d", i),
+			Clock:   clk,
+			Station: st,
+			StartAt: time.Duration(i) * 100 * time.Nanosecond,
+			Program: func(m *Machine) error {
+				sent, got := 0, 0
+				for got < msgs || sent < msgs {
+					m.Sync()
+					worked := false
+					for {
+						p, ok := st.Recv()
+						if !ok {
+							break
+						}
+						worked = true
+						logs[i] = append(logs[i], fmt.Sprintf("m%d recv %d from %d at %v", i, p.Type, p.Src, clk.Now()))
+						got++
+					}
+					if sent < msgs {
+						worked = true
+						if err := st.Send(ether.Packet{Dst: next, Type: ether.Word(sent)}); err != nil {
+							return err
+						}
+						// Uneven local work, like a disk transfer: machines
+						// overrun the window by machine- and step-dependent
+						// amounts.
+						clk.Advance(time.Duration((i+1)*(sent%7+1)) * 40 * time.Microsecond)
+						sent++
+					}
+					if !worked {
+						m.Idle()
+					}
+				}
+				logs[i] = append(logs[i], fmt.Sprintf("m%d done at %v", i, clk.Now()))
+				return nil
+			},
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("fleet run (workers=%d): %v", workers, err)
+	}
+	var all []string
+	for _, l := range logs {
+		all = append(all, l...)
+	}
+	return strings.Join(all, "\n")
+}
+
+// TestWindowedDeterminism is the subsystem's contract: the merged event log
+// of an interacting fleet is byte-identical across repeated runs and across
+// worker counts.
+func TestWindowedDeterminism(t *testing.T) {
+	base := ringRun(t, 5, 12, 1)
+	if !strings.Contains(base, "recv") {
+		t.Fatalf("ring exchanged no traffic:\n%s", base)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		for run := 0; run < 2; run++ {
+			got := ringRun(t, 5, 12, workers)
+			if got != base {
+				t.Fatalf("workers=%d run=%d diverged from workers=1 baseline:\n--- base\n%s\n--- got\n%s", workers, run, base, got)
+			}
+		}
+	}
+}
+
+// TestWindowedWakesBlockedReceiver: a machine parked with no deadline of
+// its own wakes exactly when a delivery is scheduled for it.
+func TestWindowedWakesBlockedReceiver(t *testing.T) {
+	net := ether.New(nil)
+	ca, cb := sim.NewClock(), sim.NewClock()
+	sa, _ := net.Attach(1)
+	sb, _ := net.Attach(2)
+	sa.SetClock(ca)
+	sb.SetClock(cb)
+	var gotAt time.Duration
+	eng := New(Medium(net))
+	eng.Add(MachineConfig{
+		Name: "sender", Clock: ca, Station: sa,
+		// Boot late so the receiver parks ∞ first.
+		StartAt: time.Millisecond,
+		Program: func(m *Machine) error {
+			return sa.Send(ether.Packet{Dst: 2, Payload: []ether.Word{9}})
+		},
+	})
+	eng.Add(MachineConfig{
+		Name: "receiver", Clock: cb, Station: sb,
+		Program: func(m *Machine) error {
+			for {
+				m.Sync()
+				if _, ok := sb.Recv(); ok {
+					gotAt = cb.Now()
+					return nil
+				}
+				m.Idle()
+			}
+		},
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wire := time.Duration(1+ether.HeaderWords) * ether.WireTime
+	if want := time.Millisecond + wire; gotAt != want {
+		t.Fatalf("receiver woke at %v, want exactly the arrival time %v", gotAt, want)
+	}
+}
+
+// TestDaemonDrains: when every non-daemon has finished, the engine wakes
+// the daemons with Draining set and the fleet ends cleanly.
+func TestDaemonDrains(t *testing.T) {
+	net := ether.New(nil)
+	cs, cc := sim.NewClock(), sim.NewClock()
+	ss, _ := net.Attach(1)
+	sc, _ := net.Attach(2)
+	ss.SetClock(cs)
+	sc.SetClock(cc)
+	served := 0
+	eng := New(Medium(net))
+	eng.Add(MachineConfig{
+		Name: "server", Clock: cs, Station: ss, Daemon: true,
+		Program: func(m *Machine) error {
+			for !m.Draining() {
+				m.Sync()
+				if p, ok := ss.Recv(); ok {
+					served++
+					if err := ss.Send(ether.Packet{Dst: p.Src, Type: p.Type}); err != nil {
+						return err
+					}
+					continue
+				}
+				m.Idle()
+			}
+			return nil
+		},
+	})
+	eng.Add(MachineConfig{
+		Name: "client", Clock: cc, Station: sc,
+		Program: func(m *Machine) error {
+			if err := sc.Send(ether.Packet{Dst: 1, Type: 77}); err != nil {
+				return err
+			}
+			for {
+				m.Sync()
+				if p, ok := sc.Recv(); ok {
+					if p.Type != 77 {
+						return fmt.Errorf("echo type %d", p.Type)
+					}
+					return nil
+				}
+				m.Idle()
+			}
+		},
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served != 1 {
+		t.Fatalf("server served %d requests, want 1", served)
+	}
+}
+
+// TestStallIsAnError: a non-daemon blocked forever with no scheduled
+// delivery fails the run instead of hanging it.
+func TestStallIsAnError(t *testing.T) {
+	eng := New()
+	eng.Add(MachineConfig{
+		Name: "waiter", Clock: sim.NewClock(),
+		Program: func(m *Machine) error {
+			m.Idle() // no deadline, no station: parks forever
+			return nil
+		},
+	})
+	err := eng.Run()
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+// TestErrorAbortsFleet: one machine's error fails Run and unwinds the
+// others without deadlock.
+func TestErrorAbortsFleet(t *testing.T) {
+	boom := errors.New("boom")
+	eng := New()
+	eng.Add(MachineConfig{
+		Name: "failer", Clock: sim.NewClock(),
+		Program: func(m *Machine) error { return boom },
+	})
+	eng.Add(MachineConfig{
+		Name: "bystander", Clock: sim.NewClock(),
+		Program: func(m *Machine) error {
+			for {
+				m.Yield()
+			}
+		},
+	})
+	if err := eng.Run(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestCoupledRoundRobin: coupled machines step once per round in creation
+// order, the AfterRound hook fires between rounds, and a shared stop flag
+// ends the fleet — the shape every converted experiment loop uses.
+func TestCoupledRoundRobin(t *testing.T) {
+	var order []string
+	var stop bool
+	rounds := 0
+	eng := NewCoupled(AfterRound(func() {
+		rounds++
+		if rounds == 3 {
+			stop = true
+		}
+	}))
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		eng.Add(MachineConfig{Name: name, Program: func(m *Machine) error {
+			for !stop {
+				order = append(order, name)
+				m.Yield()
+			}
+			return nil
+		}})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(order, ""), "abcabcabc"; got != want {
+		t.Fatalf("step order %q, want %q", got, want)
+	}
+}
+
+// TestCoupledRoundCap: a fleet that never finishes trips ErrRoundCap.
+func TestCoupledRoundCap(t *testing.T) {
+	eng := NewCoupled(MaxRounds(10))
+	eng.Add(MachineConfig{Name: "spinner", Program: func(m *Machine) error {
+		for {
+			m.Yield()
+		}
+	}})
+	if err := eng.Run(); !errors.Is(err, ErrRoundCap) {
+		t.Fatalf("err = %v, want ErrRoundCap", err)
+	}
+}
+
+// TestCoupledErrorStopsRound: an error mid-round returns immediately — the
+// machines after the failer in that round are not stepped again, matching
+// the legacy loops' behaviour.
+func TestCoupledErrorStopsRound(t *testing.T) {
+	boom := errors.New("boom")
+	steps := 0
+	eng := NewCoupled()
+	eng.Add(MachineConfig{Name: "failer", Program: func(m *Machine) error {
+		m.Yield() // round 1 ok
+		return boom
+	}})
+	eng.Add(MachineConfig{Name: "after", Program: func(m *Machine) error {
+		for {
+			steps++
+			m.Yield()
+		}
+	}})
+	if err := eng.Run(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if steps != 1 {
+		t.Fatalf("machine after the failer stepped %d times, want 1 (round 2 must not reach it)", steps)
+	}
+}

@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"time"
+
+	"altoos/internal/ether"
+	"altoos/internal/sim"
+)
+
+// MachineConfig describes one actor in the fleet.
+type MachineConfig struct {
+	// Name identifies the machine in errors and diagnostics.
+	Name string
+	// Clock is the machine's own clock. Required in windowed mode, where
+	// each machine carries its local time; leave nil in coupled mode,
+	// where every machine shares the rig's clock.
+	Clock *sim.Clock
+	// Station is the machine's ether attachment, if any. The engine reads
+	// its earliest scheduled arrival at every barrier so a machine blocked
+	// waiting for traffic wakes exactly when the packet arrives.
+	Station *ether.Station
+	// Daemon marks a machine that serves others and never finishes on its
+	// own (a file server). When only daemons remain, the engine sets the
+	// draining flag and wakes them one last time; a daemon's program polls
+	// Draining and returns.
+	Daemon bool
+	// StartAt is the machine's first wake time — the boot stagger.
+	StartAt time.Duration
+	// Program is the machine's life: called once on first wake, it runs
+	// until it parks (Sync, Idle, Yield) or returns. Its error fails the
+	// whole fleet.
+	Program func(*Machine) error
+}
+
+// resumeMsg is what the engine hands a parked machine: the time to resume
+// at, the current window horizon, and the drain/abort flags.
+type resumeMsg struct {
+	wake     time.Duration
+	horizon  time.Duration
+	draining bool
+	abort    bool
+}
+
+// fleetAbort unwinds a machine's program when the engine shuts the fleet
+// down after another machine's error.
+type fleetAbort struct{}
+
+// Machine is one actor: a goroutine running its program, exchanging control
+// with the engine through an unbuffered channel pair, so exactly one of
+// (engine, machine) runs at a time per machine and every field handoff is
+// ordered by the channel operations.
+type Machine struct {
+	name    string
+	idx     int
+	daemon  bool
+	clock   *sim.Clock
+	st      *ether.Station
+	program func(*Machine) error
+
+	resume chan resumeMsg
+	yield  chan struct{}
+
+	// Engine-side view: written by the machine before it yields, read by
+	// the engine after; and vice versa through resumeMsg.
+	wake     time.Duration
+	effWake  time.Duration
+	horizon  time.Duration
+	draining bool
+	aborted  bool
+	done     bool
+	err      error
+}
+
+// Name returns the machine's name.
+func (m *Machine) Name() string { return m.name }
+
+// Clock returns the machine's clock (nil for coupled machines, which share
+// the rig's).
+func (m *Machine) Clock() *sim.Clock { return m.clock }
+
+// Draining reports whether the fleet is shutting down: every non-daemon
+// machine has finished and the engine has woken the daemons to exit.
+func (m *Machine) Draining() bool { return m.draining }
+
+// Yield parks the machine until the schedule comes back around: next round
+// in coupled mode, or a wake at the machine's current time in windowed
+// mode. It is the cooperative "give the others a turn" point.
+func (m *Machine) Yield() {
+	if m.clock == nil {
+		m.park(0)
+		return
+	}
+	m.park(m.clock.Now())
+}
+
+// Sync parks the machine if its local clock has reached the window horizon.
+// The actor contract: call Sync before every observation of the ether. A
+// machine is free to overrun the horizon on its own work (disk transfers
+// routinely do), but before it looks at the wire again it must let the
+// window catch up, or it would poll for packets that concurrently running
+// machines may not have sent yet.
+func (m *Machine) Sync() {
+	if m.clock == nil {
+		return
+	}
+	for m.clock.Now() >= m.horizon {
+		m.park(m.clock.Now())
+	}
+}
+
+// Idle parks the machine until something is due: the earliest deadline its
+// components requested on the clock (Clock.RequestWake), or — if none — the
+// next delivery scheduled for its station, which the engine watches on the
+// machine's behalf. Call it when a poll did no work.
+func (m *Machine) Idle() {
+	if m.clock == nil {
+		m.park(0)
+		return
+	}
+	wake := never
+	if d, ok := m.clock.NextWake(); ok {
+		m.clock.ClearWake()
+		if now := m.clock.Now(); d < now {
+			d = now
+		}
+		wake = d
+	}
+	m.park(wake)
+}
+
+// park yields control to the engine with the given next wake time and
+// blocks until resumed. On resume the machine's clock jumps to the granted
+// wake time — which may be later than requested, when the engine woke it
+// for a delivery instead.
+func (m *Machine) park(wake time.Duration) {
+	m.wake = wake
+	m.yield <- struct{}{}
+	msg := <-m.resume
+	if msg.abort {
+		panic(fleetAbort{})
+	}
+	m.apply(msg)
+}
+
+// apply installs the engine's resume message into the machine's view.
+func (m *Machine) apply(msg resumeMsg) {
+	m.draining = msg.draining
+	m.horizon = msg.horizon
+	if m.clock != nil && msg.wake < never {
+		m.clock.AdvanceTo(msg.wake)
+	}
+}
+
+// runner is the machine goroutine: wait for first wake, run the program,
+// hand the final yield back. An abort unwinds without yielding — the
+// engine stops listening to aborted machines.
+func (m *Machine) runner() {
+	msg := <-m.resume
+	if msg.abort {
+		return
+	}
+	m.apply(msg)
+	err := m.invoke()
+	if m.aborted {
+		return
+	}
+	m.err = err
+	m.done = true
+	m.yield <- struct{}{}
+}
+
+// invoke runs the program, converting an engine abort into a quiet exit.
+func (m *Machine) invoke() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fleetAbort); ok {
+				m.aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return m.program(m)
+}

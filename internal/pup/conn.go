@@ -710,7 +710,13 @@ func (c *Conn) tick(now time.Duration) (worked, waiting bool, err error) {
 			}
 		}
 		c.sendQ[i].retries++
-		c.sendQ[i].backoff *= 2
+		// The multiplier saturates: rtoAfter clamps to MaxRTO anyway, and
+		// letting it double without bound overflows the rto()*backoff
+		// product on long retry ladders, turning the deadline negative and
+		// the timeout into a busy loop.
+		if c.sendQ[i].backoff < 1<<16 {
+			c.sendQ[i].backoff *= 2
+		}
 		c.ep.rec().Add("pup.retransmit.rto", 1)
 		if err := c.transmit(&c.sendQ[i], true); err != nil {
 			return true, true, err
@@ -718,6 +724,36 @@ func (c *Conn) tick(now time.Duration) (worked, waiting bool, err error) {
 		worked = true
 	}
 	return worked, waiting, nil
+}
+
+// nextDeadline reports the earliest pending timer on the connection — the
+// same three sources tick fires on: control retransmission, the delayed
+// ack, and unsacked data retransmissions. An event-driven scheduler uses it
+// (via Clock.RequestWake) to sleep the machine until something is actually
+// due instead of spinning idle polls toward it.
+func (c *Conn) nextDeadline() (time.Duration, bool) {
+	if c.state == StateClosed {
+		return 0, false
+	}
+	var best time.Duration
+	ok := false
+	take := func(d time.Duration) {
+		if !ok || d < best {
+			best, ok = d, true
+		}
+	}
+	if c.ctrl.kind != 0 {
+		take(c.ctrl.deadline)
+	}
+	if c.ackArmed {
+		take(c.ackDue)
+	}
+	for i := range c.sendQ {
+		if !c.sendQ[i].sacked {
+			take(c.sendQ[i].deadline)
+		}
+	}
+	return best, ok
 }
 
 // backoff doubles an RTO up to the cap.

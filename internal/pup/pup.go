@@ -339,6 +339,15 @@ func (e *Endpoint) Poll() (bool, error) {
 	e.reap()
 	if !worked && waiting {
 		e.clock.Advance(e.cfg.IdleTick)
+		// Surface the earliest pending timer so an event-driven scheduler
+		// (internal/fleet) can jump the clock straight to the deadline
+		// instead of burning idle ticks up to it. The single-machine path
+		// never reads the request; the cost is one atomic min per idle poll.
+		for _, c := range e.order {
+			if d, ok := c.nextDeadline(); ok {
+				e.clock.RequestWake(d)
+			}
+		}
 	}
 	return worked, nil
 }

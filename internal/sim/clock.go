@@ -26,6 +26,14 @@ import (
 // disk operation's path, so it must cost no more than a load.
 type Clock struct {
 	now atomic.Int64 // nanoseconds since the epoch
+
+	// wake is the earliest requested wake-up, encoded as nanoseconds+1 so
+	// that zero keeps meaning "no wake pending" and the zero-value Clock
+	// stays valid. Timed components (pup retransmission timers, disk seeks)
+	// record their next deadline here; an event-driven scheduler reads it
+	// to jump straight to the deadline instead of spinning idle polls. The
+	// single-machine path never reads it, so the cost is one atomic store.
+	wake atomic.Int64
 }
 
 // NewClock returns a clock reading zero.
@@ -45,9 +53,61 @@ func (c *Clock) Advance(d time.Duration) {
 	c.now.Add(int64(d))
 }
 
-// Reset rewinds the clock to zero. Used between benchmark iterations.
+// AdvanceTo moves the clock forward to the absolute reading t. Readings in
+// the past (or the present) are ignored, preserving the invariant that
+// simulated time never runs backward. Unlike Advance it is an absolute jump:
+// the fleet scheduler uses it to resume a machine exactly at its wake time
+// regardless of how far the machine's clock had drifted behind the fleet.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// RequestWake records that some component has a deadline at absolute time t.
+// Requests accumulate as a minimum: the earliest outstanding deadline wins.
+// The request is advisory — nothing fires; a scheduler that honours it reads
+// the value with NextWake and clears it with ClearWake.
+func (c *Clock) RequestWake(t time.Duration) {
+	enc := int64(t) + 1
+	for {
+		cur := c.wake.Load()
+		if cur != 0 && cur <= enc {
+			return
+		}
+		if c.wake.CompareAndSwap(cur, enc) {
+			return
+		}
+	}
+}
+
+// NextWake reports the earliest requested wake-up, if any.
+func (c *Clock) NextWake() (time.Duration, bool) {
+	enc := c.wake.Load()
+	if enc == 0 {
+		return 0, false
+	}
+	return time.Duration(enc - 1), true
+}
+
+// ClearWake discards the pending wake-up request, if any. A scheduler calls
+// it after consuming the deadline so stale requests cannot shadow later,
+// later-in-time ones.
+func (c *Clock) ClearWake() {
+	c.wake.Store(0)
+}
+
+// Reset rewinds the clock to zero and drops any pending wake-up request.
+// Used between benchmark iterations.
 func (c *Clock) Reset() {
 	c.now.Store(0)
+	c.wake.Store(0)
 }
 
 // Stopwatch measures an interval of simulated time on a Clock.

@@ -41,6 +41,97 @@ func TestClockReset(t *testing.T) {
 	}
 }
 
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(5 * time.Millisecond)
+	if got, want := c.Now(), 5*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v after AdvanceTo, want %v", got, want)
+	}
+	c.AdvanceTo(2 * time.Millisecond) // in the past: ignored
+	if got, want := c.Now(), 5*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v after backward AdvanceTo, want %v", got, want)
+	}
+	c.AdvanceTo(5 * time.Millisecond) // at the present: ignored
+	if got, want := c.Now(), 5*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v after no-op AdvanceTo, want %v", got, want)
+	}
+	c.AdvanceTo(7 * time.Millisecond)
+	if got, want := c.Now(), 7*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v after second AdvanceTo, want %v", got, want)
+	}
+}
+
+func TestClockWakeZeroValue(t *testing.T) {
+	var c Clock
+	if d, ok := c.NextWake(); ok {
+		t.Fatalf("zero clock has wake %v pending, want none", d)
+	}
+}
+
+func TestClockRequestWakeKeepsMinimum(t *testing.T) {
+	c := NewClock()
+	c.RequestWake(40 * time.Millisecond)
+	c.RequestWake(10 * time.Millisecond)
+	c.RequestWake(25 * time.Millisecond) // later than pending: ignored
+	d, ok := c.NextWake()
+	if !ok || d != 10*time.Millisecond {
+		t.Fatalf("NextWake() = %v, %v; want 10ms, true", d, ok)
+	}
+}
+
+func TestClockRequestWakeAtZero(t *testing.T) {
+	// A deadline at t=0 is a valid wake and must be distinguishable from
+	// "no wake pending" despite the zero-value encoding.
+	c := NewClock()
+	c.RequestWake(0)
+	d, ok := c.NextWake()
+	if !ok || d != 0 {
+		t.Fatalf("NextWake() = %v, %v; want 0, true", d, ok)
+	}
+}
+
+func TestClockClearWake(t *testing.T) {
+	c := NewClock()
+	c.RequestWake(time.Second)
+	c.ClearWake()
+	if d, ok := c.NextWake(); ok {
+		t.Fatalf("NextWake() = %v after ClearWake, want none", d)
+	}
+	c.RequestWake(2 * time.Second) // a fresh request after clearing sticks
+	if d, ok := c.NextWake(); !ok || d != 2*time.Second {
+		t.Fatalf("NextWake() = %v, %v after re-request; want 2s, true", d, ok)
+	}
+}
+
+func TestClockResetClearsWake(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Minute)
+	c.RequestWake(2 * time.Minute)
+	c.Reset()
+	if d, ok := c.NextWake(); ok {
+		t.Fatalf("NextWake() = %v after Reset, want none", d)
+	}
+}
+
+func TestClockConcurrentRequestWake(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for i := 1; i <= 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.RequestWake(time.Duration(i*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	d, ok := c.NextWake()
+	if !ok || d != 1000 {
+		t.Fatalf("NextWake() = %v, %v after concurrent requests; want 1000, true", d, ok)
+	}
+}
+
 func TestClockConcurrentAdvance(t *testing.T) {
 	c := NewClock()
 	var wg sync.WaitGroup

@@ -327,7 +327,7 @@ func (p *Program) emitsIn(fn *types.Func, importPath string) bool {
 // byte-identical replay: traces, sweep reports and violation lists from two
 // runs of the same workload are compared byte for byte in the gates. The
 // chanorder, globalstate and determinism map-iteration rules all key on this
-// set; the future fleet substrate joins it when it lands.
+// set.
 var determinismGated = map[string]bool{
 	"internal/disk":       true,
 	"internal/pup":        true,
@@ -335,6 +335,7 @@ var determinismGated = map[string]bool{
 	"internal/crashpoint": true,
 	"internal/fsck":       true,
 	"internal/scope":      true,
+	"internal/fleet":      true,
 }
 
 // tracedPackages lists the module-relative packages under the tracecover
