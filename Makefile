@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet altovet vet-stats vet-baseline test race bench bench-diff trace-check scope-check fleet-check crash-check fmt
+.PHONY: check build vet altovet vet-stats vet-baseline test race bench bench-diff trace-check scope-check fleet-check cluster-check crash-check fmt
 
-check: build vet altovet vet-stats trace-check scope-check fleet-check crash-check race bench-diff
+check: build vet altovet vet-stats trace-check scope-check fleet-check cluster-check crash-check race bench-diff
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,15 @@ scope-check:
 fleet-check:
 	$(GO) build -o /dev/null ./cmd/altofleet
 	$(GO) run ./cmd/altofleet -check -machines 100 -events 16384
+
+# cluster-check guards the replicated file service's contract: altocluster
+# builds, and a reduced E15 run (4 shards x 3 replicas, 6 clients, 10% wire
+# loss, seeded rot, distributed audit and heal) produces byte-identical
+# per-machine event streams and metrics across repeated runs and across
+# worker-pool widths (1 vs 8).
+cluster-check:
+	$(GO) build -o /dev/null ./cmd/altocluster
+	$(GO) run ./cmd/altocluster -check -clients 6
 
 # crash-check is the §3.5 gate: a sampled sweep of crash points (clean and
 # torn) over the journaled directory workload; altocrash exits non-zero if

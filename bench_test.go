@@ -147,3 +147,15 @@ func BenchmarkE14FleetFanIn(b *testing.B) {
 	b.ReportMetric(last.Metrics["scheduler_steps"]/wall8.Seconds(), "events_per_sec")
 	b.ReportMetric(wall1.Seconds()/wall8.Seconds(), "speedup_x8")
 }
+
+// BenchmarkE15ClusterAudit — §3.5 across machines: a 4×3 replicated file
+// service absorbs hundreds of sessions at 10% loss plus seeded rot, then the
+// distributed Scavenger audits every pack back to byte-identical copies.
+// files_lost and bytes_corrupted must hold at zero; divergence_detected is
+// exact — the manufactured damage is part of the deterministic schedule, so
+// any drift in what the audit saw is a behavior change, not noise.
+func BenchmarkE15ClusterAudit(b *testing.B) {
+	report(b, experiments.E15ClusterAudit,
+		"files_lost", "bytes_corrupted", "divergence_detected",
+		"heals", "audit_rounds_to_heal", "sim_seconds")
+}

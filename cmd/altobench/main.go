@@ -61,8 +61,9 @@ func main() {
 		"E12": experiments.E12CrashSweep,
 		"E13": experiments.E13Saturation,
 		"E14": experiments.E14FleetFanIn,
+		"E15": experiments.E15ClusterAudit,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
 	want := flag.Args()
 	if len(want) == 0 {

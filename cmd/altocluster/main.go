@@ -1,0 +1,115 @@
+// altocluster drives the replicated file service (internal/cluster) from the
+// command line: client sessions hammer a sharded, replicated cluster over a
+// lossy wire, seeded bit-rot lands on one replica per shard, and the
+// distributed Scavenger audits every pack back to byte-identical copies.
+//
+// The cluster inherits the fleet scheduler's contract: the whole two-phase
+// run — every store, every packet, every audit round, every heal — is a pure
+// function of the configuration, byte-identical across repeated runs and
+// across -workers counts. -check proves it: the cluster runs twice at one
+// worker and twice at eight, and every per-machine event stream and every
+// metric must come out byte-identical, or the process exits nonzero. That is
+// the make cluster-check gate.
+//
+// Usage:
+//
+//	altocluster                      # the full E15 run, as a table
+//	altocluster -clients 6 -workers 1
+//	altocluster -check -clients 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"altoos/internal/experiments"
+	"altoos/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		clients = flag.Int("clients", 24, "client machines (each runs several store sessions)")
+		workers = flag.Int("workers", 8, "worker-pool width for the windowed schedule")
+		events  = flag.Int("events", 1<<14, "per-machine ring capacity in events")
+		check   = flag.Bool("check", false, "prove determinism: run at 1 and 8 workers, twice each, and fail on any byte difference")
+	)
+	flag.Parse()
+
+	if *check {
+		if err := selfCheck(*clients, *events); err != nil {
+			log.Fatalf("altocluster: %v", err)
+		}
+		fmt.Printf("cluster-check ok: %d-client audit-and-heal schedule byte-identical across runs and worker counts\n", *clients)
+		return
+	}
+
+	res, err := experiments.E15Cluster(*clients, *workers, nil)
+	if err != nil {
+		log.Fatalf("altocluster: %v", err)
+	}
+	fmt.Println(res.Table())
+}
+
+// snapshot flattens a run — every machine's full event stream plus every
+// metric — into one byte slice, the artifact selfCheck compares.
+func snapshot(clients, workers, events int) ([]byte, error) {
+	names := []string{}
+	recs := map[string]*trace.Recorder{}
+	res, err := experiments.E15Cluster(clients, workers, func(name string) *trace.Recorder {
+		rec := trace.New(events)
+		names = append(names, name)
+		recs[name] = rec
+		return rec
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workers=%d: %w", workers, err)
+	}
+	var b strings.Builder
+	sort.Strings(names)
+	for _, name := range names {
+		rec := recs[name]
+		fmt.Fprintf(&b, "== %s events=%d\n", name, rec.Len())
+		for _, ev := range rec.Events() {
+			fmt.Fprintf(&b, "%d %d %d %s %d %d %d\n", ev.T, ev.Dur, ev.Kind, ev.Name, ev.A0, ev.A1, ev.Flow)
+		}
+	}
+	keys := make([]string, 0, len(res.Metrics))
+	for k := range res.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "metric %s %v\n", k, res.Metrics[k])
+	}
+	return []byte(b.String()), nil
+}
+
+// selfCheck is the cluster-check gate: the same cluster runs twice at one
+// worker and twice at eight, and every event stream and metric must be
+// byte-identical across all four runs.
+func selfCheck(clients, events int) error {
+	var base []byte
+	var baseLabel string
+	for i, workers := range []int{1, 1, 8, 8} {
+		snap, err := snapshot(clients, workers, events)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("run %d (workers=%d)", i+1, workers)
+		if base == nil {
+			if !strings.Contains(string(snap), "== shard0/r0") {
+				return fmt.Errorf("%s: no replica event stream in the snapshot — tracing is not wired in", label)
+			}
+			base, baseLabel = snap, label
+			continue
+		}
+		if string(snap) != string(base) {
+			return fmt.Errorf("schedule diverged: %s differs from %s (%d vs %d bytes)", label, baseLabel, len(snap), len(base))
+		}
+	}
+	return nil
+}

@@ -65,12 +65,14 @@ func TestFixtures(t *testing.T) {
 		{"sched-fsck", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/fsck"},
 		{"sched-scope", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/scope"},
 		{"sched-fleet", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/fleet"},
+		{"sched-cluster", []string{"determinism", "simtaint"}, "schedfix", "altoos/internal/cluster"},
 		{"wordwidth", []string{"wordwidth"}, "widthfix", "altoos/internal/widthfix"},
 		{"labelcheck", []string{"labelcheck"}, "labelfix", "altoos/internal/labelfix"},
 		{"errdiscard", []string{"errdiscard"}, "errfix", "altoos/internal/errfix"},
 		{"mutexorder", []string{"mutexorder"}, "lockfix", "altoos/internal/lockfix"},
 		{"gospawn", []string{"gospawn"}, "spawnfix", "altoos/internal/spawnfix"},
 		{"gospawn-fleet", []string{"gospawn"}, "spawnfix", "altoos/internal/fleet"},
+		{"gospawn-cluster", []string{"gospawn"}, "spawnfix", "altoos/internal/cluster"},
 		{"chanorder", []string{"chanorder"}, "chanfix", "altoos/internal/disk"},
 		{"globalstate", []string{"globalstate"}, "globalfix", "altoos/internal/fsck"},
 		{"simtaint-flow", []string{"simtaint"}, "taintfix", "altoos/cmd/taintfix"},
@@ -80,6 +82,9 @@ func TestFixtures(t *testing.T) {
 		// emitters; the gate must keep firing under their virtual paths.
 		{"tracecover-pup", []string{"tracecover"}, "tracefix", "altoos/internal/pup"},
 		{"tracecover-fileserver", []string{"tracecover"}, "tracefix", "altoos/internal/fileserver"},
+		// The cluster's audit daemon joined the replay and observability
+		// contracts in the same PR; the gate must fire under its path too.
+		{"tracecover-cluster", []string{"tracecover"}, "tracefix", "altoos/internal/cluster"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

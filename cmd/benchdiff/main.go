@@ -99,6 +99,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				eff = 50
 			}
 			switch {
+			case dir == exact:
+				if was != now {
+					fmt.Fprintf(stdout, "  %s %s: %g -> %g (exact metric moved) REGRESSION\n",
+						bench, unit, was, now)
+					regressions++
+				}
 			case dir == informational:
 				// Report direction-free metrics only when they moved.
 				if was != now {
@@ -129,6 +135,7 @@ const (
 	lowerBetter
 	higherBetter
 	informational // compared but never failing: ablation baselines, constants
+	exact         // may not move at all: any change is a behavior change
 )
 
 // direction classifies by unit name. The snapshots' units are the repo's own
@@ -139,12 +146,21 @@ func direction(unit string) metricDir {
 	case "ns/op", "B/op", "allocs/op", "MB/s":
 		return hostDependent
 	}
+	// Exact metrics are pure functions of a deterministic schedule — the
+	// cluster audit's divergence ledger — so any movement at all is a
+	// behavior change, not a performance shift, and fails regardless of
+	// tolerance.
+	for _, kw := range []string{"divergence_detected"} {
+		if strings.Contains(unit, kw) {
+			return exact
+		}
+	}
 	for _, kw := range []string{"per_sec", "speedup", "advantage", "_pct", "words_freed", "goodput"} {
 		if strings.Contains(unit, kw) {
 			return higherBetter
 		}
 	}
-	for _, kw := range []string{"seconds", "ms", "revs", "overhead", "retries", "retransmits", "cold", "violations", "_ratio", "idle_frac"} {
+	for _, kw := range []string{"seconds", "ms", "revs", "overhead", "retries", "retransmits", "cold", "violations", "_ratio", "idle_frac", "files_lost", "bytes_corrupted", "rounds_to_heal"} {
 		if strings.Contains(unit, kw) {
 			return lowerBetter
 		}

@@ -125,12 +125,61 @@ func TestDirectionTable(t *testing.T) {
 		"jain_fairness_pct":                higherBetter,
 		"retransmitted_words_ratio_loss20": lowerBetter,
 		"wire_idle_frac_loss20":            lowerBetter,
+		"files_lost":                       lowerBetter,
+		"bytes_corrupted":                  lowerBetter,
+		"audit_rounds_to_heal":             lowerBetter,
+		"divergence_detected":              exact,
 		"full_resident_words":              informational,
+		"heals":                            informational,
 	}
 	for unit, want := range cases {
 		if got := direction(unit); got != want {
 			t.Errorf("direction(%q) = %v, want %v", unit, got, want)
 		}
+	}
+}
+
+func TestExactMetricFailsOnAnyChange(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_2026-01-01.json", `goos: linux
+BenchmarkE15ClusterAudit 	1	118214397 ns/op	0 files_lost	0 bytes_corrupted	242.0 divergence_detected	31.00 heals	1.000 audit_rounds_to_heal	855.4 sim_seconds
+PASS
+`)
+	// divergence_detected moves by under half a percent — far inside any
+	// tolerance — but it is an exact metric: the audit saw different damage,
+	// which means the deterministic schedule changed.
+	write(t, dir, "BENCH_2026-01-02.json", `goos: linux
+BenchmarkE15ClusterAudit 	1	118214397 ns/op	0 files_lost	0 bytes_corrupted	241.0 divergence_detected	31.00 heals	1.000 audit_rounds_to_heal	855.4 sim_seconds
+PASS
+`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-dir", dir, "-tolerance", "50"}, &out, &errOut); code != 1 {
+		t.Fatalf("exact-metric drift exited %d, want 1 even at 50%% tolerance\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "exact metric moved") {
+		t.Errorf("missing exact-metric explanation:\n%s", out.String())
+	}
+	// A single lost file is a regression: files_lost is lower-better and the
+	// old value was zero, so any increase reads as 100% worse.
+	write(t, dir, "BENCH_2026-01-03.json", `goos: linux
+BenchmarkE15ClusterAudit 	1	118214397 ns/op	1.000 files_lost	0 bytes_corrupted	241.0 divergence_detected	31.00 heals	1.000 audit_rounds_to_heal	855.4 sim_seconds
+PASS
+`)
+	out.Reset()
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("files_lost 0 -> 1 exited %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "files_lost") {
+		t.Errorf("missing files_lost regression line:\n%s", out.String())
+	}
+	// Unchanged exact and zero-held metrics stay clean.
+	write(t, dir, "BENCH_2026-01-04.json", `goos: linux
+BenchmarkE15ClusterAudit 	1	918214397 ns/op	1.000 files_lost	0 bytes_corrupted	241.0 divergence_detected	31.00 heals	1.000 audit_rounds_to_heal	855.4 sim_seconds
+PASS
+`)
+	out.Reset()
+	if code := run([]string{"-dir", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("identical simulated metrics exited %d, want 0\n%s", code, out.String())
 	}
 }
 

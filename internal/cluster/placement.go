@@ -1,0 +1,47 @@
+package cluster
+
+import "altoos/internal/ether"
+
+// Placement is the deterministic map from file names to shard groups: a name
+// hashes to one shard, and the shard's copies live on Replicas consecutive
+// machines. There is no placement service to ask and nothing to cache —
+// every client and every replica computes the same answer from the name
+// alone, the same move the paper makes when it derives a page's location
+// from its absolute label instead of a mutable index (§3.1).
+type Placement struct {
+	Shards   int
+	Replicas int
+}
+
+// Shard maps a file name to its shard: an FNV-1a fold of the name bytes.
+func (p Placement) Shard(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h % uint32(p.Shards))
+}
+
+// Address bases. Server stations answer the session protocol; each replica's
+// auditor dials peers from its own second station so the two mutually-dialing
+// endpoints of a replica pair never share a connection-id space.
+const (
+	serverAddrBase  ether.Addr = 1
+	auditorAddrBase ether.Addr = 0x1000
+	// ClientAddrBase is where cluster experiments start numbering client
+	// stations, clear of both replica ranges.
+	ClientAddrBase ether.Addr = 0x2000
+)
+
+// ServerAddr returns the station address replica (shard, idx) serves on.
+func (p Placement) ServerAddr(shard, idx int) ether.Addr {
+	//altovet:allow wordwidth shard*Replicas+idx counts the cluster's replicas, far below the auditor base at 0x1000
+	return serverAddrBase + ether.Addr(shard*p.Replicas+idx)
+}
+
+// AuditorAddr returns the station address replica (shard, idx) audits from.
+func (p Placement) AuditorAddr(shard, idx int) ether.Addr {
+	//altovet:allow wordwidth shard*Replicas+idx counts the cluster's replicas, far below the client base at 0x2000
+	return auditorAddrBase + ether.Addr(shard*p.Replicas+idx)
+}

@@ -1,0 +1,144 @@
+package crashpoint
+
+// The cluster workload crashes one replica of a shard group mid-store and
+// certifies the distributed Scavenger's half of the §3.5 claim: the local
+// Scavenger and fsck repair the victim's pack, and then the rebooted replica
+// re-audits with its peers until every copy in the group is byte-identical
+// again — whichever side of the interrupted overwrite the vote lands on.
+
+import (
+	"bytes"
+	"fmt"
+
+	"altoos/internal/cluster"
+	"altoos/internal/disk"
+	"altoos/internal/ether"
+	"altoos/internal/fileserver"
+	"altoos/internal/pup"
+	"altoos/internal/sim"
+)
+
+// clusterPayload builds deterministic non-periodic content (a 256-byte
+// period would fold to a zero page CRC under the drive's rotate-xor
+// checksum and hide from the audit digests).
+func clusterPayload(seed, n int) []byte {
+	data := make([]byte, n)
+	x := uint32(seed)*2654435761 + 12345
+	for i := range data {
+		x = x*1664525 + 1013904223
+		data[i] = byte(x >> 24)
+	}
+	return data
+}
+
+// buildClusterStore explores a replicated store: a client writes through a
+// 1×3 shard group and the middle replica's pack dies partway. The earlier
+// replica already holds the new bytes, the later one never sees them, the
+// victim holds whatever the crash left — re-audit must converge all three.
+func buildClusterStore() (*Rig, error) {
+	clock := sim.NewClock()
+	wire := ether.New(clock)
+	c, err := cluster.New(cluster.Config{
+		Shards:   1,
+		Replicas: 3,
+		Wire:     wire,
+		Clock:    clock,
+		Geometry: exploreGeometry(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := wire.Attach(cluster.ClientAddrBase)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.NewClient(c.Place, pup.NewEndpoint(st, pup.Config{Seed: 99}))
+
+	// pump advances every replica, swallowing the victim's death throes: a
+	// dying pack surfaces as MsgError to the client, not as a rig error.
+	pump := func() {
+		for _, r := range c.Replicas {
+			_, _ = r.Poll()
+		}
+	}
+	wait := func(fc *fileserver.Client) error {
+		for polls := 0; polls < 1_000_000; polls++ {
+			_, _ = fc.Poll()
+			pump()
+			if fc.Done() {
+				_, err := fc.Result()
+				return err
+			}
+		}
+		return fmt.Errorf("crashpoint: cluster transfer never completed")
+	}
+
+	names := []string{"base-0", "base-1", "upload"}
+	for i, name := range names {
+		if err := cl.Store(name, clusterPayload(i+1, 2*disk.PageBytes+137), wait); err != nil {
+			return nil, err
+		}
+	}
+	victim := c.Replicas[1]
+	over := clusterPayload(7, 3*disk.PageBytes+33)
+	return &Rig{
+		Drive: victim.Drive(),
+		Run: func() error {
+			// The victim dies mid-overwrite; the client's group store fails.
+			// That failure is the crash's observable effect, not a rig error.
+			_ = cl.Store("upload", over, wait)
+			return nil
+		},
+		Verify: func() []string {
+			return verifyClusterConverges(c, victim, names)
+		},
+	}, nil
+}
+
+// verifyClusterConverges reboots the victim and drives audit rounds until
+// the whole group reports a divergence-free pass, then demands every file be
+// byte-identical on every replica.
+func verifyClusterConverges(c *cluster.Cluster, victim *cluster.Replica, names []string) []string {
+	var out []string
+	if err := victim.Reboot(); err != nil {
+		return []string{fmt.Sprintf("victim reboot failed: %v", err)}
+	}
+	sync := func() {}
+	idle := func() {
+		for _, r := range c.Replicas {
+			_, _ = r.Poll()
+		}
+	}
+	converged := false
+	for round := 0; round < 6 && !converged; round++ {
+		converged = true
+		for _, r := range c.Replicas {
+			o, err := r.AuditRound(sync, idle)
+			if err != nil {
+				return append(out, fmt.Sprintf("re-audit on %s: %v", r.Name(), err))
+			}
+			if o.Divergent > 0 || o.Unreachable > 0 {
+				converged = false
+			}
+		}
+	}
+	if !converged {
+		out = append(out, "shard group never re-audited to convergence")
+	}
+	for _, name := range names {
+		var want []byte
+		for i, r := range c.Replicas {
+			got, err := cluster.ReadLocal(r.FS(), name)
+			if err != nil {
+				out = append(out, fmt.Sprintf("%s: %q unreadable after re-audit: %v", r.Name(), name, err))
+				continue
+			}
+			if i == 0 {
+				want = got
+			} else if !bytes.Equal(got, want) {
+				out = append(out, fmt.Sprintf("%s: %q still diverges after re-audit", r.Name(), name))
+			}
+		}
+	}
+	return out
+}

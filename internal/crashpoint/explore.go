@@ -239,6 +239,9 @@ func explorePoint(w Workload, point int, torn bool) (Outcome, error) {
 		return o, nil
 	}
 	o.Violations = append(o.Violations, fr.Strings()...)
+	if rig.Verify != nil {
+		o.Violations = append(o.Violations, rig.Verify()...)
+	}
 	o.Consistent = len(o.Violations) == 0
 	o.sim = d.Clock().Now()
 	return o, nil

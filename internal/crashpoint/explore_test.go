@@ -175,3 +175,27 @@ func TestWorkloadRegistry(t *testing.T) {
 		t.Error("Lookup invented a workload")
 	}
 }
+
+// TestClusterStoreSweep is the cluster workload's own certification: kill a
+// replica at crash points across the whole replicated store window — torn
+// writes included — and every run must end with fsck clean on the victim's
+// pack AND the rebooted shard group re-audited back to byte-identical copies
+// (the Rig.Verify hook appends any convergence failure as a violation).
+func TestClusterStoreSweep(t *testing.T) {
+	res, err := Explore(mustLookup(t, "cluster-store"), Options{Points: 10, Workers: 4, Torn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes == 0 {
+		t.Fatal("window counted no writes on the victim")
+	}
+	for _, o := range res.Outcomes {
+		if !o.Consistent {
+			t.Errorf("point %d (torn=%v):\n  %s",
+				o.Point, o.Torn, strings.Join(o.Violations, "\n  "))
+		}
+	}
+	if !res.Consistent() {
+		t.Errorf("Clean = %d of %d", res.Clean, len(res.Outcomes))
+	}
+}

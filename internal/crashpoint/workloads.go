@@ -37,6 +37,11 @@ type Rig struct {
 	// Run performs the explored write window. Everything Run writes is fair
 	// game for the crash; everything Build wrote before it is scenery.
 	Run func() error
+	// Verify, when non-nil, runs after the Scavenger and fsck have had their
+	// turn at the crashed pack and may report workload-specific violations —
+	// e.g. the cluster workload reboots the victim and demands the shard
+	// group re-audit its way back to convergence.
+	Verify func() []string
 }
 
 // Workload names one explorable scenario. Build performs all setup on a
@@ -347,6 +352,7 @@ func Workloads() []Workload {
 		{"compact", "in-place compaction of a fragmented pack", buildCompact},
 		{"outload", "a machine-state save onto an installed state file", buildOutLoad},
 		{"fileserver-store", "a network store through the file server", buildFileserverStore},
+		{"cluster-store", "a replicated store with one replica dying mid-write", buildClusterStore},
 	}
 }
 

@@ -172,6 +172,12 @@ func valueCRC(v []Word) Word {
 	return c
 }
 
+// ValueCRC is the drive's per-sector value checksum, exported so higher
+// layers (the cluster audit protocol) fold page contents with exactly the
+// fold the flight recorder verifies — a digest disagreement between replicas
+// then means the same thing as a KindCRCMismatch on one of them.
+func ValueCRC(v []Word) Word { return valueCRC(v) }
+
 // Drive is the standard disk object: a simulated moving-head drive holding
 // one removable pack. It implements Device. A Drive is safe for concurrent
 // use, although the modelled machine is single-user.
@@ -273,6 +279,37 @@ func (d *Drive) SetRecorder(r *trace.Recorder) {
 		}
 		d.vcrcValid = true
 	}
+}
+
+// EnsureVCRC brings every sector's checksum up to date without attaching a
+// recorder. The rot injector needs the checksums live before it strikes —
+// rot deliberately leaves them stale, and that staleness is the audit
+// protocol's local dirty bit — but an untraced rig (the crash explorer) has
+// no recorder to trigger the lazy bootstrap in SetRecorder.
+func (d *Drive) EnsureVCRC() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.vcrcValid {
+		return
+	}
+	for i := range d.sectors {
+		d.sectors[i].vcrc = valueCRC(d.sectors[i].value[:])
+	}
+	d.vcrcValid = true
+}
+
+// PeekVCRC returns the sector's recorded value checksum without charging
+// time, and whether checksum maintenance is live at all. Like PeekLabel it
+// models examining the pack offline; the audit protocol uses it to tell a
+// locally-clean copy (recorded checksum matches the value just read) from a
+// rotted one, without a second paid read.
+func (d *Drive) PeekVCRC(addr VDA) (Word, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.vcrcValid || int(addr) >= len(d.sectors) {
+		return 0, false
+	}
+	return d.sectors[addr].vcrc, true
 }
 
 // TraceRecorder implements trace.Source.

@@ -77,6 +77,45 @@ func (d *Drive) CorruptValue(addr VDA, r *sim.Rand) {
 	}
 }
 
+// Rot models slow media decay on an idle pack: up to n distinct in-use
+// sectors whose labels pass the eligibility filter get pseudo-random bits
+// flipped in their values, checksums deliberately left stale. Candidates are
+// gathered in address order and chosen by the caller's seeded Rand, so a
+// replayed run rots identically. A nil filter makes every in-use sector
+// eligible. The struck addresses are returned for the experiment's ledger —
+// what the audit protocol must later detect and heal.
+func (d *Drive) Rot(r *sim.Rand, n int, eligible func(Label) bool) []VDA {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var cand []VDA
+	for i := range d.sectors {
+		w := d.sectors[i].label
+		if !InUse(w) {
+			continue
+		}
+		if eligible != nil && !eligible(LabelFromWords(w)) {
+			continue
+		}
+		cand = append(cand, VDA(i))
+	}
+	if n > len(cand) {
+		n = len(cand)
+	}
+	struck := make([]VDA, 0, n)
+	for k := 0; k < n; k++ {
+		pick := k + r.Intn(len(cand)-k)
+		cand[k], cand[pick] = cand[pick], cand[k]
+		addr := cand[k]
+		v := &d.sectors[addr].value
+		for i := 0; i < 8; i++ {
+			w := r.Intn(PageWords)
+			v[w] ^= 1 << uint(r.Intn(16))
+		}
+		struck = append(struck, addr)
+	}
+	return struck
+}
+
 // CrashAfterWrites arms the crash injector: after n more successful write
 // actions the drive behaves as if power failed — the (n+1)th and all later
 // writes are lost and return ErrCrashed. Reads and checks keep working, as

@@ -159,6 +159,7 @@ var registry = []Runner{
 	{ID: "e12", Title: "exhaustive crash-point sweep", Run: e12CrashSweep},
 	{ID: "e13", Title: "segment saturation and fairness", Run: e13Saturation, Scoped: e13Scoped},
 	{ID: "e14", Title: "fleet fan-in: a hundred Altos on one file server", Run: e14FleetFanIn, Scoped: e14Scoped},
+	{ID: "e15", Title: "sharded cluster with a distributed Scavenger", Run: e15ClusterAudit, Scoped: e15Scoped},
 }
 
 // IDs lists the experiment ids Run accepts, in order.

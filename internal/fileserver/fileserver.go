@@ -41,6 +41,11 @@ const (
 	MsgEnd
 	MsgOK
 	MsgError
+	// MsgDigest asks for the server's per-file digest table — name, size,
+	// content checksum, write stamp, local-cleanliness bit for every file in
+	// the root directory. The reply is the serialized table as ordinary
+	// MsgData chunks. The cluster audit protocol polls peers with it.
+	MsgDigest
 )
 
 // DataBytesPerMsg is the chunk size: a transport message minus the opcode
@@ -66,6 +71,7 @@ type Stats struct {
 	Active   int64 // connections live right now
 	Fetches  int64 // files served
 	Stores   int64 // files written
+	Digests  int64 // digest tables served
 	BytesIn  int64 // data bytes received from clients
 	BytesOut int64 // data bytes sent to clients
 }
@@ -244,6 +250,26 @@ func (s *Server) handle(ss *session, msg []ether.Word, flow int64) {
 			rec.EmitSpanFlow(start, now-start, trace.KindFSRequest, "fetch",
 				int64(ss.conn.Remote()), int64(len(data)), flow)
 			rec.Add("fs.fetch", 1)
+		}
+	case MsgDigest:
+		start := s.ep.Station().Clock().Now()
+		// Digesting reads every page of every file — tens of milliseconds of
+		// disk time per file; flush the delayed ack first, as fetch does.
+		ss.conn.FlushAck()
+		data, err := s.digestTable()
+		if err != nil {
+			ss.sendError(err.Error())
+			return
+		}
+		ss.queueData(data)
+		ss.moved += int64(len(data))
+		s.stats.Digests++
+		s.stats.BytesOut += int64(len(data))
+		if rec := s.rec(); rec != nil {
+			now := s.ep.Station().Clock().Now()
+			rec.EmitSpanFlow(start, now-start, trace.KindFSRequest, "digest",
+				int64(ss.conn.Remote()), int64(len(data)), flow)
+			rec.Add("fs.digest", 1)
 		}
 	case MsgStore:
 		name, err := ether.UnpackString(msg[1:])

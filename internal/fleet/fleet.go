@@ -152,12 +152,17 @@ func (e *Engine) Add(cfg MachineConfig) *Machine {
 	if !e.coupled && cfg.Clock == nil {
 		panic("fleet: windowed machines require their own Clock")
 	}
+	var sts []*ether.Station
+	if cfg.Station != nil {
+		sts = append(sts, cfg.Station)
+	}
+	sts = append(sts, cfg.Stations...)
 	m := &Machine{
 		name:    cfg.Name,
 		idx:     len(e.machines),
 		daemon:  cfg.Daemon,
 		clock:   cfg.Clock,
-		st:      cfg.Station,
+		sts:     sts,
 		program: cfg.Program,
 		wake:    cfg.StartAt,
 		horizon: never,
@@ -285,8 +290,8 @@ func (e *Engine) pending() (batch []*Machine, live int, daemonsOnly bool) {
 			daemonsOnly = false
 		}
 		w := m.wake
-		if m.st != nil {
-			if a, ok := m.st.EarliestArrival(); ok {
+		for _, st := range m.sts {
+			if a, ok := st.EarliestArrival(); ok {
 				if now := m.clock.Now(); a < now {
 					a = now
 				}

@@ -19,6 +19,10 @@ type MachineConfig struct {
 	// its earliest scheduled arrival at every barrier so a machine blocked
 	// waiting for traffic wakes exactly when the packet arrives.
 	Station *ether.Station
+	// Stations lists additional attachments for machines with more than one
+	// (a cluster replica serves on one station and audits peers from
+	// another). The engine watches the earliest arrival across all of them.
+	Stations []*ether.Station
 	// Daemon marks a machine that serves others and never finishes on its
 	// own (a file server). When only daemons remain, the engine sets the
 	// draining flag and wakes them one last time; a daemon's program polls
@@ -54,7 +58,7 @@ type Machine struct {
 	idx     int
 	daemon  bool
 	clock   *sim.Clock
-	st      *ether.Station
+	sts     []*ether.Station
 	program func(*Machine) error
 
 	resume chan resumeMsg

@@ -96,6 +96,16 @@ const (
 	// args: the peer's station address, data bytes moved). Carries the flow
 	// ID the client allocated, linking the server's work to the request.
 	KindFSRequest
+	// KindClusterAudit is one peer-audit round a replica ran against its
+	// shard group: digest polls out, verdicts in (span; name: the replica;
+	// args: peers polled, divergent files found). Carries the round's flow
+	// ID, shared with every digest request and heal it caused.
+	KindClusterAudit
+	// KindClusterHeal is one file healed from a peer: the replica detected
+	// its copy diverged — bit rot or a missed overwrite — and refetched the
+	// authoritative copy (span; name: the file; args: the authority replica
+	// index, bytes refetched). Rides the audit round's flow.
+	KindClusterHeal
 
 	numKinds
 )
@@ -128,6 +138,8 @@ var kindInfo = [numKinds]struct {
 	KindCrashExplore:   {"explore", "crashpoint", "point", "violations"},
 	KindEtherFault:     {"fault", "ether", "dst", "judged"},
 	KindFSRequest:      {"request", "fileserver", "peer", "bytes"},
+	KindClusterAudit:   {"audit", "cluster", "peers", "divergent"},
+	KindClusterHeal:    {"heal", "cluster", "authority", "bytes"},
 }
 
 // String implements fmt.Stringer.

@@ -336,6 +336,7 @@ var determinismGated = map[string]bool{
 	"internal/fsck":       true,
 	"internal/scope":      true,
 	"internal/fleet":      true,
+	"internal/cluster":    true,
 }
 
 // tracedPackages lists the module-relative packages under the tracecover
@@ -348,6 +349,7 @@ var tracedPackages = map[string]bool{
 	"internal/scavenge":   true,
 	"internal/crashpoint": true,
 	"internal/scope":      true,
+	"internal/cluster":    true,
 }
 
 // isInternal reports whether rel (a module-relative package path) lies under
